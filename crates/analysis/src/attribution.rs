@@ -1,0 +1,130 @@
+//! Per-color cost attribution: who caused the drops and who consumed the
+//! reconfigurations.
+//!
+//! Every drop belongs to a color by definition; every reconfiguration is
+//! attributed to the color the location was recolored *to* (the same
+//! convention the lower bound of [`rrs_offline::bounds`] uses: configuring
+//! a processor to serve category ℓ is spending on ℓ).
+
+use rrs_engine::{Policy, Simulator, TraceEvent, TraceRecorder};
+use rrs_model::{ColorId, Instance};
+
+use crate::table::Table;
+
+/// Cost breakdown for one color.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ColorCosts {
+    /// The color.
+    pub color: ColorId,
+    /// Jobs that arrived.
+    pub arrived: u64,
+    /// Jobs executed.
+    pub executed: u64,
+    /// Jobs dropped.
+    pub dropped: u64,
+    /// Reconfigurations *to* this color.
+    pub reconfigs_to: u64,
+}
+
+impl ColorCosts {
+    /// The cost attributable to this color at reconfiguration price Δ.
+    pub fn cost(&self, delta: u64) -> u64 {
+        delta * self.reconfigs_to + self.dropped
+    }
+}
+
+/// Run a policy and attribute every cost to a color.
+pub fn attribute_costs<P: Policy>(inst: &Instance, n: usize, policy: &mut P) -> Vec<ColorCosts> {
+    let mut trace = TraceRecorder::new();
+    Simulator::new(inst, n).run_traced(policy, &mut trace);
+    let mut per: Vec<ColorCosts> = inst
+        .colors
+        .ids()
+        .map(|color| ColorCosts { color, arrived: 0, executed: 0, dropped: 0, reconfigs_to: 0 })
+        .collect();
+    for e in &trace.events {
+        match *e {
+            TraceEvent::Arrive { color, count, .. } => per[color.index()].arrived += count,
+            TraceEvent::Execute { color, count, .. } => per[color.index()].executed += count,
+            TraceEvent::Drop { color, count, .. } => per[color.index()].dropped += count,
+            TraceEvent::Reconfig { to: Some(color), .. } => {
+                per[color.index()].reconfigs_to += 1
+            }
+            TraceEvent::Reconfig { to: None, .. } => {}
+        }
+    }
+    per
+}
+
+/// Render an attribution as a table sorted by descending cost.
+pub fn attribution_table(title: &str, delta: u64, mut per: Vec<ColorCosts>) -> Table {
+    per.sort_by_key(|c| std::cmp::Reverse(c.cost(delta)));
+    let mut t = Table::new(
+        title,
+        &["color", "arrived", "executed", "dropped", "reconfigs_to", "cost"],
+    );
+    for c in per {
+        t.row(vec![
+            c.color.to_string(),
+            c.arrived.to_string(),
+            c.executed.to_string(),
+            c.dropped.to_string(),
+            c.reconfigs_to.to_string(),
+            c.cost(delta).to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrs_core::DeltaLruEdf;
+    use rrs_model::InstanceBuilder;
+
+    fn two_color_instance() -> Instance {
+        let mut b = InstanceBuilder::new(2);
+        let busy = b.color(4);
+        let starved = b.color(4);
+        for blk in 0..4 {
+            b.arrive(blk * 4, busy, 4);
+        }
+        b.arrive(0, starved, 1); // below Δ: never eligible, always dropped
+        b.build()
+    }
+
+    #[test]
+    fn attribution_sums_to_run_totals() {
+        let inst = two_color_instance();
+        let per = attribute_costs(&inst, 4, &mut DeltaLruEdf::new());
+        let out = Simulator::new(&inst, 4).run(&mut DeltaLruEdf::new());
+        assert_eq!(per.iter().map(|c| c.arrived).sum::<u64>(), out.arrived);
+        assert_eq!(per.iter().map(|c| c.executed).sum::<u64>(), out.executed);
+        assert_eq!(per.iter().map(|c| c.dropped).sum::<u64>(), out.dropped);
+        assert_eq!(per.iter().map(|c| c.reconfigs_to).sum::<u64>(), out.cost.reconfigs);
+        let total: u64 = per.iter().map(|c| c.cost(inst.delta)).sum();
+        assert_eq!(total, out.total_cost());
+    }
+
+    #[test]
+    fn starved_color_is_drop_attributed() {
+        let inst = two_color_instance();
+        let per = attribute_costs(&inst, 4, &mut DeltaLruEdf::new());
+        let starved = per[1];
+        assert_eq!(starved.dropped, 1);
+        assert_eq!(starved.reconfigs_to, 0);
+        let busy = per[0];
+        assert_eq!(busy.dropped, 0);
+        assert_eq!(busy.reconfigs_to, 2);
+    }
+
+    #[test]
+    fn table_sorted_by_cost() {
+        let inst = two_color_instance();
+        let per = attribute_costs(&inst, 4, &mut DeltaLruEdf::new());
+        let t = attribution_table("attribution", inst.delta, per);
+        let first: u64 = t.cell(0, "cost").unwrap().parse().unwrap();
+        let second: u64 = t.cell(1, "cost").unwrap().parse().unwrap();
+        assert!(first >= second);
+    }
+}

@@ -1,0 +1,25 @@
+//! Competitive-ratio arithmetic.
+
+/// `cost / baseline` with the conventions of competitive analysis:
+/// a zero baseline with zero cost is ratio 1 (both schedules are free);
+/// a zero baseline with positive cost is unbounded.
+pub fn ratio(cost: u64, baseline: u64) -> f64 {
+    match (cost, baseline) {
+        (0, 0) => 1.0,
+        (_, 0) => f64::INFINITY,
+        (c, b) => c as f64 / b as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ratio;
+
+    #[test]
+    fn conventions() {
+        assert_eq!(ratio(0, 0), 1.0);
+        assert_eq!(ratio(5, 0), f64::INFINITY);
+        assert_eq!(ratio(6, 3), 2.0);
+        assert_eq!(ratio(3, 6), 0.5);
+    }
+}

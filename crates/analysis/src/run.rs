@@ -1,0 +1,65 @@
+//! One-call run helpers.
+
+use rrs_core::{AlgoMetrics, DeltaLruEdf};
+use rrs_engine::{Outcome, Policy, Simulator};
+use rrs_model::Instance;
+
+/// The result of running a policy: engine costs plus (for the instrumented
+/// algorithms) the lemma counters.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Policy name.
+    pub policy: String,
+    /// Engine outcome (costs, conservation counters).
+    pub outcome: Outcome,
+    /// Lemma counters (zeroed for uninstrumented policies).
+    pub metrics: AlgoMetrics,
+}
+
+impl RunReport {
+    /// Total cost.
+    pub fn cost(&self) -> u64 {
+        self.outcome.total_cost()
+    }
+}
+
+/// Run any policy on `n` locations and return the outcome.
+pub fn run_policy<P: Policy>(inst: &Instance, n: usize, policy: &mut P) -> Outcome {
+    Simulator::new(inst, n).run(policy)
+}
+
+/// Run ΔLRU-EDF on `n` locations and return costs plus lemma counters.
+pub fn run_dlru_edf(inst: &Instance, n: usize) -> RunReport {
+    let mut p = DeltaLruEdf::new();
+    let outcome = Simulator::new(inst, n).run(&mut p);
+    RunReport { policy: p.name().to_string(), outcome, metrics: p.metrics() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrs_model::InstanceBuilder;
+
+    #[test]
+    fn report_carries_metrics() {
+        let mut b = InstanceBuilder::new(2);
+        let c = b.color(4);
+        b.arrive(0, c, 4).arrive(4, c, 4);
+        let inst = b.build();
+        let r = run_dlru_edf(&inst, 4);
+        assert_eq!(r.policy, "dlru-edf");
+        assert!(r.outcome.conserved());
+        assert_eq!(r.metrics.num_epochs(), 1);
+        assert_eq!(r.cost(), r.outcome.total_cost());
+    }
+
+    #[test]
+    fn run_policy_generic() {
+        let mut b = InstanceBuilder::new(1);
+        let c = b.color(2);
+        b.arrive(0, c, 2);
+        let inst = b.build();
+        let out = run_policy(&inst, 2, &mut rrs_core::Edf::new());
+        assert!(out.conserved());
+    }
+}

@@ -1,0 +1,139 @@
+//! Plain-text result tables.
+
+use std::fmt;
+
+/// A titled table with aligned columns and optional footnotes — the unit of
+/// output for every experiment.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    /// Table title (experiment id + paper anchor).
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows of cells (each row must match the column count).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form footnotes (expectations, parameter notes).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if the cell count does not match the column count.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch in '{}'", self.title);
+        self.rows.push(cells);
+        self
+    }
+
+    /// Append a footnote.
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// A cell by (row, column name), for tests.
+    pub fn cell(&self, row: usize, column: &str) -> Option<&str> {
+        let col = self.columns.iter().position(|c| c == column)?;
+        self.rows.get(row).map(|r| r[col].as_str())
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        writeln!(f, "{}", self.title)?;
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        writeln!(f, "  {}", header.join("  "))?;
+        let rule: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        writeln!(f, "  {}", "-".repeat(rule))?;
+        for row in &self.rows {
+            let cells: Vec<String> =
+                row.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
+            writeln!(f, "  {}", cells.join("  "))?;
+        }
+        for note in &self.notes {
+            writeln!(f, "  note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Format a ratio with three decimals (`inf` for unbounded).
+pub fn fmt_ratio(r: f64) -> String {
+    if r.is_infinite() {
+        "inf".to_string()
+    } else {
+        format!("{r:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", &["a", "long_column"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["100".into(), "2000".into()]);
+        t.note("a note");
+        let s = t.to_string();
+        assert!(s.contains("demo"));
+        assert!(s.contains("long_column"));
+        assert!(s.contains("note: a note"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn cell_lookup_by_name() {
+        let mut t = Table::new("demo", &["x", "y"]);
+        t.row(vec!["7".into(), "8".into()]);
+        assert_eq!(t.cell(0, "y"), Some("8"));
+        assert_eq!(t.cell(0, "z"), None);
+        assert_eq!(t.cell(3, "x"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        Table::new("demo", &["x"]).row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn ratio_formatting() {
+        assert_eq!(fmt_ratio(1.23456), "1.235");
+        assert_eq!(fmt_ratio(f64::INFINITY), "inf");
+    }
+}

@@ -1,0 +1,124 @@
+//! Windowed time-series summaries of a run — the "cost trajectory" view a
+//! systems evaluation would plot.
+
+use rrs_engine::{Policy, Simulator, SummaryRecorder};
+use rrs_model::Instance;
+
+use crate::table::Table;
+
+/// Aggregate counters over one window of rounds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Window {
+    /// First round of the window (inclusive).
+    pub start: u64,
+    /// One past the last round.
+    pub end: u64,
+    /// Jobs that arrived in the window.
+    pub arrivals: u64,
+    /// Jobs executed.
+    pub executed: u64,
+    /// Jobs dropped.
+    pub drops: u64,
+    /// Reconfigurations performed.
+    pub reconfigs: u64,
+}
+
+impl Window {
+    /// Window cost at reconfiguration price Δ.
+    pub fn cost(&self, delta: u64) -> u64 {
+        delta * self.reconfigs + self.drops
+    }
+}
+
+/// Run `policy` and aggregate its per-round counters into windows of
+/// `window` rounds.
+pub fn timeline<P: Policy>(inst: &Instance, n: usize, policy: &mut P, window: u64) -> Vec<Window> {
+    assert!(window >= 1, "window must be positive");
+    let mut rec = SummaryRecorder::new();
+    Simulator::new(inst, n).run_traced(policy, &mut rec);
+    let mut out: Vec<Window> = Vec::new();
+    for r in &rec.rounds {
+        let idx = (r.round / window) as usize;
+        if out.len() <= idx {
+            out.resize_with(idx + 1, Window::default);
+            out[idx].start = idx as u64 * window;
+            out[idx].end = (idx as u64 + 1) * window;
+        }
+        let w = &mut out[idx];
+        w.arrivals += r.arrivals;
+        w.executed += r.executed;
+        w.drops += r.drops;
+        w.reconfigs += r.reconfigs;
+    }
+    out
+}
+
+/// Render a timeline as a table (one row per window).
+pub fn timeline_table(title: &str, delta: u64, windows: &[Window]) -> Table {
+    let mut t = Table::new(title, &["rounds", "arrivals", "executed", "drops", "reconfigs", "cost"]);
+    for w in windows {
+        t.row(vec![
+            format!("{}..{}", w.start, w.end),
+            w.arrivals.to_string(),
+            w.executed.to_string(),
+            w.drops.to_string(),
+            w.reconfigs.to_string(),
+            w.cost(delta).to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrs_core::DeltaLruEdf;
+    use rrs_model::InstanceBuilder;
+
+    fn instance() -> Instance {
+        let mut b = InstanceBuilder::new(2);
+        let c = b.color(4);
+        for blk in 0..4 {
+            b.arrive(blk * 4, c, 4);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn windows_cover_the_run_and_sum_to_totals() {
+        let inst = instance();
+        let windows = timeline(&inst, 4, &mut DeltaLruEdf::new(), 4);
+        let out = Simulator::new(&inst, 4).run(&mut DeltaLruEdf::new());
+        assert_eq!(windows.iter().map(|w| w.arrivals).sum::<u64>(), out.arrived);
+        assert_eq!(windows.iter().map(|w| w.executed).sum::<u64>(), out.executed);
+        assert_eq!(windows.iter().map(|w| w.drops).sum::<u64>(), out.dropped);
+        assert_eq!(windows.iter().map(|w| w.reconfigs).sum::<u64>(), out.cost.reconfigs);
+        let cost: u64 = windows.iter().map(|w| w.cost(inst.delta)).sum();
+        assert_eq!(cost, out.total_cost());
+    }
+
+    #[test]
+    fn window_boundaries_are_aligned() {
+        let inst = instance();
+        let windows = timeline(&inst, 4, &mut DeltaLruEdf::new(), 5);
+        for (i, w) in windows.iter().enumerate() {
+            assert_eq!(w.start, i as u64 * 5);
+            assert_eq!(w.end, (i as u64 + 1) * 5);
+        }
+    }
+
+    #[test]
+    fn table_has_one_row_per_window() {
+        let inst = instance();
+        let windows = timeline(&inst, 4, &mut DeltaLruEdf::new(), 4);
+        let t = timeline_table("demo", inst.delta, &windows);
+        assert_eq!(t.len(), windows.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_window_rejected() {
+        let inst = instance();
+        timeline(&inst, 4, &mut DeltaLruEdf::new(), 0);
+    }
+}

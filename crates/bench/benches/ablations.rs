@@ -1,0 +1,50 @@
+//! E12/E13: ablation benches for the design choices DESIGN.md calls out —
+//! the LRU/EDF capacity split and the Δ-counter eligibility gate.
+
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rrs_analysis::experiments::{e12_split_ablation, e13_counter_gate_ablation, e14_replication_ablation};
+use rrs_bench::print_once;
+
+static E12_ONCE: Once = Once::new();
+static E13_ONCE: Once = Once::new();
+static E14_ONCE: Once = Once::new();
+
+fn bench_e12_split_ablation(c: &mut Criterion) {
+    print_once(&E12_ONCE, &e12_split_ablation());
+    let mut g = c.benchmark_group("e12_split_ablation");
+    g.sample_size(10);
+    g.bench_function("five_shares_two_adversaries", |b| {
+        b.iter(|| std::hint::black_box(e12_split_ablation()))
+    });
+    g.finish();
+}
+
+fn bench_e13_counter_gate(c: &mut Criterion) {
+    print_once(&E13_ONCE, &e13_counter_gate_ablation(&[4, 8, 16]));
+    let mut g = c.benchmark_group("e13_counter_gate");
+    g.sample_size(10);
+    g.bench_function("sparse_sweep", |b| {
+        b.iter(|| std::hint::black_box(e13_counter_gate_ablation(&[4, 8, 16])))
+    });
+    g.finish();
+}
+
+fn bench_e14_replication(c: &mut Criterion) {
+    print_once(&E14_ONCE, &e14_replication_ablation());
+    let mut g = c.benchmark_group("e14_replication");
+    g.sample_size(10);
+    g.bench_function("four_workloads", |b| {
+        b.iter(|| std::hint::black_box(e14_replication_ablation()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_e12_split_ablation,
+    bench_e13_counter_gate,
+    bench_e14_replication
+);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! E1/E2: the appendix lower-bound constructions. Prints the regenerated
+//! ratio tables (the paper's analytical "figures") and times them.
+
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rrs_analysis::experiments::{e1_lru_adversary, e2_edf_adversary};
+use rrs_bench::print_once;
+
+static E1_ONCE: Once = Once::new();
+static E2_ONCE: Once = Once::new();
+
+fn bench_e1_lru_lower_bound(c: &mut Criterion) {
+    let table = e1_lru_adversary(8, 2, 4..=9);
+    print_once(&E1_ONCE, &table);
+    let mut g = c.benchmark_group("e1_lru_lower_bound");
+    g.sample_size(10);
+    g.bench_function("sweep_j_4_to_8", |b| {
+        b.iter(|| std::hint::black_box(e1_lru_adversary(8, 2, 4..=8)))
+    });
+    g.finish();
+}
+
+fn bench_e2_edf_lower_bound(c: &mut Criterion) {
+    let table = e2_edf_adversary(8, 10, 4, 6..=10);
+    print_once(&E2_ONCE, &table);
+    let mut g = c.benchmark_group("e2_edf_lower_bound");
+    g.sample_size(10);
+    g.bench_function("sweep_k_6_to_9", |b| {
+        b.iter(|| std::hint::black_box(e2_edf_adversary(8, 10, 4, 6..=9)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_e1_lru_lower_bound, bench_e2_edf_lower_bound);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! E3/E6/E7/E10/E11: competitive-ratio experiments against exact OPT and
+//! certified lower bounds.
+
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rrs_analysis::experiments::{
+    e10_augmentation, e11_arbitrary_bounds, e3_vs_opt, e6_distribute, e7_varbatch,
+};
+use rrs_bench::print_once;
+
+static E3_ONCE: Once = Once::new();
+static E6_ONCE: Once = Once::new();
+static E7_ONCE: Once = Once::new();
+static E10_ONCE: Once = Once::new();
+static E11_ONCE: Once = Once::new();
+
+fn bench_e3_vs_opt(c: &mut Criterion) {
+    print_once(&E3_ONCE, &e3_vs_opt(0..10));
+    let mut g = c.benchmark_group("e3_vs_opt");
+    g.sample_size(10);
+    g.bench_function("8_seeds", |b| b.iter(|| std::hint::black_box(e3_vs_opt(0..8))));
+    g.finish();
+}
+
+fn bench_e6_distribute(c: &mut Criterion) {
+    print_once(&E6_ONCE, &e6_distribute(0..8));
+    let mut g = c.benchmark_group("e6_distribute");
+    g.sample_size(10);
+    g.bench_function("6_seeds", |b| b.iter(|| std::hint::black_box(e6_distribute(0..6))));
+    g.finish();
+}
+
+fn bench_e7_varbatch(c: &mut Criterion) {
+    print_once(&E7_ONCE, &e7_varbatch(0..8));
+    let mut g = c.benchmark_group("e7_varbatch");
+    g.sample_size(10);
+    g.bench_function("6_seeds", |b| b.iter(|| std::hint::black_box(e7_varbatch(0..6))));
+    g.finish();
+}
+
+fn bench_e10_augmentation(c: &mut Criterion) {
+    print_once(&E10_ONCE, &e10_augmentation(3));
+    let mut g = c.benchmark_group("e10_augmentation");
+    g.sample_size(10);
+    g.bench_function("n_sweep", |b| b.iter(|| std::hint::black_box(e10_augmentation(3))));
+    g.finish();
+}
+
+fn bench_e11_arbitrary_bounds(c: &mut Criterion) {
+    print_once(&E11_ONCE, &e11_arbitrary_bounds(0..8));
+    let mut g = c.benchmark_group("e11_arbitrary_bounds");
+    g.sample_size(10);
+    g.bench_function("6_seeds", |b| {
+        b.iter(|| std::hint::black_box(e11_arbitrary_bounds(0..6)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_e3_vs_opt,
+    bench_e6_distribute,
+    bench_e7_varbatch,
+    bench_e10_augmentation,
+    bench_e11_arbitrary_bounds
+);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! E4/E5: the lemma-bound checks (Lemmas 3.2, 3.3, 3.4) on random
+//! rate-limited workloads.
+
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rrs_analysis::experiments::{e4_epoch_bounds, e5_drop_chain};
+use rrs_bench::print_once;
+
+static E4_ONCE: Once = Once::new();
+static E5_ONCE: Once = Once::new();
+
+fn bench_e4_epoch_bounds(c: &mut Criterion) {
+    print_once(&E4_ONCE, &e4_epoch_bounds(0..4));
+    let mut g = c.benchmark_group("e4_epoch_bounds");
+    g.sample_size(10);
+    g.bench_function("4_seeds_x_3_loads", |b| {
+        b.iter(|| std::hint::black_box(e4_epoch_bounds(0..4)))
+    });
+    g.finish();
+}
+
+fn bench_e5_drop_chain(c: &mut Criterion) {
+    print_once(&E5_ONCE, &e5_drop_chain(0..8));
+    let mut g = c.benchmark_group("e5_drop_chain");
+    g.sample_size(10);
+    g.bench_function("8_seeds", |b| b.iter(|| std::hint::black_box(e5_drop_chain(0..8))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_e4_epoch_bounds, bench_e5_drop_chain);
+criterion_main!(benches);

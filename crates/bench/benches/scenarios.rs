@@ -1,0 +1,39 @@
+//! E8 and the application scenarios of §1: background-vs-short-term,
+//! multi-service router.
+
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rrs_analysis::experiments::{e15_punctuality, e8_motivation, router_scenario};
+use rrs_bench::print_once;
+
+static E8_ONCE: Once = Once::new();
+static E15_ONCE: Once = Once::new();
+static ROUTER_ONCE: Once = Once::new();
+
+fn bench_e8_motivation(c: &mut Criterion) {
+    print_once(&E8_ONCE, &e8_motivation(1));
+    let mut g = c.benchmark_group("e8_motivation");
+    g.sample_size(10);
+    g.bench_function("three_policies", |b| b.iter(|| std::hint::black_box(e8_motivation(1))));
+    g.finish();
+}
+
+fn bench_router_scenario(c: &mut Criterion) {
+    print_once(&ROUTER_ONCE, &router_scenario(2));
+    let mut g = c.benchmark_group("router_scenario");
+    g.sample_size(10);
+    g.bench_function("three_policies", |b| b.iter(|| std::hint::black_box(router_scenario(2))));
+    g.finish();
+}
+
+fn bench_e15_punctuality(c: &mut Criterion) {
+    print_once(&E15_ONCE, &e15_punctuality(0..6));
+    let mut g = c.benchmark_group("e15_punctuality");
+    g.sample_size(10);
+    g.bench_function("6_seeds", |b| b.iter(|| std::hint::black_box(e15_punctuality(0..6))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_e8_motivation, bench_router_scenario, bench_e15_punctuality);
+criterion_main!(benches);

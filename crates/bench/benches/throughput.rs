@@ -1,0 +1,44 @@
+//! E9: raw simulator throughput — rounds and jobs per second for each
+//! algorithm across instance scales.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rrs_analysis::experiments::e9_throughput_shapes;
+use rrs_core::{full_algorithm, DeltaLru, DeltaLruEdf, Edf};
+use rrs_engine::Simulator;
+
+fn bench_e9_throughput(c: &mut Criterion) {
+    for (name, inst, n) in e9_throughput_shapes() {
+        let rounds = inst.horizon() + 1;
+        let mut g = c.benchmark_group(format!("e9_throughput/{name}"));
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(rounds));
+        g.bench_function("dlru_edf", |b| {
+            b.iter(|| {
+                let mut p = DeltaLruEdf::new();
+                std::hint::black_box(Simulator::new(&inst, n).run(&mut p))
+            })
+        });
+        g.bench_function("dlru", |b| {
+            b.iter(|| {
+                let mut p = DeltaLru::new();
+                std::hint::black_box(Simulator::new(&inst, n).run(&mut p))
+            })
+        });
+        g.bench_function("edf", |b| {
+            b.iter(|| {
+                let mut p = Edf::new();
+                std::hint::black_box(Simulator::new(&inst, n).run(&mut p))
+            })
+        });
+        g.bench_function("full_stack", |b| {
+            b.iter(|| {
+                let mut p = full_algorithm();
+                std::hint::black_box(Simulator::new(&inst, n).run(&mut p))
+            })
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_e9_throughput);
+criterion_main!(benches);

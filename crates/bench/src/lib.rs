@@ -1,0 +1,24 @@
+//! Bench support: shared setup for the Criterion benches in `benches/`.
+//!
+//! Each experiment E1–E11 from `DESIGN.md` has a bench target:
+//!
+//! | bench file | targets |
+//! |---|---|
+//! | `adversaries.rs` | `e1_lru_lower_bound`, `e2_edf_lower_bound` |
+//! | `competitive.rs` | `e3_vs_opt`, `e6_distribute`, `e7_varbatch`, `e10_augmentation`, `e11_arbitrary_bounds` |
+//! | `lemma_bounds.rs` | `e4_epoch_bounds`, `e5_drop_chain` |
+//! | `throughput.rs` | `e9_throughput` |
+//! | `scenarios.rs` | `e8_motivation`, `router_scenario` |
+//! | `ablations.rs` | `e12_split_ablation`, `e13_counter_gate`, `e14_replication` |
+//! | `scenarios.rs` (cont.) | `e15_punctuality` |
+//!
+//! Each target prints its regenerated table once (the paper-shaped output)
+//! and then times the regeneration. Run with `cargo bench`.
+
+use std::sync::Once;
+
+/// Print a table exactly once per process (so Criterion's repeated timing
+/// loops do not spam the output).
+pub fn print_once(once: &'static Once, table: &rrs_analysis::Table) {
+    once.call_once(|| println!("\n{table}"));
+}

@@ -1,0 +1,254 @@
+//! The *Distribute* reduction (§4.1): `[Δ|1|D_ℓ|D_ℓ]` → rate-limited
+//! `[Δ|1|D_ℓ|D_ℓ]`.
+//!
+//! A batched instance may deliver arbitrarily large batches. Distribute
+//! splits each batch of color `ℓ` into chunks of at most `D_ℓ` jobs and
+//! assigns chunk `j` to a minted *sub-color* `(ℓ, j)` with the same delay
+//! bound. The resulting virtual instance is rate-limited, so the inner
+//! algorithm (ΔLRU-EDF in the paper) applies; whenever the inner algorithm
+//! configures `(ℓ, j)` the physical schedule configures `ℓ`, and whenever it
+//! executes an `(ℓ, j)` job the physical schedule executes an `ℓ` job
+//! (Lemma 4.2 shows the projection never costs more).
+//!
+//! The wrapper maintains the virtual instance *online*: a virtual pending
+//! store and virtual location assignment drive the inner policy; the
+//! physical assignment is the color-projection of the virtual one. Since
+//! distinct sub-colors of one physical color project to the same color, the
+//! projection can only save reconfigurations, and any virtual execution is
+//! physically feasible (physical pending of `ℓ` is the sum over its
+//! sub-colors).
+
+use rrs_engine::{Observation, PendingStore, Policy, Slot};
+use rrs_model::{ColorId, ColorTable};
+
+/// The Distribute wrapper around an inner policy.
+#[derive(Debug)]
+pub struct Distribute<P> {
+    inner: P,
+    vcolors: ColorTable,
+    vpending: PendingStore,
+    vslots: Vec<Slot>,
+    vnext: Vec<Slot>,
+    /// physical color index → ids of its minted sub-colors (index `j` is
+    /// sub-color `(ℓ, j)`).
+    subs: Vec<Vec<ColorId>>,
+    /// virtual color index → physical color.
+    to_phys: Vec<ColorId>,
+    varrivals: Vec<(ColorId, u64)>,
+    vdropped: Vec<(ColorId, u64)>,
+    exec_counts: Vec<(ColorId, u64)>,
+}
+
+impl<P: Policy> Distribute<P> {
+    /// Wrap an inner policy (ΔLRU-EDF for the Theorem 2 guarantee).
+    pub fn new(inner: P) -> Self {
+        Self {
+            inner,
+            vcolors: ColorTable::new(),
+            vpending: PendingStore::new(),
+            vslots: Vec::new(),
+            vnext: Vec::new(),
+            subs: Vec::new(),
+            to_phys: Vec::new(),
+            varrivals: Vec::new(),
+            vdropped: Vec::new(),
+            exec_counts: Vec::new(),
+        }
+    }
+
+    /// The wrapped policy.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// Number of sub-colors minted so far.
+    pub fn virtual_colors(&self) -> usize {
+        self.vcolors.len()
+    }
+
+    /// The sub-colors minted for a physical color, in `j` order.
+    pub fn sub_colors(&self, phys: ColorId) -> &[ColorId] {
+        self.subs.get(phys.index()).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    fn sub_color(&mut self, phys: ColorId, j: usize, bound: u64) -> ColorId {
+        while self.subs.len() <= phys.index() {
+            self.subs.push(Vec::new());
+        }
+        while self.subs[phys.index()].len() <= j {
+            let vc = self.vcolors.push(bound);
+            self.subs[phys.index()].push(vc);
+            self.to_phys.push(phys);
+        }
+        self.subs[phys.index()][j]
+    }
+
+    fn run_virtual_execution(&mut self) {
+        self.exec_counts.clear();
+        for &s in &self.vslots {
+            if let Some(c) = s {
+                match self.exec_counts.iter_mut().find(|(cc, _)| *cc == c) {
+                    Some((_, k)) => *k += 1,
+                    None => self.exec_counts.push((c, 1)),
+                }
+            }
+        }
+        for &(c, q) in &self.exec_counts {
+            self.vpending.execute(c, q);
+        }
+    }
+}
+
+impl<P: Policy> Policy for Distribute<P> {
+    fn name(&self) -> &str {
+        "distribute"
+    }
+
+    fn init(&mut self, delta: u64, n_locations: usize) {
+        self.vcolors = ColorTable::new();
+        self.vpending = PendingStore::new();
+        self.vslots = vec![None; n_locations];
+        self.subs.clear();
+        self.to_phys.clear();
+        self.inner.init(delta, n_locations);
+    }
+
+    fn reconfigure(&mut self, obs: &Observation<'_>, out: &mut Vec<Slot>) {
+        if obs.mini_round == 0 {
+            // Virtual drop phase.
+            self.vdropped.clear();
+            self.vpending.drop_due(obs.round, &mut self.vdropped);
+
+            // Virtual arrival phase: split each physical batch into
+            // sub-color chunks of at most D_ℓ jobs (job of rank r goes to
+            // sub-color ⌊r / D_ℓ⌋).
+            self.varrivals.clear();
+            for &(c, count) in obs.arrivals {
+                let bound = obs.colors.delay_bound(c);
+                debug_assert!(
+                    obs.round.is_multiple_of(bound),
+                    "Distribute requires batched arrivals (color {c}, round {})",
+                    obs.round
+                );
+                let mut remaining = count;
+                let mut j = 0usize;
+                while remaining > 0 {
+                    let chunk = remaining.min(bound);
+                    let vc = self.sub_color(c, j, bound);
+                    self.varrivals.push((vc, chunk));
+                    self.vpending.arrive(vc, obs.round + bound, chunk);
+                    remaining -= chunk;
+                    j += 1;
+                }
+            }
+            self.varrivals.sort_unstable_by_key(|&(c, _)| c);
+        }
+
+        // Inner reconfiguration on the virtual instance.
+        self.vnext.clone_from(&self.vslots);
+        let (arr, drp): (&rrs_engine::policy::ColorCounts, &rrs_engine::policy::ColorCounts) = if obs.mini_round == 0 {
+            (&self.varrivals, &self.vdropped)
+        } else {
+            (&[], &[])
+        };
+        let vobs = Observation {
+            round: obs.round,
+            mini_round: obs.mini_round,
+            speed: obs.speed,
+            delta: obs.delta,
+            colors: &self.vcolors,
+            arrivals: arr,
+            dropped: drp,
+            pending: &self.vpending,
+            slots: &self.vslots,
+        };
+        self.inner.reconfigure(&vobs, &mut self.vnext);
+        assert_eq!(self.vnext.len(), self.vslots.len(), "inner policy resized assignment");
+        std::mem::swap(&mut self.vslots, &mut self.vnext);
+
+        // Virtual execution phase, mirroring the engine's semantics.
+        self.run_virtual_execution();
+
+        // Physical projection: sub-color (ℓ, j) → ℓ.
+        for (o, &v) in out.iter_mut().zip(&self.vslots) {
+            *o = v.map(|vc| self.to_phys[vc.index()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dlru_edf::DeltaLruEdf;
+    use crate::edf::Edf;
+    use rrs_engine::Simulator;
+    use rrs_model::InstanceBuilder;
+
+    #[test]
+    fn oversize_batch_is_split_into_sub_colors() {
+        // One color, bound 2, a batch of 5 jobs -> sub-colors (ℓ,0..2) with
+        // chunks 2, 2, 1.
+        let mut b = InstanceBuilder::new(1);
+        let c = b.color(2);
+        b.arrive(0, c, 5);
+        let inst = b.build();
+        let mut p = Distribute::new(Edf::new());
+        Simulator::new(&inst, 4).run(&mut p);
+        assert_eq!(p.virtual_colors(), 3);
+        assert_eq!(p.sub_colors(c).len(), 3);
+    }
+
+    #[test]
+    fn rate_limited_input_passes_through_with_one_sub_color() {
+        let mut b = InstanceBuilder::new(1);
+        let c = b.color(4);
+        b.arrive(0, c, 4).arrive(4, c, 3);
+        let inst = b.build();
+        let mut p = Distribute::new(Edf::new());
+        let out = Simulator::new(&inst, 2).run(&mut p);
+        assert_eq!(p.virtual_colors(), 1);
+        assert_eq!(out.dropped, 0);
+    }
+
+    #[test]
+    fn physical_cost_at_most_sub_color_count_times_reconfig() {
+        // A large batch of one physical color: the projection merges all
+        // sub-color configurations onto the same physical color, so a
+        // location switching between sub-colors of the same color is free.
+        let mut b = InstanceBuilder::new(3);
+        let c = b.color(4);
+        b.arrive(0, c, 16); // 4 sub-colors
+        b.arrive(4, c, 16);
+        let inst = b.build();
+        let mut p = Distribute::new(DeltaLruEdf::new());
+        let out = Simulator::new(&inst, 8).run(&mut p);
+        // All locations only ever hold (projections of) color c: physical
+        // reconfigs are at most one per location.
+        assert!(out.cost.reconfigs <= 8, "got {}", out.cost.reconfigs);
+    }
+
+    #[test]
+    fn executes_as_much_as_unsplit_would() {
+        // Sanity: splitting must not reduce throughput below capacity.
+        let mut b = InstanceBuilder::new(1);
+        let c = b.color(4);
+        b.arrive(0, c, 8);
+        let inst = b.build();
+        let mut p = Distribute::new(DeltaLruEdf::new());
+        let out = Simulator::new(&inst, 4).run(&mut p);
+        // 4 locations x 4 rounds = 16 slots; 8 jobs, all executable.
+        assert_eq!(out.dropped, 0);
+    }
+
+    #[test]
+    fn empty_rounds_are_harmless() {
+        let mut b = InstanceBuilder::new(1);
+        let c = b.color(8);
+        b.arrive(8, c, 2);
+        let inst = b.build();
+        let mut p = Distribute::new(Edf::new());
+        let out = Simulator::new(&inst, 2).run(&mut p);
+        assert!(out.conserved());
+        assert_eq!(out.dropped, 0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Ranking orders shared by the Section 3 algorithms.
+//!
+//! * The **EDF rank** (§3.1.2, reused by §3.1.3 and §3.3): nonidle colors
+//!   first, then ascending deadline, breaking ties by increasing delay
+//!   bound, then by the consistent order of colors. Smaller keys rank
+//!   *better*.
+//! * The **LRU rank** (§3.1.1): most recent timestamp first, ties broken by
+//!   the consistent order of colors.
+
+use rrs_engine::PendingStore;
+use rrs_model::ColorId;
+
+use crate::book::ColorBook;
+
+/// Total order implementing the EDF ranking; smaller is better.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EdfKey {
+    /// `false` (nonidle) sorts before `true` (idle).
+    pub idle: bool,
+    /// The color's current deadline `ℓ.dd`, ascending.
+    pub deadline: u64,
+    /// The delay bound `D_ℓ`, ascending.
+    pub delay_bound: u64,
+    /// Consistent order of colors.
+    pub color: ColorId,
+}
+
+/// The EDF ranking key of an (eligible) color.
+pub fn edf_key(book: &ColorBook, pending: &PendingStore, c: ColorId) -> EdfKey {
+    let s = book.state(c);
+    EdfKey {
+        idle: pending.is_idle(c),
+        deadline: s.deadline,
+        delay_bound: s.delay_bound,
+        color: c,
+    }
+}
+
+/// Total order implementing the ΔLRU ranking; smaller is better (most
+/// recent timestamp first).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LruKey {
+    /// Negated-by-reversal timestamp: larger timestamps rank better.
+    pub ts_rev: std::cmp::Reverse<u64>,
+    /// Consistent order of colors.
+    pub color: ColorId,
+}
+
+/// The ΔLRU ranking key of an (eligible) color.
+pub fn lru_key(book: &ColorBook, c: ColorId) -> LruKey {
+    LruKey { ts_rev: std::cmp::Reverse(book.state(c).ts_value()), color: c }
+}
+
+/// Sort colors ascending by EDF key (best rank first).
+pub fn sort_by_edf(book: &ColorBook, pending: &PendingStore, colors: &mut [ColorId]) {
+    colors.sort_unstable_by_key(|&c| edf_key(book, pending, c));
+}
+
+/// Sort colors ascending by LRU key (most recent timestamp first).
+pub fn sort_by_lru(book: &ColorBook, colors: &mut [ColorId]) {
+    colors.sort_unstable_by_key(|&c| lru_key(book, c));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edf_key_orders_nonidle_first() {
+        let a = EdfKey { idle: false, deadline: 10, delay_bound: 4, color: ColorId(5) };
+        let b = EdfKey { idle: true, deadline: 2, delay_bound: 1, color: ColorId(0) };
+        assert!(a < b, "nonidle outranks idle regardless of deadline");
+    }
+
+    #[test]
+    fn edf_key_breaks_ties_by_deadline_then_bound_then_color() {
+        let base = EdfKey { idle: false, deadline: 8, delay_bound: 4, color: ColorId(1) };
+        let later = EdfKey { deadline: 9, ..base };
+        let bigger = EdfKey { delay_bound: 8, ..base };
+        let higher = EdfKey { color: ColorId(2), ..base };
+        assert!(base < later);
+        assert!(base < bigger);
+        assert!(base < higher);
+    }
+
+    #[test]
+    fn lru_key_prefers_recent_timestamps() {
+        let recent = LruKey { ts_rev: std::cmp::Reverse(100), color: ColorId(9) };
+        let stale = LruKey { ts_rev: std::cmp::Reverse(3), color: ColorId(0) };
+        assert!(recent < stale);
+    }
+
+    #[test]
+    fn lru_key_ties_break_by_color() {
+        let a = LruKey { ts_rev: std::cmp::Reverse(5), color: ColorId(0) };
+        let b = LruKey { ts_rev: std::cmp::Reverse(5), color: ColorId(1) };
+        assert!(a < b);
+    }
+}

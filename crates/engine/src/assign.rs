@@ -1,0 +1,169 @@
+//! Assignment utilities: reconfiguration counting and stable (movement-
+//! minimizing) placement of a desired color multiset onto locations.
+
+use std::collections::HashMap;
+
+use rrs_model::ColorId;
+
+use crate::policy::Slot;
+
+/// Count the reconfigurations implied by moving from `old` to `new`:
+/// locations whose color changed **to a non-black color**. Recoloring to
+/// black (parking) is free under the workspace-wide pricing rule documented
+/// on [`rrs_model::CostLedger`].
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn recolor_reconfigs(old: &[Slot], new: &[Slot]) -> u64 {
+    assert_eq!(old.len(), new.len(), "assignment length changed");
+    old.iter()
+        .zip(new)
+        .filter(|(o, n)| o != n && n.is_some())
+        .count() as u64
+}
+
+/// Place a desired multiset of colors onto locations while keeping as many
+/// locations unchanged as possible.
+///
+/// `desired` lists `(color, copies)` pairs; the total number of copies must
+/// not exceed `old.len()`. The result keeps a location's color wherever that
+/// color still has unplaced copies, fills remaining copies into the other
+/// locations (lowest index first), and parks leftover locations at black.
+///
+/// Policies use this so that "keep color ℓ cached" never pays a spurious
+/// reconfiguration for moving ℓ between locations.
+///
+/// # Panics
+/// Panics if the desired copies exceed the number of locations or if a
+/// color is listed twice.
+pub fn stable_assign(old: &[Slot], desired: &[(ColorId, u64)]) -> Vec<Slot> {
+    let total: u64 = desired.iter().map(|&(_, k)| k).sum();
+    assert!(
+        total <= old.len() as u64,
+        "desired {total} copies exceed {} locations",
+        old.len()
+    );
+    let mut want: HashMap<ColorId, u64> = HashMap::with_capacity(desired.len());
+    for &(c, k) in desired {
+        if k == 0 {
+            continue;
+        }
+        let prev = want.insert(c, k);
+        assert!(prev.is_none(), "color {c} listed twice in desired assignment");
+    }
+
+    let mut out: Vec<Slot> = vec![None; old.len()];
+    // Pass 1: keep locations whose current color is still wanted.
+    for (i, &slot) in old.iter().enumerate() {
+        if let Some(c) = slot {
+            if let Some(k) = want.get_mut(&c) {
+                if *k > 0 {
+                    *k -= 1;
+                    out[i] = Some(c);
+                }
+            }
+        }
+    }
+    // Pass 2: place remaining copies into free locations, in consistent
+    // color order for determinism.
+    let mut rest: Vec<(ColorId, u64)> = want.into_iter().filter(|&(_, k)| k > 0).collect();
+    rest.sort_unstable_by_key(|&(c, _)| c);
+    let free: Vec<usize> =
+        out.iter().enumerate().filter_map(|(i, s)| s.is_none().then_some(i)).collect();
+    let mut free = free.into_iter();
+    for (c, k) in rest {
+        for _ in 0..k {
+            let i = free.next().expect("capacity checked above");
+            out[i] = Some(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: Slot = Some(ColorId(0));
+    const B: Slot = Some(ColorId(1));
+    const C: Slot = Some(ColorId(2));
+
+    #[test]
+    fn reconfigs_counts_changes_to_nonblack() {
+        let old = [None, A, B, C];
+        let new = [A, A, None, B];
+        // loc0: black->A (1), loc1: unchanged, loc2: B->black (free),
+        // loc3: C->B (1).
+        assert_eq!(recolor_reconfigs(&old, &new), 2);
+    }
+
+    #[test]
+    fn reconfigs_identity_is_zero() {
+        let v = [A, B, None];
+        assert_eq!(recolor_reconfigs(&v, &v), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn reconfigs_length_mismatch_panics() {
+        recolor_reconfigs(&[A], &[A, B]);
+    }
+
+    #[test]
+    fn stable_assign_keeps_existing_placements() {
+        let old = [A, B, C, None];
+        let new = stable_assign(&old, &[(ColorId(1), 1), (ColorId(0), 1)]);
+        assert_eq!(new, vec![A, B, None, None]);
+        assert_eq!(recolor_reconfigs(&old, &new), 0);
+    }
+
+    #[test]
+    fn stable_assign_replication() {
+        let old = [A, None, None, None];
+        let new = stable_assign(&old, &[(ColorId(0), 2), (ColorId(1), 2)]);
+        assert_eq!(new, vec![A, A, B, B]);
+        assert_eq!(recolor_reconfigs(&old, &new), 3);
+    }
+
+    #[test]
+    fn stable_assign_eviction_parks_black() {
+        let old = [A, A, B, B];
+        let new = stable_assign(&old, &[(ColorId(1), 2)]);
+        assert_eq!(new, vec![None, None, B, B]);
+        assert_eq!(recolor_reconfigs(&old, &new), 0);
+    }
+
+    #[test]
+    fn stable_assign_swap_costs_minimum() {
+        let old = [A, A];
+        let new = stable_assign(&old, &[(ColorId(0), 1), (ColorId(2), 1)]);
+        // One copy of A kept in place, one location recolored to C.
+        assert_eq!(recolor_reconfigs(&old, &new), 1);
+        assert!(new.contains(&A) && new.contains(&C));
+    }
+
+    #[test]
+    fn stable_assign_deterministic_fill_order() {
+        let old = [None, None, None];
+        let new = stable_assign(&old, &[(ColorId(2), 1), (ColorId(0), 1)]);
+        assert_eq!(new, vec![A, C, None]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn stable_assign_over_capacity_panics() {
+        stable_assign(&[None], &[(ColorId(0), 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "twice")]
+    fn stable_assign_duplicate_color_panics() {
+        stable_assign(&[None, None], &[(ColorId(0), 1), (ColorId(0), 1)]);
+    }
+
+    #[test]
+    fn stable_assign_zero_copies_ignored() {
+        let new = stable_assign(&[A], &[(ColorId(1), 0)]);
+        assert_eq!(new, vec![None]);
+    }
+}

@@ -1,0 +1,249 @@
+//! The pending-job store: per-color deadline queues.
+//!
+//! All jobs are unit jobs, so pending jobs of one color are fully described
+//! by a queue of `(deadline, count)` entries in ascending deadline order.
+//! Arrivals for a fixed color carry strictly increasing deadlines
+//! (`round + D_ℓ` with `round` increasing), so the queue stays sorted with
+//! `push_back` plus tail merging.
+
+use std::collections::VecDeque;
+
+use rrs_model::ColorId;
+
+/// Pending unit jobs, bucketed by color and deadline.
+#[derive(Clone, Debug, Default)]
+pub struct PendingStore {
+    queues: Vec<VecDeque<(u64, u64)>>, // per color: (deadline, count), ascending
+    counts: Vec<u64>,                  // per color total
+    total: u64,
+}
+
+impl PendingStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grow the store to know about colors `0..n`.
+    pub fn ensure_colors(&mut self, n: usize) {
+        if self.queues.len() < n {
+            self.queues.resize_with(n, VecDeque::new);
+            self.counts.resize(n, 0);
+        }
+    }
+
+    /// Number of colors the store knows about.
+    #[inline]
+    pub fn num_colors(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Add `count` pending jobs of `color` with the given deadline.
+    ///
+    /// # Panics
+    /// Panics (debug) if the deadline is below the color's current latest
+    /// deadline — arrivals must be fed in round order.
+    pub fn arrive(&mut self, color: ColorId, deadline: u64, count: u64) {
+        if count == 0 {
+            return;
+        }
+        self.ensure_colors(color.index() + 1);
+        let q = &mut self.queues[color.index()];
+        match q.back_mut() {
+            Some((d, n)) if *d == deadline => *n += count,
+            Some((d, _)) => {
+                debug_assert!(*d < deadline, "arrivals must have nondecreasing deadlines");
+                q.push_back((deadline, count));
+            }
+            None => q.push_back((deadline, count)),
+        }
+        self.counts[color.index()] += count;
+        self.total += count;
+    }
+
+    /// Drop every job with deadline `<= round` (the drop phase of `round`
+    /// only ever sees deadlines `== round` when fed in order, but `<=` makes
+    /// the store robust to sparse use). Appends `(color, dropped)` pairs to
+    /// `out` in consistent color order and returns the total dropped.
+    pub fn drop_due(&mut self, round: u64, out: &mut Vec<(ColorId, u64)>) -> u64 {
+        let mut total = 0;
+        for (i, q) in self.queues.iter_mut().enumerate() {
+            let mut dropped = 0;
+            while let Some(&(d, n)) = q.front() {
+                if d > round {
+                    break;
+                }
+                dropped += n;
+                q.pop_front();
+            }
+            if dropped > 0 {
+                self.counts[i] -= dropped;
+                total += dropped;
+                out.push((ColorId(i as u32), dropped));
+            }
+        }
+        self.total -= total;
+        total
+    }
+
+    /// Execute up to `slots` earliest-deadline pending jobs of `color`;
+    /// returns how many were executed.
+    pub fn execute(&mut self, color: ColorId, slots: u64) -> u64 {
+        let Some(q) = self.queues.get_mut(color.index()) else {
+            return 0;
+        };
+        let mut remaining = slots;
+        while remaining > 0 {
+            let Some((_, n)) = q.front_mut() else { break };
+            let take = (*n).min(remaining);
+            *n -= take;
+            remaining -= take;
+            if *n == 0 {
+                q.pop_front();
+            }
+        }
+        let executed = slots - remaining;
+        if executed > 0 {
+            self.counts[color.index()] -= executed;
+            self.total -= executed;
+        }
+        executed
+    }
+
+    /// Number of pending jobs of `color`.
+    #[inline]
+    pub fn count(&self, color: ColorId) -> u64 {
+        self.counts.get(color.index()).copied().unwrap_or(0)
+    }
+
+    /// Whether `color` has no pending jobs (the paper's *idle*).
+    #[inline]
+    pub fn is_idle(&self, color: ColorId) -> bool {
+        self.count(color) == 0
+    }
+
+    /// Earliest deadline among pending jobs of `color`.
+    #[inline]
+    pub fn earliest_deadline(&self, color: ColorId) -> Option<u64> {
+        self.queues.get(color.index()).and_then(|q| q.front().map(|&(d, _)| d))
+    }
+
+    /// Total pending jobs over all colors.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Colors with at least one pending job, in consistent order.
+    pub fn nonidle_colors(&self) -> impl Iterator<Item = ColorId> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(i, _)| ColorId(i as u32))
+    }
+
+    /// The deadline profile of a color (ascending `(deadline, count)`),
+    /// used by the exact offline solver to canonicalize states.
+    pub fn profile(&self, color: ColorId) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.queues
+            .get(color.index())
+            .into_iter()
+            .flat_map(|q| q.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: ColorId = ColorId(0);
+    const B: ColorId = ColorId(1);
+
+    #[test]
+    fn arrive_merges_same_deadline() {
+        let mut p = PendingStore::new();
+        p.arrive(A, 4, 2);
+        p.arrive(A, 4, 3);
+        assert_eq!(p.count(A), 5);
+        assert_eq!(p.profile(A).collect::<Vec<_>>(), vec![(4, 5)]);
+    }
+
+    #[test]
+    fn execute_takes_earliest_deadlines_first() {
+        let mut p = PendingStore::new();
+        p.arrive(A, 4, 2);
+        p.arrive(A, 8, 2);
+        assert_eq!(p.execute(A, 3), 3);
+        assert_eq!(p.profile(A).collect::<Vec<_>>(), vec![(8, 1)]);
+        assert_eq!(p.count(A), 1);
+        assert_eq!(p.total(), 1);
+    }
+
+    #[test]
+    fn execute_caps_at_pending() {
+        let mut p = PendingStore::new();
+        p.arrive(A, 4, 1);
+        assert_eq!(p.execute(A, 10), 1);
+        assert_eq!(p.execute(A, 10), 0);
+        assert!(p.is_idle(A));
+    }
+
+    #[test]
+    fn execute_unknown_color_is_zero() {
+        let mut p = PendingStore::new();
+        assert_eq!(p.execute(ColorId(9), 3), 0);
+    }
+
+    #[test]
+    fn drop_due_removes_expired_only() {
+        let mut p = PendingStore::new();
+        p.arrive(A, 4, 2);
+        p.arrive(A, 6, 1);
+        p.arrive(B, 4, 5);
+        let mut out = Vec::new();
+        let dropped = p.drop_due(4, &mut out);
+        assert_eq!(dropped, 7);
+        assert_eq!(out, vec![(A, 2), (B, 5)]);
+        assert_eq!(p.count(A), 1);
+        assert_eq!(p.count(B), 0);
+        assert_eq!(p.total(), 1);
+    }
+
+    #[test]
+    fn drop_due_before_deadline_is_noop() {
+        let mut p = PendingStore::new();
+        p.arrive(A, 4, 2);
+        let mut out = Vec::new();
+        assert_eq!(p.drop_due(3, &mut out), 0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn earliest_deadline_tracks_front() {
+        let mut p = PendingStore::new();
+        assert_eq!(p.earliest_deadline(A), None);
+        p.arrive(A, 4, 1);
+        p.arrive(A, 8, 1);
+        assert_eq!(p.earliest_deadline(A), Some(4));
+        p.execute(A, 1);
+        assert_eq!(p.earliest_deadline(A), Some(8));
+    }
+
+    #[test]
+    fn nonidle_iteration_in_color_order() {
+        let mut p = PendingStore::new();
+        p.arrive(B, 4, 1);
+        p.arrive(ColorId(3), 4, 1);
+        let v: Vec<_> = p.nonidle_colors().collect();
+        assert_eq!(v, vec![B, ColorId(3)]);
+    }
+
+    #[test]
+    fn zero_count_arrival_ignored() {
+        let mut p = PendingStore::new();
+        p.arrive(A, 4, 0);
+        assert_eq!(p.total(), 0);
+        assert_eq!(p.num_colors(), 0);
+    }
+}

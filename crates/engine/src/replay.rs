@@ -1,0 +1,207 @@
+//! Replay of explicit (offline) schedules.
+//!
+//! Offline algorithms in this workspace — the handcrafted Appendix A/B
+//! schedules and the exact OPT solver — produce a [`FixedSchedule`]: an
+//! explicit assignment per mini-round. [`ReplayPolicy`] feeds it through the
+//! same [`Simulator`](crate::sim::Simulator) that runs online policies, so
+//! every schedule is priced by exactly one code path.
+
+use rrs_model::ColorId;
+
+use crate::policy::{Observation, Policy, Slot};
+
+/// An explicit schedule: for each global mini-round index
+/// (`round * speed + mini`), the desired assignment. Mini-rounds past the
+/// stored horizon keep the last stored assignment.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FixedSchedule {
+    steps: Vec<Option<Vec<Slot>>>, // None = keep previous
+    n_locations: usize,
+}
+
+impl FixedSchedule {
+    /// An empty schedule over `n_locations` locations (all black until
+    /// changed).
+    pub fn new(n_locations: usize) -> Self {
+        Self { steps: Vec::new(), n_locations }
+    }
+
+    /// Number of locations.
+    pub fn n_locations(&self) -> usize {
+        self.n_locations
+    }
+
+    /// Set the full assignment at a global mini-round index.
+    ///
+    /// # Panics
+    /// Panics if the assignment length differs from `n_locations`.
+    pub fn set(&mut self, step: u64, slots: Vec<Slot>) {
+        assert_eq!(slots.len(), self.n_locations, "assignment length mismatch");
+        let idx = usize::try_from(step).expect("step fits usize");
+        if self.steps.len() <= idx {
+            self.steps.resize(idx + 1, None);
+        }
+        self.steps[idx] = Some(slots);
+    }
+
+    /// Set one location's color at a mini-round, carrying forward the most
+    /// recent assignment for the other locations.
+    pub fn set_location(&mut self, step: u64, location: usize, color: Slot) {
+        let mut slots = self.assignment_at(step);
+        slots[location] = color;
+        self.set(step, slots);
+    }
+
+    /// Configure `location` to `color` for all steps in `range`
+    /// (half-open), carrying other locations forward.
+    pub fn hold(&mut self, range: std::ops::Range<u64>, location: usize, color: ColorId) {
+        for step in range {
+            self.set_location(step, location, Some(color));
+        }
+    }
+
+    /// The effective assignment at a step (resolving "keep previous").
+    pub fn assignment_at(&self, step: u64) -> Vec<Slot> {
+        let idx = usize::try_from(step).expect("step fits usize");
+        let upto = idx.min(self.steps.len().saturating_sub(1));
+        for i in (0..=upto).rev() {
+            if self.steps.is_empty() {
+                break;
+            }
+            if let Some(s) = &self.steps[i] {
+                return s.clone();
+            }
+        }
+        vec![None; self.n_locations]
+    }
+
+    /// Number of explicitly stored steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether no steps are stored.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// A [`Policy`] that replays a [`FixedSchedule`].
+#[derive(Clone, Debug)]
+pub struct ReplayPolicy {
+    schedule: FixedSchedule,
+    current: Vec<Slot>,
+    cursor: usize,
+}
+
+impl ReplayPolicy {
+    /// Wrap a schedule for replay.
+    pub fn new(schedule: FixedSchedule) -> Self {
+        let n = schedule.n_locations();
+        Self { schedule, current: vec![None; n], cursor: 0 }
+    }
+}
+
+impl Policy for ReplayPolicy {
+    fn name(&self) -> &str {
+        "replay"
+    }
+
+    fn init(&mut self, _delta: u64, n_locations: usize) {
+        assert_eq!(
+            n_locations,
+            self.schedule.n_locations(),
+            "replayed schedule sized for a different location count"
+        );
+        self.current = vec![None; n_locations];
+        self.cursor = 0;
+    }
+
+    fn reconfigure(&mut self, obs: &Observation<'_>, out: &mut Vec<Slot>) {
+        let step = obs.round * obs.speed as u64 + obs.mini_round as u64;
+        debug_assert_eq!(step as usize, self.cursor, "replay out of order");
+        self.cursor = step as usize + 1;
+        if let Some(Some(s)) = self.schedule.steps.get(step as usize) {
+            self.current.clone_from(s);
+        }
+        out.clone_from(&self.current);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+    use rrs_model::InstanceBuilder;
+
+    #[test]
+    fn assignment_carries_forward() {
+        let mut s = FixedSchedule::new(2);
+        s.set(1, vec![Some(ColorId(0)), None]);
+        assert_eq!(s.assignment_at(0), vec![None, None]);
+        assert_eq!(s.assignment_at(1), vec![Some(ColorId(0)), None]);
+        assert_eq!(s.assignment_at(5), vec![Some(ColorId(0)), None]);
+    }
+
+    #[test]
+    fn hold_configures_range() {
+        let mut s = FixedSchedule::new(1);
+        s.hold(2..4, 0, ColorId(3));
+        assert_eq!(s.assignment_at(1), vec![None]);
+        assert_eq!(s.assignment_at(2), vec![Some(ColorId(3))]);
+        assert_eq!(s.assignment_at(3), vec![Some(ColorId(3))]);
+        // Past the range, the last assignment persists.
+        assert_eq!(s.assignment_at(9), vec![Some(ColorId(3))]);
+    }
+
+    #[test]
+    fn replay_prices_like_online() {
+        let mut b = InstanceBuilder::new(5);
+        let c = b.color(2);
+        b.arrive(0, c, 2).arrive(2, c, 2);
+        let inst = b.build();
+
+        // Configure location 0 to c at round 0, keep forever.
+        let mut s = FixedSchedule::new(1);
+        s.set(0, vec![Some(c)]);
+        let out = Simulator::new(&inst, 1).run(&mut ReplayPolicy::new(s));
+        assert_eq!(out.cost.reconfigs, 1);
+        assert_eq!(out.dropped, 0);
+        assert_eq!(out.total_cost(), 5);
+    }
+
+    #[test]
+    fn replay_reconfig_mid_run_charged() {
+        let mut b = InstanceBuilder::new(1);
+        let c0 = b.color(2);
+        let c1 = b.color(2);
+        b.arrive(0, c0, 1).arrive(2, c1, 1);
+        let inst = b.build();
+
+        let mut s = FixedSchedule::new(1);
+        s.set(0, vec![Some(c0)]);
+        s.set(2, vec![Some(c1)]);
+        let out = Simulator::new(&inst, 1).run(&mut ReplayPolicy::new(s));
+        assert_eq!(out.cost.reconfigs, 2);
+        assert_eq!(out.dropped, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different location count")]
+    fn replay_rejects_wrong_width() {
+        let mut b = InstanceBuilder::new(1);
+        let c = b.color(2);
+        b.arrive(0, c, 1);
+        let inst = b.build();
+        let s = FixedSchedule::new(3);
+        Simulator::new(&inst, 1).run(&mut ReplayPolicy::new(s));
+    }
+
+    #[test]
+    fn set_location_preserves_other_slots() {
+        let mut s = FixedSchedule::new(2);
+        s.set(0, vec![Some(ColorId(0)), Some(ColorId(1))]);
+        s.set_location(3, 0, Some(ColorId(2)));
+        assert_eq!(s.assignment_at(3), vec![Some(ColorId(2)), Some(ColorId(1))]);
+    }
+}

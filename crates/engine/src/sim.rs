@@ -1,0 +1,370 @@
+//! The simulator: drives a [`Policy`] through an [`Instance`] and accounts
+//! all costs.
+
+use rrs_model::{ColorId, CostLedger, Instance};
+
+use crate::pending::PendingStore;
+use crate::policy::{Observation, Policy, Slot};
+use crate::trace::{NullRecorder, Recorder};
+
+/// The result of a simulation run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Outcome {
+    /// Full cost accounting (Δ, reconfiguration count, drop count).
+    pub cost: CostLedger,
+    /// Total jobs that arrived.
+    pub arrived: u64,
+    /// Total jobs executed before their deadlines.
+    pub executed: u64,
+    /// Total jobs dropped (equals `cost.drops`).
+    pub dropped: u64,
+    /// Rounds simulated (`horizon + 1`, so the final drop phase runs).
+    pub rounds: u64,
+    /// Final assignment, for callers that chain simulations.
+    pub final_slots: Vec<Slot>,
+}
+
+impl Outcome {
+    /// Total cost `Δ·reconfigs + drops`.
+    pub fn total_cost(&self) -> u64 {
+        self.cost.total()
+    }
+
+    /// Conservation identity: every arrived job was executed or dropped.
+    /// Holds whenever the simulation ran to the instance horizon.
+    pub fn conserved(&self) -> bool {
+        self.arrived == self.executed + self.dropped
+    }
+}
+
+/// Simulator configuration: the instance, the number of locations given to
+/// the policy, and the schedule speed (mini-rounds per round).
+pub struct Simulator<'a> {
+    inst: &'a Instance,
+    n_locations: usize,
+    speed: u32,
+    horizon: u64,
+}
+
+impl<'a> Simulator<'a> {
+    /// A speed-1 simulator over the instance's natural horizon (every job
+    /// resolves by then).
+    pub fn new(inst: &'a Instance, n_locations: usize) -> Self {
+        Self { inst, n_locations, speed: 1, horizon: inst.horizon() }
+    }
+
+    /// Set the schedule speed (`s ≥ 1` mini-rounds per round; Section 3.3's
+    /// double-speed schedules use `s = 2`).
+    pub fn with_speed(mut self, speed: u32) -> Self {
+        assert!(speed >= 1, "speed must be at least 1");
+        self.speed = speed;
+        self
+    }
+
+    /// Extend the simulated horizon (useful when replaying schedules longer
+    /// than the instance's own horizon). The simulator always runs at least
+    /// to the instance horizon.
+    pub fn with_horizon(mut self, horizon: u64) -> Self {
+        self.horizon = self.horizon.max(horizon);
+        self
+    }
+
+    /// Number of locations the policy controls.
+    pub fn n_locations(&self) -> usize {
+        self.n_locations
+    }
+
+    /// Run a policy with no tracing.
+    pub fn run<P: Policy>(&self, policy: &mut P) -> Outcome {
+        self.run_traced(policy, &mut NullRecorder)
+    }
+
+    /// Run a policy, emitting every event to `recorder`.
+    pub fn run_traced<P: Policy, R: Recorder>(&self, policy: &mut P, recorder: &mut R) -> Outcome {
+        debug_assert!(self.inst.check_colors(), "instance references unknown colors");
+        let mut pending = PendingStore::new();
+        pending.ensure_colors(self.inst.colors.len());
+        let mut slots: Vec<Slot> = vec![None; self.n_locations];
+        let mut next: Vec<Slot> = slots.clone();
+        let mut ledger = CostLedger::new(self.inst.delta);
+        let mut arrived = 0u64;
+        let mut executed = 0u64;
+        let mut dropped_total = 0u64;
+        let mut dropped_buf: Vec<(ColorId, u64)> = Vec::new();
+        let mut exec_counts: Vec<(ColorId, u64)> = Vec::new();
+
+        policy.init(self.inst.delta, self.n_locations);
+
+        for round in 0..=self.horizon {
+            recorder.on_round_start(round);
+
+            // Phase 1: drop.
+            dropped_buf.clear();
+            let d = pending.drop_due(round, &mut dropped_buf);
+            dropped_total += d;
+            ledger.add_drops(d);
+            for &(c, n) in &dropped_buf {
+                recorder.on_drop(round, c, n);
+            }
+
+            // Phase 2: arrival.
+            let request = self.inst.requests.at(round);
+            for &(c, n) in request.pairs() {
+                let deadline = round + self.inst.colors.delay_bound(c);
+                pending.arrive(c, deadline, n);
+                arrived += n;
+                recorder.on_arrive(round, c, n);
+            }
+
+            for mini in 0..self.speed {
+                // Phase 3: reconfiguration.
+                let (arr, drp): (&crate::policy::ColorCounts, &crate::policy::ColorCounts) = if mini == 0 {
+                    (request.pairs(), &dropped_buf)
+                } else {
+                    (&[], &[])
+                };
+                next.clone_from(&slots);
+                let obs = Observation {
+                    round,
+                    mini_round: mini,
+                    speed: self.speed,
+                    delta: self.inst.delta,
+                    colors: &self.inst.colors,
+                    arrivals: arr,
+                    dropped: drp,
+                    pending: &pending,
+                    slots: &slots,
+                };
+                policy.reconfigure(&obs, &mut next);
+                assert_eq!(
+                    next.len(),
+                    self.n_locations,
+                    "policy {} changed the number of locations",
+                    policy.name()
+                );
+                let mut reconfigs = 0;
+                for (i, (o, n)) in slots.iter().zip(&next).enumerate() {
+                    if o != n {
+                        recorder.on_reconfig(round, mini, i, *o, *n);
+                        if n.is_some() {
+                            reconfigs += 1;
+                        }
+                    }
+                }
+                ledger.add_reconfigs(reconfigs);
+                std::mem::swap(&mut slots, &mut next);
+
+                // Phase 4: execution. Group locations by color, then execute
+                // earliest-deadline jobs of each configured color.
+                exec_counts.clear();
+                for &s in &slots {
+                    if let Some(c) = s {
+                        match exec_counts.iter_mut().find(|(cc, _)| *cc == c) {
+                            Some((_, k)) => *k += 1,
+                            None => exec_counts.push((c, 1)),
+                        }
+                    }
+                }
+                exec_counts.sort_unstable_by_key(|&(c, _)| c);
+                for &(c, q) in &exec_counts {
+                    let e = pending.execute(c, q);
+                    if e > 0 {
+                        executed += e;
+                        recorder.on_execute(round, mini, c, e);
+                    }
+                }
+            }
+        }
+
+        debug_assert_eq!(pending.total(), 0, "jobs pending past the horizon");
+        Outcome {
+            cost: ledger,
+            arrived,
+            executed,
+            dropped: dropped_total,
+            rounds: self.horizon + 1,
+            final_slots: slots,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{DoNothing, PinColor};
+    use crate::trace::{SummaryRecorder, TraceRecorder};
+    use rrs_model::InstanceBuilder;
+
+    fn one_color_instance() -> (Instance, ColorId) {
+        let mut b = InstanceBuilder::new(3);
+        let c = b.color(4);
+        b.arrive(0, c, 2).arrive(4, c, 2);
+        (b.build(), c)
+    }
+
+    #[test]
+    fn do_nothing_drops_everything() {
+        let (inst, _) = one_color_instance();
+        let out = Simulator::new(&inst, 2).run(&mut DoNothing);
+        assert_eq!(out.arrived, 4);
+        assert_eq!(out.executed, 0);
+        assert_eq!(out.dropped, 4);
+        assert_eq!(out.cost.reconfigs, 0);
+        assert_eq!(out.total_cost(), 4);
+        assert!(out.conserved());
+    }
+
+    #[test]
+    fn pinned_color_executes_everything() {
+        let (inst, c) = one_color_instance();
+        let out = Simulator::new(&inst, 1).run(&mut PinColor(c));
+        // One reconfiguration (black -> c in round 0), zero drops: 2 jobs
+        // per 4-round block on one resource.
+        assert_eq!(out.cost.reconfigs, 1);
+        assert_eq!(out.dropped, 0);
+        assert_eq!(out.executed, 4);
+        assert_eq!(out.total_cost(), 3);
+    }
+
+    #[test]
+    fn drop_phase_precedes_execution() {
+        // One job with bound 1 arriving in round 0 must execute in round 0
+        // or be dropped in round 1's drop phase.
+        let mut b = InstanceBuilder::new(1);
+        let c = b.color(1);
+        b.arrive(0, c, 2);
+        let inst = b.build();
+        let out = Simulator::new(&inst, 1).run(&mut PinColor(c));
+        assert_eq!(out.executed, 1);
+        assert_eq!(out.dropped, 1);
+    }
+
+    #[test]
+    fn double_speed_executes_twice_per_round() {
+        let mut b = InstanceBuilder::new(1);
+        let c = b.color(1);
+        b.arrive(0, c, 2);
+        let inst = b.build();
+        let out = Simulator::new(&inst, 1).with_speed(2).run(&mut PinColor(c));
+        assert_eq!(out.executed, 2);
+        assert_eq!(out.dropped, 0);
+        // Reconfiguration charged once: the second mini-round keeps c.
+        assert_eq!(out.cost.reconfigs, 1);
+    }
+
+    #[test]
+    fn replication_executes_in_parallel() {
+        let mut b = InstanceBuilder::new(1);
+        let c = b.color(1);
+        b.arrive(0, c, 3);
+        let inst = b.build();
+        let out = Simulator::new(&inst, 2).run(&mut PinColor(c));
+        assert_eq!(out.executed, 2);
+        assert_eq!(out.dropped, 1);
+        assert_eq!(out.cost.reconfigs, 2);
+    }
+
+    #[test]
+    fn trace_matches_outcome() {
+        let (inst, c) = one_color_instance();
+        let mut rec = TraceRecorder::new();
+        let out = Simulator::new(&inst, 1).run_traced(&mut PinColor(c), &mut rec);
+        assert_eq!(rec.total_drops(), out.dropped);
+        assert_eq!(rec.total_reconfigs(), out.cost.reconfigs);
+        assert_eq!(rec.total_executed(), out.executed);
+    }
+
+    #[test]
+    fn summary_covers_every_round() {
+        let (inst, c) = one_color_instance();
+        let mut rec = SummaryRecorder::new();
+        let out = Simulator::new(&inst, 1).run_traced(&mut PinColor(c), &mut rec);
+        assert_eq!(rec.rounds.len() as u64, out.rounds);
+        let drops: u64 = rec.rounds.iter().map(|r| r.drops).sum();
+        assert_eq!(drops, out.dropped);
+    }
+
+    #[test]
+    fn horizon_includes_final_drop_phase() {
+        let mut b = InstanceBuilder::new(1);
+        let c = b.color(4);
+        b.arrive(0, c, 1);
+        let inst = b.build();
+        let out = Simulator::new(&inst, 1).run(&mut DoNothing);
+        // Horizon is 4; the job is dropped in round 4's drop phase.
+        assert_eq!(out.rounds, 5);
+        assert_eq!(out.dropped, 1);
+    }
+
+    #[test]
+    fn empty_instance_runs_one_round() {
+        let inst = InstanceBuilder::new(1).build();
+        let out = Simulator::new(&inst, 4).run(&mut DoNothing);
+        assert_eq!(out.rounds, 1);
+        assert_eq!(out.total_cost(), 0);
+        assert!(out.conserved());
+    }
+
+    #[test]
+    fn with_horizon_extends_but_never_shrinks() {
+        let (inst, _) = one_color_instance();
+        let sim = Simulator::new(&inst, 1).with_horizon(2);
+        let out = sim.run(&mut DoNothing);
+        assert_eq!(out.rounds, 9); // natural horizon 8 wins
+        let out2 = Simulator::new(&inst, 1).with_horizon(20).run(&mut DoNothing);
+        assert_eq!(out2.rounds, 21);
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use crate::policy::PinColor;
+    use rrs_model::InstanceBuilder;
+
+    #[test]
+    fn triple_speed_triples_execution_capacity() {
+        let mut b = InstanceBuilder::new(1);
+        let c = b.color(1);
+        b.arrive(0, c, 3);
+        let inst = b.build();
+        let out = Simulator::new(&inst, 1).with_speed(3).run(&mut PinColor(c));
+        assert_eq!(out.executed, 3);
+        assert_eq!(out.dropped, 0);
+        assert_eq!(out.cost.reconfigs, 1, "mini-rounds after the first keep the color");
+    }
+
+    #[test]
+    fn speed_observations_carry_mini_round_indices() {
+        struct MiniCheck {
+            seen: Vec<(u64, u32)>,
+        }
+        impl crate::policy::Policy for MiniCheck {
+            fn name(&self) -> &str {
+                "mini-check"
+            }
+            fn reconfigure(&mut self, obs: &Observation<'_>, _out: &mut Vec<Slot>) {
+                self.seen.push((obs.round, obs.mini_round));
+                assert_eq!(obs.speed, 2);
+                if obs.mini_round > 0 {
+                    assert!(obs.arrivals.is_empty(), "arrivals only on mini 0");
+                    assert!(obs.dropped.is_empty(), "drops only on mini 0");
+                }
+            }
+        }
+        let mut b = InstanceBuilder::new(1);
+        let c = b.color(2);
+        b.arrive(0, c, 1);
+        let inst = b.build();
+        let mut p = MiniCheck { seen: Vec::new() };
+        Simulator::new(&inst, 1).with_speed(2).run(&mut p);
+        assert_eq!(p.seen, vec![(0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (2, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "speed must be at least 1")]
+    fn zero_speed_rejected() {
+        let inst = InstanceBuilder::new(1).build();
+        let _ = Simulator::new(&inst, 1).with_speed(0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Trace recording: optional observers of a simulation run.
+
+use rrs_model::ColorId;
+
+use crate::policy::Slot;
+
+/// One observable event in a simulation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// Drop phase of `round` dropped `count` jobs of `color`.
+    Drop { round: u64, color: ColorId, count: u64 },
+    /// Arrival phase of `round` received `count` jobs of `color`.
+    Arrive { round: u64, color: ColorId, count: u64 },
+    /// Reconfiguration in (`round`, `mini`) recolored `location`.
+    Reconfig { round: u64, mini: u32, location: usize, from: Slot, to: Slot },
+    /// Execution in (`round`, `mini`) ran `count` jobs of `color`.
+    Execute { round: u64, mini: u32, color: ColorId, count: u64 },
+}
+
+/// Observer of simulation events. All methods default to no-ops so
+/// recorders implement only what they need.
+pub trait Recorder {
+    /// Start of a round, before its drop phase.
+    fn on_round_start(&mut self, round: u64) {
+        let _ = round;
+    }
+    /// Jobs dropped in the drop phase.
+    fn on_drop(&mut self, round: u64, color: ColorId, count: u64) {
+        let _ = (round, color, count);
+    }
+    /// Jobs received in the arrival phase.
+    fn on_arrive(&mut self, round: u64, color: ColorId, count: u64) {
+        let _ = (round, color, count);
+    }
+    /// A location recolored in the reconfiguration phase.
+    fn on_reconfig(&mut self, round: u64, mini: u32, location: usize, from: Slot, to: Slot) {
+        let _ = (round, mini, location, from, to);
+    }
+    /// Jobs of one color executed in the execution phase.
+    fn on_execute(&mut self, round: u64, mini: u32, color: ColorId, count: u64) {
+        let _ = (round, mini, color, count);
+    }
+}
+
+/// Discards everything.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {}
+
+/// Records the full event stream. Memory grows with the trace; intended for
+/// tests and small analyses.
+#[derive(Clone, Debug, Default)]
+pub struct TraceRecorder {
+    /// All events in occurrence order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl TraceRecorder {
+    /// A fresh empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total drops recorded.
+    pub fn total_drops(&self) -> u64 {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Drop { count, .. } => Some(*count),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Total reconfigurations recorded (recolorings to non-black).
+    pub fn total_reconfigs(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Reconfig { to: Some(_), .. }))
+            .count() as u64
+    }
+
+    /// Total executions recorded.
+    pub fn total_executed(&self) -> u64 {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Execute { count, .. } => Some(*count),
+                _ => None,
+            })
+            .sum()
+    }
+}
+
+impl Recorder for TraceRecorder {
+    fn on_drop(&mut self, round: u64, color: ColorId, count: u64) {
+        self.events.push(TraceEvent::Drop { round, color, count });
+    }
+    fn on_arrive(&mut self, round: u64, color: ColorId, count: u64) {
+        self.events.push(TraceEvent::Arrive { round, color, count });
+    }
+    fn on_reconfig(&mut self, round: u64, mini: u32, location: usize, from: Slot, to: Slot) {
+        self.events.push(TraceEvent::Reconfig { round, mini, location, from, to });
+    }
+    fn on_execute(&mut self, round: u64, mini: u32, color: ColorId, count: u64) {
+        self.events.push(TraceEvent::Execute { round, mini, color, count });
+    }
+}
+
+/// Per-round aggregate counters, cheap enough for long runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoundSummary {
+    /// Round index.
+    pub round: u64,
+    /// Jobs dropped in the round's drop phase.
+    pub drops: u64,
+    /// Jobs arrived.
+    pub arrivals: u64,
+    /// Locations recolored to non-black.
+    pub reconfigs: u64,
+    /// Jobs executed.
+    pub executed: u64,
+}
+
+/// Records one [`RoundSummary`] per round.
+#[derive(Clone, Debug, Default)]
+pub struct SummaryRecorder {
+    /// Summaries in round order.
+    pub rounds: Vec<RoundSummary>,
+}
+
+impl SummaryRecorder {
+    /// A fresh recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn cur(&mut self, round: u64) -> &mut RoundSummary {
+        debug_assert!(self.rounds.last().is_some_and(|r| r.round == round));
+        self.rounds.last_mut().expect("round started")
+    }
+}
+
+impl Recorder for SummaryRecorder {
+    fn on_round_start(&mut self, round: u64) {
+        self.rounds.push(RoundSummary { round, ..Default::default() });
+    }
+    fn on_drop(&mut self, round: u64, _color: ColorId, count: u64) {
+        self.cur(round).drops += count;
+    }
+    fn on_arrive(&mut self, round: u64, _color: ColorId, count: u64) {
+        self.cur(round).arrivals += count;
+    }
+    fn on_reconfig(&mut self, round: u64, _mini: u32, _location: usize, _from: Slot, to: Slot) {
+        if to.is_some() {
+            self.cur(round).reconfigs += 1;
+        }
+    }
+    fn on_execute(&mut self, round: u64, _mini: u32, _color: ColorId, count: u64) {
+        self.cur(round).executed += count;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_recorder_totals() {
+        let mut t = TraceRecorder::new();
+        t.on_drop(0, ColorId(0), 2);
+        t.on_reconfig(0, 0, 1, None, Some(ColorId(0)));
+        t.on_reconfig(0, 0, 2, Some(ColorId(0)), None);
+        t.on_execute(0, 0, ColorId(0), 3);
+        assert_eq!(t.total_drops(), 2);
+        assert_eq!(t.total_reconfigs(), 1);
+        assert_eq!(t.total_executed(), 3);
+        assert_eq!(t.events.len(), 4);
+    }
+
+    #[test]
+    fn summary_recorder_aggregates_per_round() {
+        let mut s = SummaryRecorder::new();
+        s.on_round_start(0);
+        s.on_arrive(0, ColorId(0), 4);
+        s.on_execute(0, 0, ColorId(0), 1);
+        s.on_round_start(1);
+        s.on_drop(1, ColorId(0), 3);
+        assert_eq!(s.rounds.len(), 2);
+        assert_eq!(s.rounds[0].arrivals, 4);
+        assert_eq!(s.rounds[0].executed, 1);
+        assert_eq!(s.rounds[1].drops, 3);
+    }
+}

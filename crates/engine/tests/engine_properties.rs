@@ -1,0 +1,147 @@
+//! Property tests for the engine substrates: the pending store against a
+//! naive reference model, and the stable-assignment laws.
+
+use proptest::prelude::*;
+use rrs_engine::{recolor_reconfigs, stable_assign, PendingStore, Slot};
+use rrs_model::ColorId;
+
+/// Operations against the pending store.
+#[derive(Clone, Debug)]
+enum Op {
+    Arrive { color: u8, count: u8 },
+    Execute { color: u8, slots: u8 },
+    AdvanceAndDrop,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..4, 1u8..6).prop_map(|(color, count)| Op::Arrive { color, count }),
+        (0u8..4, 1u8..4).prop_map(|(color, slots)| Op::Execute { color, slots }),
+        Just(Op::AdvanceAndDrop),
+    ]
+}
+
+/// Naive reference: an explicit bag of (color, deadline) jobs.
+#[derive(Default)]
+struct RefModel {
+    jobs: Vec<(u8, u64)>,
+}
+
+impl RefModel {
+    fn arrive(&mut self, color: u8, deadline: u64, count: u8) {
+        for _ in 0..count {
+            self.jobs.push((color, deadline));
+        }
+    }
+    fn drop_due(&mut self, round: u64) -> u64 {
+        let before = self.jobs.len();
+        self.jobs.retain(|&(_, d)| d > round);
+        (before - self.jobs.len()) as u64
+    }
+    fn execute(&mut self, color: u8, slots: u8) -> u64 {
+        let mut executed = 0;
+        for _ in 0..slots {
+            // Earliest-deadline job of this color.
+            let best = self
+                .jobs
+                .iter()
+                .enumerate()
+                .filter(|(_, &(c, _))| c == color)
+                .min_by_key(|(_, &(_, d))| d)
+                .map(|(i, _)| i);
+            match best {
+                Some(i) => {
+                    self.jobs.swap_remove(i);
+                    executed += 1;
+                }
+                None => break,
+            }
+        }
+        executed
+    }
+    fn count(&self, color: u8) -> u64 {
+        self.jobs.iter().filter(|&&(c, _)| c == color).count() as u64
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn pending_store_matches_reference_model(ops in prop::collection::vec(op_strategy(), 0..60)) {
+        let mut store = PendingStore::new();
+        let mut model = RefModel::default();
+        let mut round = 0u64;
+        const BOUND: u64 = 4; // all jobs get deadline round + 4
+
+        for op in ops {
+            match op {
+                Op::Arrive { color, count } => {
+                    store.arrive(ColorId(color as u32), round + BOUND, count as u64);
+                    model.arrive(color, round + BOUND, count);
+                }
+                Op::Execute { color, slots } => {
+                    let a = store.execute(ColorId(color as u32), slots as u64);
+                    let b = model.execute(color, slots);
+                    prop_assert_eq!(a, b, "execute mismatch at round {}", round);
+                }
+                Op::AdvanceAndDrop => {
+                    round += 1;
+                    let mut buf = Vec::new();
+                    let a = store.drop_due(round, &mut buf);
+                    let b = model.drop_due(round);
+                    prop_assert_eq!(a, b, "drop mismatch at round {}", round);
+                    let buf_total: u64 = buf.iter().map(|&(_, n)| n).sum();
+                    prop_assert_eq!(buf_total, a);
+                }
+            }
+            for c in 0..4u8 {
+                prop_assert_eq!(
+                    store.count(ColorId(c as u32)),
+                    model.count(c),
+                    "count mismatch for color {} at round {}", c, round
+                );
+            }
+            let total: u64 = (0..4u8).map(|c| model.count(c)).sum();
+            prop_assert_eq!(store.total(), total);
+        }
+    }
+
+    #[test]
+    fn stable_assign_satisfies_its_contract(
+        old_raw in prop::collection::vec(prop::option::of(0u32..5), 1..10),
+        desired_raw in prop::collection::vec((0u32..5, 0u64..3), 0..5),
+    ) {
+        let old: Vec<Slot> = old_raw.iter().map(|o| o.map(ColorId)).collect();
+        // Dedup colors and cap total copies at capacity.
+        let mut desired: Vec<(ColorId, u64)> = Vec::new();
+        let mut total = 0u64;
+        for (c, k) in desired_raw {
+            if desired.iter().any(|&(dc, _)| dc == ColorId(c)) {
+                continue;
+            }
+            let k = k.min(old.len() as u64 - total);
+            desired.push((ColorId(c), k));
+            total += k;
+        }
+
+        let new = stable_assign(&old, &desired);
+        prop_assert_eq!(new.len(), old.len());
+
+        // Exactly the desired multiset is placed.
+        for &(c, k) in &desired {
+            let placed = new.iter().filter(|&&s| s == Some(c)).count() as u64;
+            prop_assert_eq!(placed, k, "color {} placement", c);
+        }
+        let placed_total: u64 = new.iter().filter(|s| s.is_some()).count() as u64;
+        prop_assert_eq!(placed_total, desired.iter().map(|&(_, k)| k).sum::<u64>());
+
+        // Optimality: reconfigurations equal the copies that were missing.
+        let mut missing = 0u64;
+        for &(c, k) in &desired {
+            let have = old.iter().filter(|&&s| s == Some(c)).count() as u64;
+            missing += k.saturating_sub(have);
+        }
+        prop_assert_eq!(recolor_reconfigs(&old, &new), missing);
+    }
+}

@@ -1,0 +1,207 @@
+//! Instance validators for the paper's problem classes.
+//!
+//! In the paper's `[reconfig | drop | delay | batch]` notation the three
+//! classes of interest are:
+//!
+//! * `[Δ | 1 | D_ℓ | 1]` — the **general** problem: jobs may arrive in any
+//!   round.
+//! * `[Δ | 1 | D_ℓ | D_ℓ]` — **batched** arrivals: jobs of color `ℓ` arrive
+//!   only at integral multiples of `D_ℓ`.
+//! * **rate-limited** `[Δ | 1 | D_ℓ | D_ℓ]` — batched, and at most `D_ℓ`
+//!   jobs of color `ℓ` arrive at each multiple.
+//!
+//! The core theorems additionally require each `D_ℓ` to be a power of two.
+
+use crate::color::ColorId;
+use crate::instance::Instance;
+
+/// The strictest class an instance satisfies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum InstanceClass {
+    /// Arbitrary arrival rounds (`[Δ|1|D_ℓ|1]`).
+    General,
+    /// Batched arrivals (`[Δ|1|D_ℓ|D_ℓ]`).
+    Batched,
+    /// Batched with at most `D_ℓ` jobs per batch.
+    RateLimited,
+}
+
+/// Why an instance failed a validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidationError {
+    /// A request references a color not in the color table.
+    UnknownColor { round: u64, color: ColorId },
+    /// A job of `color` arrived in `round`, which is not a multiple of its
+    /// delay bound (violates the batched class).
+    UnbatchedArrival { round: u64, color: ColorId },
+    /// More than `D_ℓ` jobs of `color` arrived in one batch (violates the
+    /// rate-limited class).
+    OverRateLimit { round: u64, color: ColorId, count: u64, limit: u64 },
+    /// A delay bound is not a power of two.
+    NotPowerOfTwo { color: ColorId, bound: u64 },
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnknownColor { round, color } => {
+                write!(f, "round {round}: unknown color {color}")
+            }
+            Self::UnbatchedArrival { round, color } => write!(
+                f,
+                "round {round}: color {color} arrives off its batch boundary"
+            ),
+            Self::OverRateLimit { round, color, count, limit } => write!(
+                f,
+                "round {round}: color {color} batch of {count} exceeds rate limit {limit}"
+            ),
+            Self::NotPowerOfTwo { color, bound } => {
+                write!(f, "color {color} has non power-of-two bound {bound}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Check that all referenced colors exist.
+pub fn check_colors(inst: &Instance) -> Result<(), ValidationError> {
+    for (round, req) in inst.requests.iter() {
+        for &(c, _) in req.pairs() {
+            if !inst.colors.contains(c) {
+                return Err(ValidationError::UnknownColor { round, color: c });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Check the batched class: jobs of color `ℓ` arrive only at multiples of
+/// `D_ℓ`.
+pub fn check_batched(inst: &Instance) -> Result<(), ValidationError> {
+    check_colors(inst)?;
+    for (round, req) in inst.requests.iter() {
+        for &(c, _) in req.pairs() {
+            if round % inst.colors.delay_bound(c) != 0 {
+                return Err(ValidationError::UnbatchedArrival { round, color: c });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Check the rate-limited batched class: batched, and each batch of color
+/// `ℓ` carries at most `D_ℓ` jobs.
+pub fn check_rate_limited(inst: &Instance) -> Result<(), ValidationError> {
+    check_batched(inst)?;
+    for (round, req) in inst.requests.iter() {
+        for &(c, n) in req.pairs() {
+            let limit = inst.colors.delay_bound(c);
+            if n > limit {
+                return Err(ValidationError::OverRateLimit { round, color: c, count: n, limit });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Check that every delay bound is a power of two.
+pub fn check_power_of_two_bounds(inst: &Instance) -> Result<(), ValidationError> {
+    for (c, d) in inst.colors.iter() {
+        if !d.is_power_of_two() {
+            return Err(ValidationError::NotPowerOfTwo { color: c, bound: d });
+        }
+    }
+    Ok(())
+}
+
+/// The strictest class the instance satisfies.
+///
+/// # Panics
+/// Panics if the instance references unknown colors (a structural error,
+/// not a class distinction).
+pub fn classify(inst: &Instance) -> InstanceClass {
+    check_colors(inst).expect("instance references unknown colors");
+    if check_rate_limited(inst).is_ok() {
+        InstanceClass::RateLimited
+    } else if check_batched(inst).is_ok() {
+        InstanceClass::Batched
+    } else {
+        InstanceClass::General
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+
+    fn tiny(batch_round: u64, count: u64) -> Instance {
+        let mut b = InstanceBuilder::new(2);
+        let c = b.color(4);
+        b.arrive(batch_round, c, count);
+        b.build()
+    }
+
+    #[test]
+    fn rate_limited_detected() {
+        assert_eq!(classify(&tiny(4, 4)), InstanceClass::RateLimited);
+        assert_eq!(classify(&tiny(0, 1)), InstanceClass::RateLimited);
+    }
+
+    #[test]
+    fn batched_but_over_rate() {
+        let inst = tiny(8, 5); // 5 > D=4
+        assert_eq!(classify(&inst), InstanceClass::Batched);
+        assert!(matches!(
+            check_rate_limited(&inst),
+            Err(ValidationError::OverRateLimit { count: 5, limit: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn general_when_off_boundary() {
+        let inst = tiny(3, 1);
+        assert_eq!(classify(&inst), InstanceClass::General);
+        assert!(matches!(
+            check_batched(&inst),
+            Err(ValidationError::UnbatchedArrival { round: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn power_of_two_check() {
+        let mut b = InstanceBuilder::new(1);
+        b.color(4);
+        b.color(6);
+        let inst = b.build();
+        assert!(matches!(
+            check_power_of_two_bounds(&inst),
+            Err(ValidationError::NotPowerOfTwo { bound: 6, .. })
+        ));
+    }
+
+    #[test]
+    fn empty_instance_is_rate_limited() {
+        let inst = InstanceBuilder::new(1).build();
+        assert_eq!(classify(&inst), InstanceClass::RateLimited);
+        assert!(check_power_of_two_bounds(&inst).is_ok());
+    }
+
+    #[test]
+    fn class_ordering() {
+        assert!(InstanceClass::RateLimited > InstanceClass::Batched);
+        assert!(InstanceClass::Batched > InstanceClass::General);
+    }
+
+    #[test]
+    fn display_messages() {
+        let e = ValidationError::OverRateLimit {
+            round: 4,
+            color: ColorId(1),
+            count: 9,
+            limit: 4,
+        };
+        assert!(e.to_string().contains("exceeds rate limit"));
+    }
+}

@@ -1,0 +1,169 @@
+//! Problem instances and a builder.
+
+use crate::color::{ColorId, ColorTable};
+use crate::request::{Request, RequestSeq};
+
+/// A complete instance of the scheduling problem `[Δ | 1 | D_ℓ | ·]`:
+/// the reconfiguration cost, the colors with their delay bounds, and the
+/// request sequence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Instance {
+    /// Fixed reconfiguration cost Δ (a positive integer in the paper; we
+    /// additionally allow 0 for degenerate tests).
+    pub delta: u64,
+    /// The colors and their delay bounds.
+    pub colors: ColorTable,
+    /// `requests.at(i)` arrives in the arrival phase of round `i`.
+    pub requests: RequestSeq,
+}
+
+impl Instance {
+    /// Create an instance.
+    pub fn new(delta: u64, colors: ColorTable, requests: RequestSeq) -> Self {
+        Self { delta, colors, requests }
+    }
+
+    /// The number of rounds that must be simulated so every job either
+    /// executes or is dropped: the maximum deadline over all arrivals
+    /// (`arrival + D_ℓ`), since a job's drop phase is the round equal to its
+    /// deadline. Returns 0 for an instance with no jobs.
+    pub fn horizon(&self) -> u64 {
+        let mut h = 0;
+        for (round, req) in self.requests.iter() {
+            for &(c, _) in req.pairs() {
+                h = h.max(round + self.colors.delay_bound(c));
+            }
+        }
+        h
+    }
+
+    /// Total number of jobs in the instance.
+    pub fn total_jobs(&self) -> u64 {
+        self.requests.total_jobs()
+    }
+
+    /// Check that every referenced color is in the color table.
+    pub fn check_colors(&self) -> bool {
+        self.requests
+            .iter()
+            .all(|(_, req)| req.pairs().iter().all(|&(c, _)| self.colors.contains(c)))
+    }
+}
+
+/// Convenience builder for instances, used heavily by workload generators
+/// and tests.
+///
+/// ```
+/// use rrs_model::InstanceBuilder;
+/// let mut b = InstanceBuilder::new(4);
+/// let a = b.color(2); // delay bound 2
+/// let c = b.color(8);
+/// b.arrive(0, a, 2).arrive(0, c, 1).arrive(2, a, 1);
+/// let inst = b.build();
+/// assert_eq!(inst.total_jobs(), 4);
+/// assert_eq!(inst.horizon(), 8);
+/// ```
+#[derive(Clone, Debug)]
+pub struct InstanceBuilder {
+    delta: u64,
+    colors: ColorTable,
+    requests: RequestSeq,
+}
+
+impl InstanceBuilder {
+    /// Start an instance with reconfiguration cost Δ.
+    pub fn new(delta: u64) -> Self {
+        Self { delta, colors: ColorTable::new(), requests: RequestSeq::new() }
+    }
+
+    /// Declare a new color with the given delay bound.
+    pub fn color(&mut self, delay_bound: u64) -> ColorId {
+        self.colors.push(delay_bound)
+    }
+
+    /// Declare `n` colors sharing one delay bound.
+    pub fn colors(&mut self, delay_bound: u64, n: usize) -> Vec<ColorId> {
+        (0..n).map(|_| self.colors.push(delay_bound)).collect()
+    }
+
+    /// Add `count` jobs of `color` arriving in `round`.
+    pub fn arrive(&mut self, round: u64, color: ColorId, count: u64) -> &mut Self {
+        assert!(self.colors.contains(color), "unknown color {color:?}");
+        self.requests.add(round, color, count);
+        self
+    }
+
+    /// Add a whole request to a round.
+    pub fn request(&mut self, round: u64, req: &Request) -> &mut Self {
+        for &(c, n) in req.pairs() {
+            self.arrive(round, c, n);
+        }
+        self
+    }
+
+    /// Finish building.
+    pub fn build(&self) -> Instance {
+        Instance::new(self.delta, self.colors.clone(), self.requests.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn horizon_is_max_deadline() {
+        let mut b = InstanceBuilder::new(3);
+        let fast = b.color(2);
+        let slow = b.color(16);
+        b.arrive(0, slow, 1);
+        b.arrive(6, fast, 4);
+        let inst = b.build();
+        assert_eq!(inst.horizon(), 16); // max(0+16, 6+2)
+    }
+
+    #[test]
+    fn horizon_of_empty_instance_is_zero() {
+        let inst = InstanceBuilder::new(1).build();
+        assert_eq!(inst.horizon(), 0);
+        assert_eq!(inst.total_jobs(), 0);
+        assert!(inst.check_colors());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown color")]
+    fn builder_rejects_unknown_colors() {
+        let mut b = InstanceBuilder::new(1);
+        b.arrive(0, ColorId(0), 1);
+    }
+
+    #[test]
+    fn check_colors_detects_foreign_ids() {
+        // Construct an inconsistent instance by hand.
+        let mut requests = RequestSeq::new();
+        requests.add(0, ColorId(5), 1);
+        let inst = Instance::new(1, ColorTable::from_bounds(&[2]), requests);
+        assert!(!inst.check_colors());
+    }
+
+    #[test]
+    fn builder_request_merges() {
+        let mut b = InstanceBuilder::new(1);
+        let c = b.color(4);
+        let mut r = Request::empty();
+        r.add(c, 2);
+        b.request(3, &r).arrive(3, c, 1);
+        let inst = b.build();
+        assert_eq!(inst.requests.at(3).count_of(c), 3);
+    }
+
+    #[test]
+    fn colors_bulk_declaration() {
+        let mut b = InstanceBuilder::new(1);
+        let ids = b.colors(8, 3);
+        assert_eq!(ids.len(), 3);
+        let inst = b.build();
+        assert_eq!(inst.colors.len(), 3);
+        assert!(inst.colors.iter().all(|(_, d)| d == 8));
+    }
+}

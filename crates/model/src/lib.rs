@@ -1,0 +1,36 @@
+//! Problem model for *reconfigurable resource scheduling with variable
+//! delay bounds* (Plaxton, Sun, Tiwari, Vin — IPPS 2007).
+//!
+//! This crate defines the vocabulary every other crate in the workspace
+//! speaks:
+//!
+//! * [`ColorId`] — a job category ("color" in the paper). Each color has a
+//!   positive integer **delay bound** `D_ℓ`; a job of color `ℓ` arriving in
+//!   round `k` must execute by its **deadline** `k + D_ℓ` or be dropped at
+//!   unit cost.
+//! * [`Request`] — the (possibly empty) multiset of unit jobs arriving in a
+//!   single round, encoded as `(color, count)` pairs.
+//! * [`Instance`] — a complete problem instance: the reconfiguration cost
+//!   `Δ`, the color table, and the request sequence.
+//! * [`CostLedger`] — the cost accounting used uniformly by the simulator,
+//!   the offline solvers and the analysis harness.
+//! * [`classify`] — instance validators for the paper's problem classes in
+//!   the `[reconfig | drop | delay | batch]` notation: batched arrivals,
+//!   rate-limited batches, power-of-two delay bounds.
+//!
+//! Everything here is deterministic and allocation-conscious; rounds, job
+//! counts and costs are `u64`, colors are a `u32` newtype.
+
+pub mod color;
+pub mod cost;
+pub mod classify;
+pub mod instance;
+pub mod request;
+pub mod textio;
+
+pub use color::{ColorId, ColorTable, BLACK};
+pub use cost::CostLedger;
+pub use classify::{InstanceClass, ValidationError};
+pub use instance::{Instance, InstanceBuilder};
+pub use request::{Request, RequestSeq};
+pub use textio::{from_text, to_text, ParseError};

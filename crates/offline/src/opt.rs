@@ -1,0 +1,466 @@
+//! Exact optimal offline solver.
+//!
+//! A layered dynamic program over rounds. A state is the pair
+//! `(cache multiset, pending profile)`; per round the solver applies the
+//! deterministic drop and arrival phases, enumerates every useful cache
+//! multiset (colors with pending jobs, colors already cached, and black —
+//! configuring a color before it has pending jobs can always be postponed
+//! at equal cost), prices the transition exactly like the engine
+//! (Δ per copy added of a non-black color), and executes greedily
+//! (executing an earliest-deadline pending job of a cached color is never
+//! suboptimal for unit jobs with unit drop cost, by a standard exchange
+//! argument). The DP is therefore **exact**, not heuristic.
+//!
+//! Complexity is exponential in colors × resources; the per-layer state cap
+//! turns blow-ups into a clean [`OptError`] instead of an OOM. The solver
+//! can also reconstruct a [`FixedSchedule`] whose engine replay reproduces
+//! the optimal cost — the property tests cross-validate this.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use rrs_engine::{stable_assign, FixedSchedule, Slot};
+use rrs_model::{ColorId, Instance};
+
+/// Sentinel for an unconfigured (black) cache slot.
+const BLACK: u32 = u32::MAX;
+
+/// Solver configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct OptConfig {
+    /// Maximum distinct states per round layer before giving up.
+    pub max_states: usize,
+    /// Whether to keep parent pointers and reconstruct the schedule.
+    pub reconstruct: bool,
+}
+
+impl Default for OptConfig {
+    fn default() -> Self {
+        Self { max_states: 500_000, reconstruct: false }
+    }
+}
+
+/// Why the solver gave up.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OptError {
+    /// The layer for `round` exceeded the configured state cap.
+    StateSpaceExceeded {
+        /// Round whose layer overflowed.
+        round: u64,
+        /// Number of states reached.
+        states: usize,
+    },
+}
+
+impl std::fmt::Display for OptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::StateSpaceExceeded { round, states } => {
+                write!(f, "OPT state space exceeded at round {round} ({states} states)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OptError {}
+
+/// The optimal offline solution.
+#[derive(Clone, Debug)]
+pub struct OptResult {
+    /// Optimal total cost `Δ·reconfigs + drops`.
+    pub cost: u64,
+    /// Reconfigurations in the optimal schedule found.
+    pub reconfigs: u64,
+    /// Drops in the optimal schedule found.
+    pub drops: u64,
+    /// The optimal schedule, if reconstruction was requested. Replaying it
+    /// through the engine yields exactly `cost`.
+    pub schedule: Option<FixedSchedule>,
+    /// Total states explored (diagnostic).
+    pub states_explored: usize,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct State {
+    /// Sorted cache multiset; `BLACK` for unconfigured slots.
+    cache: Vec<u32>,
+    /// Canonical pending profile: `(color, deadline, count)` sorted by
+    /// `(color, deadline)`, zero counts removed.
+    pending: Vec<(u32, u64, u64)>,
+}
+
+/// Reconstruction chain: the cache multiset chosen in each round.
+struct Step {
+    cache: Vec<u32>,
+    prev: Option<Rc<Step>>,
+}
+
+#[derive(Clone)]
+struct Best {
+    cost: u64,
+    reconfigs: u64,
+    drops: u64,
+    trail: Option<Rc<Step>>,
+}
+
+/// Drop every pending entry with `deadline <= round`; returns jobs dropped.
+fn apply_drops(pending: &mut Vec<(u32, u64, u64)>, round: u64) -> u64 {
+    let mut dropped = 0;
+    pending.retain(|&(_, d, n)| {
+        if d <= round {
+            dropped += n;
+            false
+        } else {
+            true
+        }
+    });
+    dropped
+}
+
+/// Merge arrivals into a canonical pending profile.
+fn apply_arrivals(pending: &mut Vec<(u32, u64, u64)>, arrivals: &[(u32, u64, u64)]) {
+    for &(c, d, n) in arrivals {
+        match pending.binary_search_by_key(&(c, d), |&(pc, pd, _)| (pc, pd)) {
+            Ok(i) => pending[i].2 += n,
+            Err(i) => pending.insert(i, (c, d, n)),
+        }
+    }
+}
+
+/// Execute `q` earliest-deadline jobs of `color`; returns executed count.
+fn apply_execution(pending: &mut Vec<(u32, u64, u64)>, color: u32, q: u64) -> u64 {
+    let mut remaining = q;
+    let mut i = 0;
+    while i < pending.len() && remaining > 0 {
+        if pending[i].0 == color {
+            let take = pending[i].2.min(remaining);
+            pending[i].2 -= take;
+            remaining -= take;
+            if pending[i].2 == 0 {
+                pending.remove(i);
+                continue;
+            }
+        }
+        i += 1;
+    }
+    q - remaining
+}
+
+/// Reconfiguration count for moving between cache multisets: copies added
+/// of each non-black color.
+fn reconfig_count(old: &[u32], new: &[u32]) -> u64 {
+    let mut counts: HashMap<u32, i64> = HashMap::new();
+    for &c in new {
+        if c != BLACK {
+            *counts.entry(c).or_default() += 1;
+        }
+    }
+    for &c in old {
+        if c != BLACK {
+            if let Some(e) = counts.get_mut(&c) {
+                *e -= 1;
+            }
+        }
+    }
+    counts.into_values().map(|v| v.max(0) as u64).sum()
+}
+
+/// Enumerate all sorted multisets of size `m` over `candidates` (sorted).
+fn multisets(candidates: &[u32], m: usize) -> Vec<Vec<u32>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::with_capacity(m);
+    fn rec(cands: &[u32], start: usize, left: usize, cur: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
+        if left == 0 {
+            out.push(cur.clone());
+            return;
+        }
+        for i in start..cands.len() {
+            cur.push(cands[i]);
+            rec(cands, i, left - 1, cur, out);
+            cur.pop();
+        }
+    }
+    rec(candidates, 0, m, &mut cur, &mut out);
+    out
+}
+
+/// Solve the instance exactly for `m` resources.
+pub fn solve_opt(inst: &Instance, m: usize, config: OptConfig) -> Result<OptResult, OptError> {
+    assert!(m >= 1, "OPT needs at least one resource");
+    let horizon = inst.horizon();
+    let delta = inst.delta;
+
+    let init = State { cache: vec![BLACK; m], pending: Vec::new() };
+    let mut layer: HashMap<State, Best> = HashMap::new();
+    layer.insert(init, Best { cost: 0, reconfigs: 0, drops: 0, trail: None });
+    let mut states_explored = 1usize;
+
+    let mut arrivals_buf: Vec<(u32, u64, u64)> = Vec::new();
+    for round in 0..=horizon {
+        arrivals_buf.clear();
+        for &(c, n) in inst.requests.at(round).pairs() {
+            arrivals_buf.push((c.0, round + inst.colors.delay_bound(c), n));
+        }
+
+        let mut next: HashMap<State, Best> = HashMap::with_capacity(layer.len());
+        for (state, best) in layer.drain() {
+            // Deterministic phases: drop, then arrivals.
+            let mut pending = state.pending.clone();
+            let dropped = apply_drops(&mut pending, round);
+            apply_arrivals(&mut pending, &arrivals_buf);
+
+            // Candidate colors: pending colors, currently cached colors,
+            // and black.
+            let mut candidates: Vec<u32> = pending.iter().map(|&(c, _, _)| c).collect();
+            candidates.extend(state.cache.iter().copied().filter(|&c| c != BLACK));
+            candidates.push(BLACK);
+            candidates.sort_unstable();
+            candidates.dedup();
+
+            for newcache in multisets(&candidates, m) {
+                let rc = reconfig_count(&state.cache, &newcache);
+                let mut p = pending.clone();
+                // Greedy execution: for each cached color, run as many
+                // earliest-deadline jobs as it has copies.
+                let mut i = 0;
+                while i < newcache.len() {
+                    let c = newcache[i];
+                    let mut q = 1;
+                    while i + 1 < newcache.len() && newcache[i + 1] == c {
+                        q += 1;
+                        i += 1;
+                    }
+                    if c != BLACK {
+                        apply_execution(&mut p, c, q);
+                    }
+                    i += 1;
+                }
+
+                let cost = best.cost + dropped + delta * rc;
+                let trail = if config.reconstruct {
+                    Some(Rc::new(Step { cache: newcache.clone(), prev: best.trail.clone() }))
+                } else {
+                    None
+                };
+                let cand = Best {
+                    cost,
+                    reconfigs: best.reconfigs + rc,
+                    drops: best.drops + dropped,
+                    trail,
+                };
+                let key = State { cache: newcache, pending: p };
+                match next.get_mut(&key) {
+                    Some(existing) if existing.cost <= cand.cost => {}
+                    Some(existing) => *existing = cand,
+                    None => {
+                        next.insert(key, cand);
+                    }
+                }
+            }
+        }
+        if next.len() > config.max_states {
+            return Err(OptError::StateSpaceExceeded { round, states: next.len() });
+        }
+        states_explored += next.len();
+        layer = next;
+    }
+
+    let best = layer
+        .into_values()
+        .min_by_key(|b| b.cost)
+        .expect("at least one terminal state");
+    debug_assert_eq!(best.cost, delta * best.reconfigs + best.drops);
+
+    let schedule = if config.reconstruct {
+        // Unwind the trail (last round first), then realize each multiset
+        // as a concrete assignment with stable placement.
+        let mut caches: Vec<Vec<u32>> = Vec::new();
+        let mut cur = best.trail.clone();
+        while let Some(step) = cur {
+            caches.push(step.cache.clone());
+            cur = step.prev.clone();
+        }
+        caches.reverse();
+        let mut sched = FixedSchedule::new(m);
+        let mut slots: Vec<Slot> = vec![None; m];
+        for (round, cache) in caches.iter().enumerate() {
+            let mut desired: Vec<(ColorId, u64)> = Vec::new();
+            for &c in cache {
+                if c == BLACK {
+                    continue;
+                }
+                match desired.iter_mut().find(|(cc, _)| cc.0 == c) {
+                    Some((_, k)) => *k += 1,
+                    None => desired.push((ColorId(c), 1)),
+                }
+            }
+            slots = stable_assign(&slots, &desired);
+            sched.set(round as u64, slots.clone());
+        }
+        Some(sched)
+    } else {
+        None
+    };
+
+    Ok(OptResult {
+        cost: best.cost,
+        reconfigs: best.reconfigs,
+        drops: best.drops,
+        schedule,
+        states_explored,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrs_engine::{ReplayPolicy, Simulator};
+    use rrs_model::InstanceBuilder;
+
+    fn solve(inst: &Instance, m: usize) -> OptResult {
+        solve_opt(inst, m, OptConfig { reconstruct: true, ..Default::default() }).unwrap()
+    }
+
+    #[test]
+    fn single_color_configure_beats_dropping_iff_cheaper() {
+        // 3 jobs, Δ=2: configuring (cost 2) beats dropping (cost 3).
+        let mut b = InstanceBuilder::new(2);
+        let c = b.color(4);
+        b.arrive(0, c, 3);
+        let inst = b.build();
+        assert_eq!(solve(&inst, 1).cost, 2);
+
+        // 1 job, Δ=2: dropping (cost 1) beats configuring (cost 2).
+        let mut b = InstanceBuilder::new(2);
+        let c = b.color(4);
+        b.arrive(0, c, 1);
+        let inst = b.build();
+        let r = solve(&inst, 1);
+        assert_eq!(r.cost, 1);
+        assert_eq!(r.reconfigs, 0);
+        assert_eq!(r.drops, 1);
+    }
+
+    #[test]
+    fn opt_partial_service_when_capacity_binds() {
+        // 6 jobs, bound 2, one resource: at most 2 execute; Δ=1.
+        // Configure (1) + drop 4 = 5 vs drop all 6 = 6.
+        let mut b = InstanceBuilder::new(1);
+        let c = b.color(2);
+        b.arrive(0, c, 6);
+        let inst = b.build();
+        let r = solve(&inst, 1);
+        assert_eq!(r.cost, 5);
+        assert_eq!(r.reconfigs, 1);
+        assert_eq!(r.drops, 4);
+    }
+
+    #[test]
+    fn opt_switches_colors_when_worth_it() {
+        // Two colors with disjoint busy periods; Δ=1; one resource serves
+        // both with two reconfigurations.
+        let mut b = InstanceBuilder::new(1);
+        let c0 = b.color(4);
+        let c1 = b.color(4);
+        b.arrive(0, c0, 4).arrive(4, c1, 4);
+        let inst = b.build();
+        let r = solve(&inst, 1);
+        assert_eq!(r.cost, 2);
+        assert_eq!(r.reconfigs, 2);
+        assert_eq!(r.drops, 0);
+    }
+
+    #[test]
+    fn opt_prefers_keeping_expensive_color() {
+        // Appendix-A-in-miniature: a long-bound backlog vs repeating cheap
+        // short bursts. Δ=4. Short color: 1 job per 2-round block x 4
+        // blocks; long color: 8 jobs at round 0, bound 8.
+        let mut b = InstanceBuilder::new(4);
+        let short = b.color(2);
+        let long = b.color(8);
+        for blk in 0..4 {
+            b.arrive(blk * 2, short, 1);
+        }
+        b.arrive(0, long, 8);
+        let inst = b.build();
+        let r = solve(&inst, 1);
+        // Serving long fully: Δ + drop 4 shorts = 8. Serving shorts:
+        // Δ + drop 8 longs = 12. Mixing costs more reconfigs.
+        assert_eq!(r.cost, 8);
+        assert_eq!(r.reconfigs, 1);
+        assert_eq!(r.drops, 4);
+    }
+
+    #[test]
+    fn reconstructed_schedule_replays_to_same_cost() {
+        let mut b = InstanceBuilder::new(2);
+        let c0 = b.color(2);
+        let c1 = b.color(4);
+        b.arrive(0, c0, 2).arrive(0, c1, 3).arrive(2, c0, 2).arrive(4, c1, 1);
+        let inst = b.build();
+        for m in 1..=2 {
+            let r = solve(&inst, m);
+            let sched = r.schedule.clone().unwrap();
+            let out = Simulator::new(&inst, m).run(&mut ReplayPolicy::new(sched));
+            assert_eq!(out.total_cost(), r.cost, "replay must match DP cost (m={m})");
+            assert_eq!(out.cost.reconfigs, r.reconfigs);
+            assert_eq!(out.dropped, r.drops);
+        }
+    }
+
+    #[test]
+    fn more_resources_never_cost_more() {
+        let mut b = InstanceBuilder::new(2);
+        let c0 = b.color(2);
+        let c1 = b.color(2);
+        b.arrive(0, c0, 2).arrive(0, c1, 2).arrive(2, c0, 2).arrive(2, c1, 1);
+        let inst = b.build();
+        let c1cost = solve(&inst, 1).cost;
+        let c2cost = solve(&inst, 2).cost;
+        let c3cost = solve(&inst, 3).cost;
+        assert!(c2cost <= c1cost);
+        assert!(c3cost <= c2cost);
+    }
+
+    #[test]
+    fn empty_instance_costs_zero() {
+        let inst = InstanceBuilder::new(3).build();
+        let r = solve(&inst, 2);
+        assert_eq!(r.cost, 0);
+    }
+
+    #[test]
+    fn state_cap_is_enforced() {
+        let mut b = InstanceBuilder::new(1);
+        let colors: Vec<_> = (0..6).map(|_| b.color(4)).collect();
+        for blk in 0..4 {
+            for &c in &colors {
+                b.arrive(blk * 4, c, 2);
+            }
+        }
+        let inst = b.build();
+        let err = solve_opt(&inst, 3, OptConfig { max_states: 10, reconstruct: false });
+        assert!(matches!(err, Err(OptError::StateSpaceExceeded { .. })));
+    }
+
+    #[test]
+    fn multisets_enumeration_counts() {
+        let ms = multisets(&[1, 2, 3], 2);
+        assert_eq!(ms.len(), 6); // C(3+2-1, 2)
+        assert!(ms.contains(&vec![1, 1]));
+        assert!(ms.contains(&vec![1, 3]));
+        assert!(ms.contains(&vec![3, 3]));
+    }
+
+    #[test]
+    fn reconfig_count_multiset_semantics() {
+        // old {A, A}, new {A, B}: one copy of B added.
+        assert_eq!(reconfig_count(&[0, 0], &[0, 1]), 1);
+        // old {black, black}, new {A, A}: two adds.
+        assert_eq!(reconfig_count(&[BLACK, BLACK], &[0, 0]), 2);
+        // old {A, B}, new {black, black}: parking is free.
+        assert_eq!(reconfig_count(&[0, 1], &[BLACK, BLACK]), 0);
+        // identical multisets: free.
+        assert_eq!(reconfig_count(&[0, 1], &[0, 1]), 0);
+    }
+}

@@ -1,0 +1,274 @@
+//! The paper's lower-bound constructions (Appendices A and B), generated
+//! exactly as written, each with the handcrafted offline schedule the paper
+//! compares against and its predicted cost.
+
+use rrs_engine::FixedSchedule;
+use rrs_model::{ColorId, Instance, InstanceBuilder};
+
+/// An adversarial instance bundled with the paper's handcrafted offline
+/// schedule.
+#[derive(Clone, Debug)]
+pub struct Adversary {
+    /// The request sequence (always rate-limited `[Δ|1|D_ℓ|D_ℓ]` with
+    /// power-of-two bounds).
+    pub instance: Instance,
+    /// The handcrafted OFF schedule from the appendix.
+    pub off_schedule: FixedSchedule,
+    /// Resources OFF uses (the appendices give OFF one resource).
+    pub off_resources: usize,
+    /// The appendix's closed-form prediction of OFF's cost; the tests check
+    /// the engine replay reproduces it exactly.
+    pub predicted_off_cost: u64,
+    /// The short-bound colors.
+    pub short_colors: Vec<ColorId>,
+    /// The long-bound colors (one for Appendix A, `n/2` for Appendix B).
+    pub long_colors: Vec<ColorId>,
+}
+
+/// Parameters of the Appendix A construction (the ΔLRU killer).
+///
+/// Requires `2^k > 2^{j+1} > n·Δ`: `n/2` *short-term* colors of bound `2^j`
+/// receive Δ jobs at every multiple of `2^j`, and one *long-term* color of
+/// bound `2^k` receives `2^k` jobs at round 0. ΔLRU pins the perpetually
+/// fresh short colors and drops the entire long backlog; OFF serves the
+/// long color with a single reconfiguration. The ratio grows as
+/// `Ω(2^{j+1} / (nΔ))`.
+#[derive(Clone, Copy, Debug)]
+pub struct LruKillerParams {
+    /// Locations given to the online algorithm (even, ≥ 2).
+    pub n: usize,
+    /// Reconfiguration cost Δ ≥ 1.
+    pub delta: u64,
+    /// Short-term bound exponent: bound `2^j`.
+    pub j: u32,
+    /// Long-term bound exponent: bound `2^k`.
+    pub k: u32,
+}
+
+impl LruKillerParams {
+    /// Check the appendix's constraints.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n < 2 || !self.n.is_multiple_of(2) {
+            return Err(format!("n must be even and >= 2, got {}", self.n));
+        }
+        if self.delta == 0 {
+            return Err("delta must be >= 1".into());
+        }
+        if self.k <= self.j {
+            return Err(format!("need k > j, got j={} k={}", self.j, self.k));
+        }
+        let two_j1 = 1u64 << (self.j + 1);
+        if two_j1 <= self.n as u64 * self.delta {
+            return Err(format!(
+                "need 2^(j+1) > n*delta: 2^{} = {two_j1} <= {}",
+                self.j + 1,
+                self.n as u64 * self.delta
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Build the Appendix A adversary.
+///
+/// # Panics
+/// Panics if the parameters violate the appendix's constraints.
+pub fn lru_killer(p: LruKillerParams) -> Adversary {
+    p.validate().unwrap_or_else(|e| panic!("invalid LruKillerParams: {e}"));
+    let short_bound = 1u64 << p.j;
+    let long_bound = 1u64 << p.k;
+    let num_short = p.n / 2;
+
+    let mut b = InstanceBuilder::new(p.delta);
+    let short_colors: Vec<ColorId> = (0..num_short).map(|_| b.color(short_bound)).collect();
+    let long = b.color(long_bound);
+
+    // Δ jobs of each short color at every multiple of 2^j over 2^k rounds.
+    let blocks = long_bound / short_bound;
+    for i in 0..blocks {
+        for &c in &short_colors {
+            b.arrive(i * short_bound, c, p.delta);
+        }
+    }
+    // 2^k jobs of the long color at round 0.
+    b.arrive(0, long, long_bound);
+    let instance = b.build();
+
+    // OFF: one resource configured to the long color throughout. It
+    // executes all 2^k long jobs (one per round) and drops every short job.
+    let mut off_schedule = FixedSchedule::new(1);
+    off_schedule.set(0, vec![Some(long)]);
+    let short_jobs = blocks * num_short as u64 * p.delta;
+    let predicted_off_cost = p.delta + short_jobs;
+
+    Adversary {
+        instance,
+        off_schedule,
+        off_resources: 1,
+        predicted_off_cost,
+        short_colors,
+        long_colors: vec![long],
+    }
+}
+
+/// Parameters of the Appendix B construction (the EDF killer).
+///
+/// Requires `2^k > 2^j > Δ > n`: one short color of bound `2^j` receives Δ
+/// jobs at each multiple of `2^j` before round `2^{k-1}`, and `n/2` long
+/// colors of bounds `2^{k+p}` (`0 ≤ p < n/2`) receive `2^{k+p-1}` jobs each
+/// at round 0. EDF thrashes between the blinking short color and the long
+/// backlogs; OFF serves the short color first and then each long color in
+/// its own dedicated interval, paying `(n/2 + 1)·Δ` with no drops.
+#[derive(Clone, Copy, Debug)]
+pub struct EdfKillerParams {
+    /// Locations given to the online algorithm (even, ≥ 2).
+    pub n: usize,
+    /// Reconfiguration cost Δ.
+    pub delta: u64,
+    /// Short bound exponent.
+    pub j: u32,
+    /// Base long bound exponent.
+    pub k: u32,
+}
+
+impl EdfKillerParams {
+    /// Check the appendix's constraints.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n < 2 || !self.n.is_multiple_of(2) {
+            return Err(format!("n must be even and >= 2, got {}", self.n));
+        }
+        if self.delta <= self.n as u64 {
+            return Err(format!("need delta > n, got delta={} n={}", self.delta, self.n));
+        }
+        if (1u64 << self.j) <= self.delta {
+            return Err(format!("need 2^j > delta, got j={} delta={}", self.j, self.delta));
+        }
+        if self.k <= self.j {
+            return Err(format!("need k > j, got j={} k={}", self.j, self.k));
+        }
+        Ok(())
+    }
+}
+
+/// Build the Appendix B adversary.
+///
+/// # Panics
+/// Panics if the parameters violate the appendix's constraints.
+pub fn edf_killer(p: EdfKillerParams) -> Adversary {
+    p.validate().unwrap_or_else(|e| panic!("invalid EdfKillerParams: {e}"));
+    let short_bound = 1u64 << p.j;
+    let num_long = p.n / 2;
+
+    let mut b = InstanceBuilder::new(p.delta);
+    let short = b.color(short_bound);
+    let long_colors: Vec<ColorId> =
+        (0..num_long).map(|q| b.color(1u64 << (p.k + q as u32))).collect();
+
+    // Short color: Δ jobs at each multiple of 2^j until round 2^{k-1}.
+    let cutoff = 1u64 << (p.k - 1);
+    let mut r = 0;
+    while r < cutoff {
+        b.arrive(r, short, p.delta);
+        r += short_bound;
+    }
+    // Long color p: 2^{k+p-1} jobs at round 0.
+    for (q, &c) in long_colors.iter().enumerate() {
+        b.arrive(0, c, 1u64 << (p.k + q as u32 - 1));
+    }
+    let instance = b.build();
+
+    // OFF: one resource. Short color on [0, 2^{k-1}), then long color q on
+    // [2^{k+q-1}, 2^{k+q}).
+    let mut off_schedule = FixedSchedule::new(1);
+    off_schedule.set(0, vec![Some(short)]);
+    for (q, &c) in long_colors.iter().enumerate() {
+        off_schedule.set(1u64 << (p.k + q as u32 - 1), vec![Some(c)]);
+    }
+    let predicted_off_cost = (num_long as u64 + 1) * p.delta;
+
+    Adversary {
+        instance,
+        off_schedule,
+        off_resources: 1,
+        predicted_off_cost,
+        short_colors: vec![short],
+        long_colors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrs_engine::{ReplayPolicy, Simulator};
+    use rrs_model::classify::{check_power_of_two_bounds, check_rate_limited};
+
+    fn lru_params() -> LruKillerParams {
+        LruKillerParams { n: 4, delta: 2, j: 4, k: 6 } // 2^5=32 > 8 = nΔ
+    }
+
+    fn edf_params() -> EdfKillerParams {
+        EdfKillerParams { n: 4, delta: 6, j: 3, k: 5 } // 8 > 6 > 4
+    }
+
+    #[test]
+    fn lru_killer_is_rate_limited_pow2() {
+        let adv = lru_killer(lru_params());
+        assert!(check_rate_limited(&adv.instance).is_ok());
+        assert!(check_power_of_two_bounds(&adv.instance).is_ok());
+    }
+
+    #[test]
+    fn lru_killer_off_replay_matches_prediction() {
+        let adv = lru_killer(lru_params());
+        let out = Simulator::new(&adv.instance, adv.off_resources)
+            .run(&mut ReplayPolicy::new(adv.off_schedule.clone()));
+        assert_eq!(out.total_cost(), adv.predicted_off_cost);
+        // OFF drops exactly the short jobs and executes the whole long
+        // backlog.
+        assert_eq!(out.cost.reconfigs, 1);
+        assert_eq!(out.executed, 1 << 6);
+    }
+
+    #[test]
+    fn lru_killer_job_counts_match_appendix() {
+        let p = lru_params();
+        let adv = lru_killer(p);
+        let blocks = 1u64 << (p.k - p.j);
+        let expected_short = blocks * (p.n as u64 / 2) * p.delta;
+        let expected_long = 1u64 << p.k;
+        assert_eq!(adv.instance.total_jobs(), expected_short + expected_long);
+    }
+
+    #[test]
+    fn edf_killer_is_rate_limited_pow2() {
+        let adv = edf_killer(edf_params());
+        assert!(check_rate_limited(&adv.instance).is_ok());
+        assert!(check_power_of_two_bounds(&adv.instance).is_ok());
+    }
+
+    #[test]
+    fn edf_killer_off_replay_has_no_drops() {
+        let adv = edf_killer(edf_params());
+        let out = Simulator::new(&adv.instance, adv.off_resources)
+            .run(&mut ReplayPolicy::new(adv.off_schedule.clone()));
+        assert_eq!(out.dropped, 0, "the appendix's OFF schedule executes everything");
+        assert_eq!(out.total_cost(), adv.predicted_off_cost);
+        assert_eq!(out.cost.reconfigs, adv.long_colors.len() as u64 + 1);
+    }
+
+    #[test]
+    fn lru_params_validation() {
+        assert!(LruKillerParams { n: 3, delta: 1, j: 4, k: 6 }.validate().is_err());
+        assert!(LruKillerParams { n: 4, delta: 100, j: 4, k: 6 }.validate().is_err());
+        assert!(LruKillerParams { n: 4, delta: 2, j: 6, k: 6 }.validate().is_err());
+        assert!(lru_params().validate().is_ok());
+    }
+
+    #[test]
+    fn edf_params_validation() {
+        assert!(EdfKillerParams { n: 4, delta: 3, j: 3, k: 5 }.validate().is_err()); // Δ <= n
+        assert!(EdfKillerParams { n: 4, delta: 6, j: 2, k: 5 }.validate().is_err()); // 2^j <= Δ
+        assert!(EdfKillerParams { n: 4, delta: 6, j: 5, k: 5 }.validate().is_err()); // k <= j
+        assert!(edf_params().validate().is_ok());
+    }
+}

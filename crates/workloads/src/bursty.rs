@@ -1,0 +1,140 @@
+//! On/off (Markov-modulated) bursty traffic — the canonical traffic model
+//! in the network-processor evaluations the paper's applications cite.
+//!
+//! Each color is an independent two-state Markov chain sampled at its block
+//! boundaries: in the ON state it emits a batch, in the OFF state it stays
+//! silent. Short ON spells with long OFF spells produce exactly the
+//! intermittent "short-term" traffic the introduction's motivating scenario
+//! describes; long ON spells emulate sustained service load.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rrs_model::{Instance, InstanceBuilder};
+
+/// Configuration of the on/off generator.
+#[derive(Clone, Debug)]
+pub struct BurstyConfig {
+    /// Reconfiguration cost Δ.
+    pub delta: u64,
+    /// Delay bound per color.
+    pub bounds: Vec<u64>,
+    /// Rounds covered by arrivals.
+    pub rounds: u64,
+    /// Per-block probability of switching OFF→ON.
+    pub p_on: f64,
+    /// Per-block probability of switching ON→OFF.
+    pub p_off: f64,
+    /// Batch size while ON, as a fraction of `D_ℓ` (clamped to `[0, 1]`).
+    pub on_load: f64,
+}
+
+impl Default for BurstyConfig {
+    fn default() -> Self {
+        Self {
+            delta: 4,
+            bounds: vec![2, 4, 8, 16],
+            rounds: 128,
+            p_on: 0.2,
+            p_off: 0.4,
+            on_load: 1.0,
+        }
+    }
+}
+
+/// Generate an on/off bursty instance (always rate-limited).
+pub fn bursty_instance(cfg: &BurstyConfig, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = InstanceBuilder::new(cfg.delta);
+    let colors: Vec<_> = cfg.bounds.iter().map(|&d| b.color(d)).collect();
+    let p_on = cfg.p_on.clamp(0.0, 1.0);
+    let p_off = cfg.p_off.clamp(0.0, 1.0);
+    for (c, &d) in colors.iter().zip(&cfg.bounds) {
+        let mut on = rng.random_bool(p_on / (p_on + p_off).max(f64::EPSILON));
+        let batch = ((d as f64 * cfg.on_load.clamp(0.0, 1.0)).round() as u64).clamp(1, d);
+        let mut r = 0;
+        while r < cfg.rounds {
+            if on {
+                b.arrive(r, *c, batch);
+            }
+            on = if on { !rng.random_bool(p_off) } else { rng.random_bool(p_on) };
+            r += d;
+        }
+    }
+    b.build()
+}
+
+/// Fraction of blocks in which a color was active, per color — a quick
+/// shape check for tests and examples.
+pub fn activity_profile(inst: &Instance) -> Vec<f64> {
+    inst.colors
+        .iter()
+        .map(|(c, d)| {
+            let horizon = inst.requests.len() as u64;
+            if horizon == 0 {
+                return 0.0;
+            }
+            let blocks = horizon.div_ceil(d).max(1);
+            let active = (0..blocks)
+                .filter(|&i| !inst.requests.at(i * d).pairs().is_empty()
+                    && inst.requests.at(i * d).count_of(c) > 0)
+                .count();
+            active as f64 / blocks as f64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrs_model::classify::check_rate_limited;
+
+    #[test]
+    fn bursty_is_rate_limited() {
+        for seed in 0..10 {
+            let inst = bursty_instance(&BurstyConfig::default(), seed);
+            assert!(check_rate_limited(&inst).is_ok(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn on_off_dynamics_produce_intermittency() {
+        // With p_on = p_off = 0.5 roughly half the blocks are active.
+        let cfg = BurstyConfig {
+            bounds: vec![2],
+            rounds: 4096,
+            p_on: 0.5,
+            p_off: 0.5,
+            ..Default::default()
+        };
+        let inst = bursty_instance(&cfg, 3);
+        let profile = activity_profile(&inst);
+        assert!(profile[0] > 0.3 && profile[0] < 0.7, "activity {profile:?}");
+    }
+
+    #[test]
+    fn always_off_produces_nothing() {
+        let cfg = BurstyConfig { p_on: 0.0, ..Default::default() };
+        let inst = bursty_instance(&cfg, 1);
+        assert_eq!(inst.total_jobs(), 0);
+    }
+
+    #[test]
+    fn sticky_on_produces_sustained_load() {
+        let cfg = BurstyConfig {
+            bounds: vec![4],
+            rounds: 512,
+            p_on: 0.9,
+            p_off: 0.05,
+            ..Default::default()
+        };
+        let inst = bursty_instance(&cfg, 2);
+        let profile = activity_profile(&inst);
+        assert!(profile[0] > 0.7, "sticky ON should dominate: {profile:?}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = BurstyConfig::default();
+        assert_eq!(bursty_instance(&cfg, 11), bursty_instance(&cfg, 11));
+    }
+}

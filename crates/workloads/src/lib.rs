@@ -1,0 +1,55 @@
+//! Workload generators for the experiment suite.
+//!
+//! * [`adversary`] — the paper's two lower-bound constructions, generated
+//!   exactly as specified: Appendix A (the ΔLRU killer) and Appendix B (the
+//!   EDF killer), each packaged with the handcrafted single-resource
+//!   offline schedule the paper plays against them and its predicted cost.
+//! * [`random`] — seeded random instances of each problem class
+//!   (rate-limited, batched, general), used by the property tests and the
+//!   competitive-ratio sweeps.
+//! * [`scenarios`] — synthetic versions of the paper's motivating
+//!   applications (§1): the background-vs-short-term tension, a
+//!   multi-service router with per-class delay tolerances under a diurnal
+//!   load, and a shared data center with shifting service demand.
+//!
+//! All generators are deterministic given their seed.
+//!
+//! ```
+//! use rrs_workloads::{lru_killer, rate_limited_instance, LruKillerParams, RateLimitedConfig};
+//!
+//! let inst = rate_limited_instance(&RateLimitedConfig::default(), 42);
+//! assert_eq!(inst, rate_limited_instance(&RateLimitedConfig::default(), 42));
+//!
+//! let adv = lru_killer(LruKillerParams { n: 8, delta: 2, j: 5, k: 7 });
+//! assert_eq!(adv.off_resources, 1);
+//! ```
+
+pub mod adversary;
+pub mod bursty;
+pub mod random;
+pub mod scenarios;
+
+pub use adversary::{edf_killer, lru_killer, Adversary, EdfKillerParams, LruKillerParams};
+pub use bursty::{activity_profile, bursty_instance, BurstyConfig};
+pub use random::{
+    batched_instance, general_instance, rate_limited_instance, BatchedConfig, GeneralConfig,
+    RateLimitedConfig,
+};
+pub use scenarios::{
+    background_vs_short_term, multiservice_router, shared_datacenter, BackgroundConfig,
+    DatacenterConfig, RouterConfig,
+};
+
+/// Convenient re-exports.
+pub mod prelude {
+    pub use crate::adversary::{edf_killer, lru_killer, Adversary, EdfKillerParams, LruKillerParams};
+    pub use crate::bursty::{activity_profile, bursty_instance, BurstyConfig};
+    pub use crate::random::{
+        batched_instance, general_instance, rate_limited_instance, BatchedConfig, GeneralConfig,
+        RateLimitedConfig,
+    };
+    pub use crate::scenarios::{
+        background_vs_short_term, multiservice_router, shared_datacenter, BackgroundConfig,
+        DatacenterConfig, RouterConfig,
+    };
+}

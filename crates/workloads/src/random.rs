@@ -1,0 +1,197 @@
+//! Seeded random instance generators, one per problem class.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rrs_model::{Instance, InstanceBuilder};
+
+/// Configuration for rate-limited `[Δ|1|D_ℓ|D_ℓ]` instances.
+#[derive(Clone, Debug)]
+pub struct RateLimitedConfig {
+    /// Reconfiguration cost Δ.
+    pub delta: u64,
+    /// Delay bound per color (power of two for theorem-grade instances).
+    pub bounds: Vec<u64>,
+    /// Number of rounds covered by arrivals (the instance's own horizon
+    /// extends one max-bound past this).
+    pub rounds: u64,
+    /// Probability that a color is active in a given block.
+    pub activity: f64,
+    /// Mean batch size as a fraction of `D_ℓ` (clamped to `[0, 1]`; batch
+    /// sizes never exceed `D_ℓ`).
+    pub load: f64,
+}
+
+impl Default for RateLimitedConfig {
+    fn default() -> Self {
+        Self { delta: 4, bounds: vec![2, 4, 8, 8], rounds: 64, activity: 0.7, load: 0.8 }
+    }
+}
+
+/// Generate a rate-limited batched instance: each color `ℓ` receives, at
+/// each multiple of `D_ℓ` within the horizon, a batch of `0..=D_ℓ` jobs.
+pub fn rate_limited_instance(cfg: &RateLimitedConfig, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let load = cfg.load.clamp(0.0, 1.0);
+    let mut b = InstanceBuilder::new(cfg.delta);
+    let colors: Vec<_> = cfg.bounds.iter().map(|&d| b.color(d)).collect();
+    for (c, &d) in colors.iter().zip(&cfg.bounds) {
+        let mut r = 0;
+        while r < cfg.rounds {
+            if rng.random_bool(cfg.activity.clamp(0.0, 1.0)) {
+                let max_batch = ((d as f64 * load).round() as u64).clamp(1, d);
+                let count = rng.random_range(1..=max_batch);
+                b.arrive(r, *c, count);
+            }
+            r += d;
+        }
+    }
+    b.build()
+}
+
+/// Configuration for batched-but-not-rate-limited instances (oversize
+/// batches allowed — the input class of the *Distribute* reduction).
+#[derive(Clone, Debug)]
+pub struct BatchedConfig {
+    /// Reconfiguration cost Δ.
+    pub delta: u64,
+    /// Delay bound per color.
+    pub bounds: Vec<u64>,
+    /// Rounds covered by arrivals.
+    pub rounds: u64,
+    /// Probability that a color is active in a given block.
+    pub activity: f64,
+    /// Maximum batch size as a multiple of `D_ℓ` (values > 1 produce
+    /// over-rate batches).
+    pub overload: f64,
+}
+
+impl Default for BatchedConfig {
+    fn default() -> Self {
+        Self { delta: 4, bounds: vec![2, 4, 8], rounds: 64, activity: 0.6, overload: 3.0 }
+    }
+}
+
+/// Generate a batched instance whose batches may exceed `D_ℓ` jobs.
+pub fn batched_instance(cfg: &BatchedConfig, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = InstanceBuilder::new(cfg.delta);
+    let colors: Vec<_> = cfg.bounds.iter().map(|&d| b.color(d)).collect();
+    for (c, &d) in colors.iter().zip(&cfg.bounds) {
+        let mut r = 0;
+        while r < cfg.rounds {
+            if rng.random_bool(cfg.activity.clamp(0.0, 1.0)) {
+                let max_batch = ((d as f64 * cfg.overload).round() as u64).max(1);
+                let count = rng.random_range(1..=max_batch);
+                b.arrive(r, *c, count);
+            }
+            r += d;
+        }
+    }
+    b.build()
+}
+
+/// Configuration for general `[Δ|1|D_ℓ|1]` instances: jobs arrive in any
+/// round.
+#[derive(Clone, Debug)]
+pub struct GeneralConfig {
+    /// Reconfiguration cost Δ.
+    pub delta: u64,
+    /// Delay bound per color (arbitrary positive integers allowed).
+    pub bounds: Vec<u64>,
+    /// Rounds covered by arrivals.
+    pub rounds: u64,
+    /// Per-round probability that a color receives jobs.
+    pub arrival_prob: f64,
+    /// Maximum jobs per (color, round) arrival.
+    pub max_burst: u64,
+}
+
+impl Default for GeneralConfig {
+    fn default() -> Self {
+        Self { delta: 4, bounds: vec![2, 4, 8, 16], rounds: 64, arrival_prob: 0.25, max_burst: 3 }
+    }
+}
+
+/// Generate a general (unbatched) instance.
+pub fn general_instance(cfg: &GeneralConfig, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = InstanceBuilder::new(cfg.delta);
+    let colors: Vec<_> = cfg.bounds.iter().map(|&d| b.color(d)).collect();
+    for r in 0..cfg.rounds {
+        for &c in &colors {
+            if rng.random_bool(cfg.arrival_prob.clamp(0.0, 1.0)) {
+                let count = rng.random_range(1..=cfg.max_burst.max(1));
+                b.arrive(r, c, count);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrs_model::classify::{check_batched, check_rate_limited, classify};
+    use rrs_model::InstanceClass;
+
+    #[test]
+    fn rate_limited_instances_validate() {
+        for seed in 0..20 {
+            let inst = rate_limited_instance(&RateLimitedConfig::default(), seed);
+            assert!(check_rate_limited(&inst).is_ok(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn batched_instances_validate_and_exceed_rate() {
+        let cfg = BatchedConfig { overload: 4.0, activity: 1.0, ..Default::default() };
+        let mut saw_over_rate = false;
+        for seed in 0..20 {
+            let inst = batched_instance(&cfg, seed);
+            assert!(check_batched(&inst).is_ok(), "seed {seed}");
+            if check_rate_limited(&inst).is_err() {
+                saw_over_rate = true;
+            }
+        }
+        assert!(saw_over_rate, "overload 4.0 should produce over-rate batches");
+    }
+
+    #[test]
+    fn general_instances_are_general() {
+        let cfg = GeneralConfig { arrival_prob: 0.9, ..Default::default() };
+        let mut saw_general = false;
+        for seed in 0..10 {
+            let inst = general_instance(&cfg, seed);
+            if classify(&inst) == InstanceClass::General {
+                saw_general = true;
+            }
+        }
+        assert!(saw_general);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = RateLimitedConfig::default();
+        assert_eq!(rate_limited_instance(&cfg, 7), rate_limited_instance(&cfg, 7));
+        assert_ne!(
+            rate_limited_instance(&cfg, 7),
+            rate_limited_instance(&cfg, 8),
+            "different seeds should differ (overwhelmingly likely)"
+        );
+    }
+
+    #[test]
+    fn zero_activity_means_empty_instance() {
+        let cfg = RateLimitedConfig { activity: 0.0, ..Default::default() };
+        let inst = rate_limited_instance(&cfg, 1);
+        assert_eq!(inst.total_jobs(), 0);
+    }
+
+    #[test]
+    fn batches_never_exceed_bound_in_rate_limited() {
+        let cfg = RateLimitedConfig { load: 5.0, activity: 1.0, ..Default::default() };
+        // Even with load > 1 the clamp keeps batches within D.
+        let inst = rate_limited_instance(&cfg, 3);
+        assert!(check_rate_limited(&inst).is_ok());
+    }
+}

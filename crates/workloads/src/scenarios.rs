@@ -1,0 +1,246 @@
+//! Scenario workloads modeled on the paper's motivating applications (§1).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rrs_model::{ColorId, Instance, InstanceBuilder};
+
+/// Configuration for the §1 motivating scenario: *background* jobs with a
+/// distant deadline compete with intermittent *short-term* bursts. A policy
+/// that chases every idle cycle thrashes; one that never backfills
+/// underutilizes. ΔLRU-EDF threads the needle (experiment E8).
+#[derive(Clone, Debug)]
+pub struct BackgroundConfig {
+    /// Reconfiguration cost Δ.
+    pub delta: u64,
+    /// Short-term colors' delay bound (power of two).
+    pub short_bound: u64,
+    /// Background color's delay bound (power of two, ≫ `short_bound`).
+    pub background_bound: u64,
+    /// Number of short-term colors.
+    pub num_short: usize,
+    /// Probability a short color bursts in a given block.
+    pub burst_prob: f64,
+    /// Jobs per short burst.
+    pub burst_size: u64,
+    /// Background backlog injected at round 0 (and again at each multiple
+    /// of `background_bound`).
+    pub background_backlog: u64,
+    /// Number of background blocks.
+    pub background_blocks: u64,
+}
+
+impl Default for BackgroundConfig {
+    fn default() -> Self {
+        Self {
+            delta: 4,
+            short_bound: 4,
+            background_bound: 64,
+            num_short: 4,
+            burst_prob: 0.4,
+            burst_size: 4,
+            background_backlog: 120,
+            background_blocks: 2,
+        }
+    }
+}
+
+/// The background-vs-short-term scenario. Returns the instance plus the
+/// background color (first) and the short-term colors.
+pub fn background_vs_short_term(cfg: &BackgroundConfig, seed: u64) -> (Instance, ColorId, Vec<ColorId>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = InstanceBuilder::new(cfg.delta);
+    let background = b.color(cfg.background_bound);
+    let shorts: Vec<ColorId> = (0..cfg.num_short).map(|_| b.color(cfg.short_bound)).collect();
+
+    let horizon = cfg.background_bound * cfg.background_blocks;
+    for blk in 0..cfg.background_blocks {
+        b.arrive(blk * cfg.background_bound, background, cfg.background_backlog);
+    }
+    let mut r = 0;
+    while r < horizon {
+        for &c in &shorts {
+            if rng.random_bool(cfg.burst_prob.clamp(0.0, 1.0)) {
+                b.arrive(r, c, cfg.burst_size.min(cfg.short_bound));
+            }
+        }
+        r += cfg.short_bound;
+    }
+    (b.build(), background, shorts)
+}
+
+/// Configuration for a programmable multi-service router (§1's second
+/// application): packet classes with class-specific delay tolerances under
+/// a smoothly shifting ("diurnal") traffic mix.
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Reconfiguration cost Δ (configuring a packet-processing pipeline).
+    pub delta: u64,
+    /// Delay tolerance per packet class (powers of two for theorem-grade
+    /// runs; arbitrary values exercise the §5.3 extension).
+    pub class_bounds: Vec<u64>,
+    /// Rounds of traffic.
+    pub rounds: u64,
+    /// Peak packets per class per block.
+    pub peak_rate: u64,
+    /// Length of the diurnal cycle in rounds.
+    pub cycle: u64,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self { delta: 8, class_bounds: vec![2, 4, 8, 16], rounds: 256, peak_rate: 4, cycle: 64 }
+    }
+}
+
+/// A multi-service router trace: each class's load follows a phase-shifted
+/// triangle wave, so the hot set of classes rotates over time — the
+/// workload pattern that forces processor reallocation in the motivating
+/// applications.
+pub fn multiservice_router(cfg: &RouterConfig, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = InstanceBuilder::new(cfg.delta);
+    let classes: Vec<_> = cfg.class_bounds.iter().map(|&d| b.color(d)).collect();
+    let cycle = cfg.cycle.max(2);
+    for (idx, (&c, &d)) in classes.iter().zip(&cfg.class_bounds).enumerate() {
+        let phase = (idx as u64 * cycle) / classes.len().max(1) as u64;
+        let mut r = 0;
+        while r < cfg.rounds {
+            // Triangle wave in [0, 1]: peak at mid-cycle.
+            let t = (r + phase) % cycle;
+            let level = if t < cycle / 2 { t } else { cycle - t } as f64 / (cycle / 2) as f64;
+            let mean = level * cfg.peak_rate as f64;
+            let count = mean.floor() as u64
+                + u64::from(rng.random_bool((mean - mean.floor()).clamp(0.0, 1.0)));
+            if count > 0 {
+                b.arrive(r, c, count.min(d));
+            }
+            r += d;
+        }
+    }
+    b.build()
+}
+
+/// Configuration for a shared data center (§1's first application):
+/// independent services whose demand shifts in phases, forcing the
+/// allocation of processors to services to track the workload composition.
+#[derive(Clone, Debug)]
+pub struct DatacenterConfig {
+    /// Reconfiguration cost Δ (repurposing a server).
+    pub delta: u64,
+    /// Number of services.
+    pub services: usize,
+    /// Per-service delay bound.
+    pub bound: u64,
+    /// Number of demand phases.
+    pub phases: u64,
+    /// Rounds per phase.
+    pub phase_len: u64,
+    /// Services hot in each phase.
+    pub hot_services: usize,
+    /// Jobs per hot service per block.
+    pub hot_rate: u64,
+    /// Jobs per cold service per block (background trickle).
+    pub cold_rate: u64,
+}
+
+impl Default for DatacenterConfig {
+    fn default() -> Self {
+        Self {
+            delta: 8,
+            services: 6,
+            bound: 8,
+            phases: 4,
+            phase_len: 64,
+            hot_services: 2,
+            hot_rate: 8,
+            cold_rate: 1,
+        }
+    }
+}
+
+/// A shared data center trace: in each phase a random subset of services is
+/// hot; the rest trickle.
+pub fn shared_datacenter(cfg: &DatacenterConfig, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = InstanceBuilder::new(cfg.delta);
+    let services: Vec<_> = (0..cfg.services).map(|_| b.color(cfg.bound)).collect();
+    for phase in 0..cfg.phases {
+        // Choose the hot set for this phase.
+        let mut pool: Vec<usize> = (0..cfg.services).collect();
+        let mut hot = Vec::new();
+        for _ in 0..cfg.hot_services.min(cfg.services) {
+            let i = rng.random_range(0..pool.len());
+            hot.push(pool.swap_remove(i));
+        }
+        let start = phase * cfg.phase_len;
+        let mut r = start;
+        while r < start + cfg.phase_len {
+            if r.is_multiple_of(cfg.bound) {
+                for (idx, &c) in services.iter().enumerate() {
+                    let rate = if hot.contains(&idx) { cfg.hot_rate } else { cfg.cold_rate };
+                    if rate > 0 {
+                        b.arrive(r, c, rate.min(cfg.bound));
+                    }
+                }
+            }
+            r += 1;
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrs_model::classify::{check_rate_limited, classify};
+    use rrs_model::InstanceClass;
+
+    #[test]
+    fn background_scenario_shape() {
+        let cfg = BackgroundConfig::default();
+        let (inst, bg, shorts) = background_vs_short_term(&cfg, 1);
+        assert_eq!(shorts.len(), cfg.num_short);
+        assert_eq!(
+            inst.requests.total_jobs_of(bg),
+            cfg.background_backlog * cfg.background_blocks
+        );
+        // Batched: all arrivals on block boundaries of their color.
+        assert!(classify(&inst) >= InstanceClass::Batched);
+    }
+
+    #[test]
+    fn router_trace_is_rate_limited() {
+        let inst = multiservice_router(&RouterConfig::default(), 2);
+        assert!(check_rate_limited(&inst).is_ok());
+        assert!(inst.total_jobs() > 0);
+    }
+
+    #[test]
+    fn router_load_rotates_across_classes() {
+        let cfg = RouterConfig::default();
+        let inst = multiservice_router(&cfg, 3);
+        // Every class should see some traffic across the horizon.
+        for c in inst.colors.ids() {
+            assert!(inst.requests.total_jobs_of(c) > 0, "class {c} silent");
+        }
+    }
+
+    #[test]
+    fn datacenter_phases_shift_demand() {
+        let cfg = DatacenterConfig::default();
+        let inst = shared_datacenter(&cfg, 4);
+        assert!(check_rate_limited(&inst).is_ok());
+        assert_eq!(inst.colors.len(), cfg.services);
+        // Hot services produce more jobs than cold in expectation; just
+        // check total volume is in the right ballpark.
+        let blocks_per_phase = cfg.phase_len / cfg.bound;
+        let min_total = cfg.phases * blocks_per_phase * cfg.services as u64 * cfg.cold_rate;
+        assert!(inst.total_jobs() >= min_total);
+    }
+
+    #[test]
+    fn scenarios_are_deterministic() {
+        let cfg = DatacenterConfig::default();
+        assert_eq!(shared_datacenter(&cfg, 9), shared_datacenter(&cfg, 9));
+    }
+}

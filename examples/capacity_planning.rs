@@ -1,0 +1,55 @@
+//! Capacity planning: how many reconfigurable cores does a workload need?
+//!
+//! Sweeps the location budget for a data-center trace and reports cost,
+//! drop rate, and the cost trajectory at the chosen budget — the practical
+//! question a deployment of this scheduler answers.
+//!
+//! ```sh
+//! cargo run --example capacity_planning
+//! ```
+
+use rrs::analysis::{timeline, timeline_table};
+use rrs::prelude::*;
+
+fn main() {
+    let cfg = DatacenterConfig {
+        delta: 8,
+        services: 8,
+        bound: 8,
+        phases: 4,
+        phase_len: 64,
+        hot_services: 3,
+        hot_rate: 8,
+        cold_rate: 1,
+    };
+    let inst = shared_datacenter(&cfg, 21);
+    println!(
+        "datacenter trace: {} services, {} requests over {} rounds",
+        inst.colors.len(),
+        inst.total_jobs(),
+        inst.horizon()
+    );
+
+    println!("\ncapacity sweep (ΔLRU-EDF):");
+    println!("{:>5} {:>9} {:>7} {:>9} {:>8}", "cores", "reconfig$", "drops", "total", "drop%");
+    let mut chosen = 8;
+    for n in [4usize, 8, 12, 16, 24, 32] {
+        let out = Simulator::new(&inst, n).run(&mut DeltaLruEdf::new());
+        let drop_pct = 100.0 * out.dropped as f64 / out.arrived.max(1) as f64;
+        println!(
+            "{:>5} {:>9} {:>7} {:>9} {:>7.1}%",
+            n,
+            out.cost.reconfig_cost(),
+            out.dropped,
+            out.total_cost(),
+            drop_pct
+        );
+        if drop_pct < 1.0 && chosen == 8 && n > 4 {
+            chosen = n;
+        }
+    }
+
+    println!("\ncost trajectory at n = {chosen} (64-round windows):");
+    let windows = timeline(&inst, chosen, &mut DeltaLruEdf::new(), 64);
+    println!("{}", timeline_table("per-phase summary", inst.delta, &windows));
+}

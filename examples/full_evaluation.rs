@@ -1,0 +1,16 @@
+//! Regenerate the full experiment suite (E1–E11) and print every table.
+//! This is the "reproduce the paper" entry point; `EXPERIMENTS.md` records
+//! a snapshot of this output against the paper's analytical predictions.
+//!
+//! ```sh
+//! cargo run --release --example full_evaluation
+//! ```
+
+use rrs::analysis::experiments;
+
+fn main() {
+    for table in experiments::all_default() {
+        println!("{table}");
+    }
+    println!("(E9, the throughput experiment, is timing-based: run `cargo bench -p rrs-bench e9`)");
+}

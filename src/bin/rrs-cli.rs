@@ -1,0 +1,228 @@
+//! `rrs-cli` — run the scheduler suite from the command line.
+//!
+//! ```text
+//! rrs-cli generate <kind> [--seed N] [--out FILE]     create an instance
+//! rrs-cli classify <FILE>                             report its problem class
+//! rrs-cli run <policy> <FILE> [--locations N]         run an online policy
+//! rrs-cli attribute <policy> <FILE> [--locations N]   per-color cost table
+//! rrs-cli opt <FILE> [--resources M]                  exact offline optimum
+//! rrs-cli lemmas <FILE> [--locations N]               check Lemmas 3.2/3.3/3.4
+//! rrs-cli evaluate                                    print every experiment table
+//! ```
+//!
+//! Kinds: `rate-limited`, `batched`, `general`, `router`, `datacenter`,
+//! `background`, `bursty`, `lru-killer`, `edf-killer`.
+//! Policies: `dlru`, `edf`, `classic-lru`, `dlru-edf`, `distribute`, `full`.
+
+use std::process::ExitCode;
+
+use rrs::analysis::experiments;
+use rrs::prelude::*;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  rrs-cli generate <kind> [--seed N] [--out FILE]\n  \
+         rrs-cli classify <FILE>\n  \
+         rrs-cli run <policy> <FILE> [--locations N]\n  \
+         rrs-cli attribute <policy> <FILE> [--locations N]\n  \
+         rrs-cli opt <FILE> [--resources M]\n  \
+         rrs-cli lemmas <FILE> [--locations N]\n  \
+         rrs-cli evaluate\n\
+         kinds: rate-limited batched general router datacenter background bursty lru-killer edf-killer\n\
+         policies: dlru edf classic-lru dlru-edf distribute full"
+    );
+    ExitCode::from(2)
+}
+
+/// Pull `--flag value` out of the argument list; returns the remaining
+/// positional arguments.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        return None;
+    }
+    let v = args.remove(i + 1);
+    args.remove(i);
+    Some(v)
+}
+
+fn parse_u64(s: Option<String>, default: u64, what: &str) -> Result<u64, String> {
+    match s {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|e| format!("bad {what}: {e}")),
+    }
+}
+
+fn load(path: &str) -> Result<Instance, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    rrs::model::from_text(&text).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn cmd_generate(mut args: Vec<String>) -> Result<(), String> {
+    let seed = parse_u64(take_flag(&mut args, "--seed"), 0, "--seed")?;
+    let out = take_flag(&mut args, "--out");
+    let kind = args.first().ok_or("missing <kind>")?.as_str();
+    let inst = match kind {
+        "rate-limited" => rate_limited_instance(&RateLimitedConfig::default(), seed),
+        "batched" => batched_instance(&BatchedConfig::default(), seed),
+        "general" => general_instance(&GeneralConfig::default(), seed),
+        "router" => multiservice_router(&RouterConfig::default(), seed),
+        "datacenter" => shared_datacenter(&DatacenterConfig::default(), seed),
+        "background" => background_vs_short_term(&BackgroundConfig::default(), seed).0,
+        "bursty" => bursty_instance(&BurstyConfig::default(), seed),
+        "lru-killer" => {
+            lru_killer(LruKillerParams { n: 8, delta: 2, j: 7, k: 9 }).instance
+        }
+        "edf-killer" => {
+            edf_killer(EdfKillerParams { n: 8, delta: 10, j: 4, k: 8 }).instance
+        }
+        other => return Err(format!("unknown kind '{other}'")),
+    };
+    let text = rrs::model::to_text(&inst);
+    match out {
+        Some(path) => {
+            std::fs::write(&path, text).map_err(|e| format!("write {path}: {e}"))?;
+            eprintln!(
+                "wrote {path}: {} colors, {} jobs, horizon {}",
+                inst.colors.len(),
+                inst.total_jobs(),
+                inst.horizon()
+            );
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn make_policy(name: &str) -> Result<Box<dyn Policy>, String> {
+    Ok(match name {
+        "dlru" => Box::new(DeltaLru::new()),
+        "edf" => Box::new(Edf::new()),
+        "classic-lru" => Box::new(ClassicLru::new()),
+        "dlru-edf" => Box::new(DeltaLruEdf::new()),
+        "distribute" => Box::new(Distribute::new(DeltaLruEdf::new())),
+        "full" => Box::new(full_algorithm()),
+        other => return Err(format!("unknown policy '{other}'")),
+    })
+}
+
+fn cmd_run(mut args: Vec<String>) -> Result<(), String> {
+    let n = parse_u64(take_flag(&mut args, "--locations"), 8, "--locations")? as usize;
+    let policy_name = args.first().ok_or("missing <policy>")?.clone();
+    let path = args.get(1).ok_or("missing <FILE>")?;
+    let inst = load(path)?;
+    let mut policy = make_policy(&policy_name)?;
+    let out = Simulator::new(&inst, n).run(&mut policy);
+    println!("policy:      {}", policy.name());
+    println!("locations:   {n}");
+    println!("arrived:     {}", out.arrived);
+    println!("executed:    {}", out.executed);
+    println!("dropped:     {}", out.dropped);
+    println!("reconfigs:   {} (cost {})", out.cost.reconfigs, out.cost.reconfig_cost());
+    println!("total cost:  {}", out.total_cost());
+    println!("lower bound: {} (m = max(1, n/8))", combined_lower_bound(&inst, (n / 8).max(1)));
+    Ok(())
+}
+
+fn cmd_opt(mut args: Vec<String>) -> Result<(), String> {
+    let m = parse_u64(take_flag(&mut args, "--resources"), 1, "--resources")? as usize;
+    let path = args.first().ok_or("missing <FILE>")?;
+    let inst = load(path)?;
+    let r = solve_opt(&inst, m, OptConfig::default()).map_err(|e| e.to_string())?;
+    println!("resources:  {m}");
+    println!("opt cost:   {} ({} reconfigs, {} drops)", r.cost, r.reconfigs, r.drops);
+    println!("states:     {}", r.states_explored);
+    Ok(())
+}
+
+fn cmd_lemmas(mut args: Vec<String>) -> Result<(), String> {
+    let n = parse_u64(take_flag(&mut args, "--locations"), 8, "--locations")? as usize;
+    let path = args.first().ok_or("missing <FILE>")?;
+    let inst = load(path)?;
+    let r = check_lemmas(&inst, n);
+    println!("epochs:            {}", r.num_epochs);
+    println!(
+        "lemma 3.3: reconfig {} <= {}  [{}]",
+        r.reconfig_cost,
+        r.reconfig_bound(),
+        if r.lemma_3_3_holds() { "ok" } else { "VIOLATED" }
+    );
+    println!(
+        "lemma 3.4: inelig drops {} <= {}  [{}]",
+        r.ineligible_drops,
+        r.ineligible_bound(),
+        if r.lemma_3_4_holds() { "ok" } else { "VIOLATED" }
+    );
+    println!(
+        "lemma 3.2: eligible drops {} <= par-edf {}  [{}]",
+        r.eligible_drops,
+        r.par_edf_drops,
+        if r.lemma_3_2_holds() { "ok" } else { "VIOLATED" }
+    );
+    if !r.all_hold() {
+        return Err("a lemma inequality was violated — this is a bug".into());
+    }
+    Ok(())
+}
+
+fn cmd_attribute(mut args: Vec<String>) -> Result<(), String> {
+    let n = parse_u64(take_flag(&mut args, "--locations"), 8, "--locations")? as usize;
+    let policy_name = args.first().ok_or("missing <policy>")?.clone();
+    let path = args.get(1).ok_or("missing <FILE>")?;
+    let inst = load(path)?;
+    let mut policy = make_policy(&policy_name)?;
+    let per = rrs::analysis::attribute_costs(&inst, n, &mut policy);
+    println!(
+        "{}",
+        rrs::analysis::attribution_table(
+            &format!("per-color costs ({} @ {n} locations)", policy.name()),
+            inst.delta,
+            per
+        )
+    );
+    Ok(())
+}
+
+fn cmd_classify(args: Vec<String>) -> Result<(), String> {
+    let path = args.first().ok_or("missing <FILE>")?;
+    let inst = load(path)?;
+    println!("class:   {:?}", classify::classify(&inst));
+    println!(
+        "pow2:    {}",
+        classify::check_power_of_two_bounds(&inst).is_ok()
+    );
+    println!("colors:  {}", inst.colors.len());
+    println!("jobs:    {}", inst.total_jobs());
+    println!("horizon: {}", inst.horizon());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        return usage();
+    }
+    let cmd = argv.remove(0);
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(argv),
+        "classify" => cmd_classify(argv),
+        "run" => cmd_run(argv),
+        "attribute" => cmd_attribute(argv),
+        "opt" => cmd_opt(argv),
+        "lemmas" => cmd_lemmas(argv),
+        "evaluate" => {
+            for table in experiments::all_default() {
+                println!("{table}");
+            }
+            Ok(())
+        }
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Integration: the appendix lower-bound constructions at full strength.
+//! These are the paper's two negative results plus the positive one, run
+//! end to end: the pure strategies' ratios grow without bound in the swept
+//! parameter while ΔLRU-EDF holds a constant.
+
+use rrs::prelude::*;
+
+fn off_cost(adv: &Adversary) -> u64 {
+    Simulator::new(&adv.instance, adv.off_resources)
+        .run(&mut ReplayPolicy::new(adv.off_schedule.clone()))
+        .total_cost()
+}
+
+#[test]
+fn appendix_a_dlru_ratio_grows_linearly_in_2_pow_j() {
+    let n = 8;
+    let delta = 2;
+    let mut ratios = Vec::new();
+    for j in 4..=9 {
+        let adv = lru_killer(LruKillerParams { n, delta, j, k: j + 2 });
+        let dlru = Simulator::new(&adv.instance, n).run(&mut DeltaLru::new()).total_cost();
+        let off = off_cost(&adv);
+        assert_eq!(off, adv.predicted_off_cost, "j={j}");
+        ratios.push(ratio(dlru, off));
+    }
+    // Each step of j doubles 2^{j+1}/(nΔ); the measured ratio should at
+    // least *increase substantially* every step and double overall scale.
+    for w in ratios.windows(2) {
+        assert!(w[1] > w[0] * 1.5, "ratio failed to grow: {ratios:?}");
+    }
+    assert!(ratios.last().unwrap() / ratios.first().unwrap() > 8.0, "{ratios:?}");
+}
+
+#[test]
+fn appendix_a_dlru_edf_ratio_constant() {
+    let n = 8;
+    let delta = 2;
+    let mut ratios = Vec::new();
+    for j in 4..=9 {
+        let adv = lru_killer(LruKillerParams { n, delta, j, k: j + 2 });
+        let cost = Simulator::new(&adv.instance, n).run(&mut DeltaLruEdf::new()).total_cost();
+        ratios.push(ratio(cost, off_cost(&adv)));
+    }
+    let max = ratios.iter().cloned().fold(0.0, f64::max);
+    assert!(max < 6.0, "\u{394}LRU-EDF must stay bounded on Appendix A: {ratios:?}");
+}
+
+#[test]
+fn appendix_a_dlru_drops_the_long_backlog() {
+    // The qualitative failure mode: ΔLRU caches only the fresh short colors
+    // and drops every long job.
+    let adv = lru_killer(LruKillerParams { n: 8, delta: 2, j: 5, k: 7 });
+    let long = adv.long_colors[0];
+    let mut rec = TraceRecorder::new();
+    Simulator::new(&adv.instance, 8).run_traced(&mut DeltaLru::new(), &mut rec);
+    let long_exec: u64 = rec
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            rrs::engine::TraceEvent::Execute { color, count, .. } if *color == long => {
+                Some(*count)
+            }
+            _ => None,
+        })
+        .sum();
+    assert_eq!(long_exec, 0, "\u{394}LRU must starve the long color");
+}
+
+#[test]
+fn appendix_b_edf_ratio_grows_with_k() {
+    let n = 8;
+    let delta = 10;
+    let j = 4;
+    let mut ratios = Vec::new();
+    for k in 6..=10 {
+        let adv = edf_killer(EdfKillerParams { n, delta, j, k });
+        let edf = Simulator::new(&adv.instance, n).run(&mut Edf::new()).total_cost();
+        let off = off_cost(&adv);
+        assert_eq!(off, adv.predicted_off_cost, "k={k}");
+        ratios.push(ratio(edf, off));
+    }
+    for w in ratios.windows(2) {
+        assert!(w[1] > w[0] * 1.2, "EDF ratio failed to grow: {ratios:?}");
+    }
+    assert!(ratios.last().unwrap() / ratios.first().unwrap() > 3.0, "{ratios:?}");
+}
+
+#[test]
+fn appendix_b_dlru_edf_ratio_constant() {
+    let n = 8;
+    let delta = 10;
+    let j = 4;
+    let mut ratios = Vec::new();
+    for k in 6..=10 {
+        let adv = edf_killer(EdfKillerParams { n, delta, j, k });
+        let cost = Simulator::new(&adv.instance, n).run(&mut DeltaLruEdf::new()).total_cost();
+        ratios.push(ratio(cost, off_cost(&adv)));
+    }
+    let max = ratios.iter().cloned().fold(0.0, f64::max);
+    assert!(max < 6.0, "\u{394}LRU-EDF must stay bounded on Appendix B: {ratios:?}");
+}
+
+#[test]
+fn appendix_b_edf_pays_in_reconfigurations_not_drops() {
+    // The qualitative failure mode: EDF's cost on the killer is
+    // reconfiguration-dominated (thrashing), not drop-dominated.
+    let adv = edf_killer(EdfKillerParams { n: 8, delta: 10, j: 4, k: 8 });
+    let out = Simulator::new(&adv.instance, 8).run(&mut Edf::new());
+    assert!(
+        out.cost.reconfig_cost() > out.cost.drop_cost(),
+        "reconfig {} vs drop {}",
+        out.cost.reconfig_cost(),
+        out.cost.drop_cost()
+    );
+}
+
+#[test]
+fn lemmas_hold_on_both_adversaries() {
+    let a = lru_killer(LruKillerParams { n: 8, delta: 2, j: 5, k: 7 });
+    let r = check_lemmas(&a.instance, 8);
+    assert!(r.all_hold(), "Appendix A: {r:?}");
+
+    let b = edf_killer(EdfKillerParams { n: 8, delta: 10, j: 4, k: 7 });
+    let r = check_lemmas(&b.instance, 8);
+    assert!(r.all_hold(), "Appendix B: {r:?}");
+}

@@ -1,0 +1,120 @@
+//! Integration: the `rrs-cli` binary end to end.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rrs-cli"))
+}
+
+fn tmpfile(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("rrs-cli-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn generate_classify_run_opt_pipeline() {
+    let file = tmpfile("pipeline.rrs");
+
+    let out = cli()
+        .args(["generate", "rate-limited", "--seed", "5", "--out"])
+        .arg(&file)
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "generate failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    let out = cli().arg("classify").arg(&file).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("RateLimited"), "{text}");
+
+    let out = cli()
+        .args(["run", "dlru-edf"])
+        .arg(&file)
+        .args(["--locations", "8"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("total cost:"), "{text}");
+
+    let out = cli().arg("lemmas").arg(&file).output().unwrap();
+    assert!(out.status.success(), "lemmas: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("[ok]"));
+
+    std::fs::remove_file(&file).ok();
+}
+
+#[test]
+fn opt_on_tiny_instance() {
+    let file = tmpfile("tiny.rrs");
+    std::fs::write(&file, "delta 2\ncolor 0 4\narrive 0 0 3\n").unwrap();
+    let out = cli().arg("opt").arg(&file).args(["--resources", "1"]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("opt cost:   2"), "{text}");
+    std::fs::remove_file(&file).ok();
+}
+
+#[test]
+fn generate_to_stdout_parses_back() {
+    let out = cli().args(["generate", "general", "--seed", "9"]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    let inst = rrs::model::from_text(&text).expect("round trip");
+    assert!(inst.total_jobs() > 0);
+}
+
+#[test]
+fn attribute_prints_per_color_table() {
+    let file = tmpfile("attr.rrs");
+    std::fs::write(&file, "delta 2
+color 0 4
+color 1 4
+arrive 0 0 4
+arrive 0 1 4
+").unwrap();
+    let out = cli().args(["attribute", "dlru-edf"]).arg(&file).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("reconfigs_to"), "{text}");
+    assert!(text.contains("c0") && text.contains("c1"));
+    std::fs::remove_file(&file).ok();
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage() {
+    let out = cli().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn bad_instance_file_reports_error() {
+    let file = tmpfile("bad.rrs");
+    std::fs::write(&file, "delta 1\narrive 0 7 1\n").unwrap();
+    let out = cli().args(["run", "edf"]).arg(&file).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("undeclared"));
+    std::fs::remove_file(&file).ok();
+}
+
+#[test]
+fn all_generator_kinds_work() {
+    for kind in [
+        "rate-limited",
+        "batched",
+        "general",
+        "router",
+        "datacenter",
+        "background",
+        "bursty",
+        "lru-killer",
+        "edf-killer",
+    ] {
+        let out = cli().args(["generate", kind, "--seed", "1"]).output().unwrap();
+        assert!(out.status.success(), "{kind}");
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(rrs::model::from_text(&text).is_ok(), "{kind} output must parse");
+    }
+}

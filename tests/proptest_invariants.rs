@@ -1,0 +1,209 @@
+//! Property-based invariants across the whole stack.
+
+use proptest::prelude::*;
+use rrs::prelude::*;
+
+/// Strategy: a small rate-limited instance with power-of-two bounds.
+fn rate_limited_strategy() -> impl Strategy<Value = Instance> {
+    (
+        1u64..=4,                                   // delta
+        prop::collection::vec(0u32..=3, 1..=4),     // bound exponents per color
+        prop::collection::vec((0u64..=7, 0u64..=8), 0..=24), // (block, jobs) picks
+    )
+        .prop_map(|(delta, exps, picks)| {
+            let mut b = InstanceBuilder::new(delta);
+            let bounds: Vec<u64> = exps.iter().map(|&e| 1u64 << e).collect();
+            let colors: Vec<ColorId> = bounds.iter().map(|&d| b.color(d)).collect();
+            for (i, (block, jobs)) in picks.into_iter().enumerate() {
+                let idx = i % colors.len();
+                let d = bounds[idx];
+                let count = jobs.min(d);
+                if count > 0 {
+                    b.arrive(block * d, colors[idx], count);
+                }
+            }
+            b.build()
+        })
+}
+
+/// Strategy: a small general instance, arbitrary bounds and rounds.
+fn general_strategy() -> impl Strategy<Value = Instance> {
+    (
+        1u64..=4,
+        prop::collection::vec(1u64..=12, 1..=4), // arbitrary bounds
+        prop::collection::vec((0u64..=20, 1u64..=4), 0..=30),
+    )
+        .prop_map(|(delta, bounds, picks)| {
+            let mut b = InstanceBuilder::new(delta);
+            let colors: Vec<ColorId> = bounds.iter().map(|&d| b.color(d)).collect();
+            for (i, (round, jobs)) in picks.into_iter().enumerate() {
+                b.arrive(round, colors[i % colors.len()], jobs);
+            }
+            b.build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn conservation_and_cost_identity_hold_for_every_policy(inst in rate_limited_strategy()) {
+        let policies: Vec<Box<dyn Policy>> = vec![
+            Box::new(DeltaLru::new()),
+            Box::new(Edf::new()),
+            Box::new(DeltaLruEdf::new()),
+            Box::new(Distribute::new(DeltaLruEdf::new())),
+            Box::new(full_algorithm()),
+        ];
+        for mut p in policies {
+            let out = Simulator::new(&inst, 8).run(&mut p);
+            prop_assert!(out.conserved(), "{}: {:?}", p.name(), out);
+            prop_assert_eq!(
+                out.total_cost(),
+                inst.delta * out.cost.reconfigs + out.dropped,
+                "cost identity for {}", p.name()
+            );
+        }
+    }
+
+    #[test]
+    fn full_stack_conserves_on_general_instances(inst in general_strategy()) {
+        let out = Simulator::new(&inst, 8).run(&mut full_algorithm());
+        prop_assert!(out.conserved());
+    }
+
+    #[test]
+    fn lemma_bounds_hold_on_random_rate_limited(inst in rate_limited_strategy()) {
+        let r = check_lemmas(&inst, 8);
+        prop_assert!(r.lemma_3_3_holds(), "3.3: {:?}", r);
+        prop_assert!(r.lemma_3_4_holds(), "3.4: {:?}", r);
+        prop_assert!(r.lemma_3_2_holds(), "3.2: {:?}", r);
+    }
+
+    #[test]
+    fn opt_is_a_true_lower_bound(inst in rate_limited_strategy()) {
+        // Bound the state space: skip instances the solver rejects.
+        let cfg = OptConfig { max_states: 50_000, ..Default::default() };
+        if let Ok(opt) = solve_opt(&inst, 1, cfg) {
+            prop_assert!(combined_lower_bound(&inst, 1) <= opt.cost);
+            // Any replayed OPT schedule is achievable, so every online
+            // policy with the same single location costs at least OPT...
+            let pin = inst.colors.ids().next();
+            if let Some(c) = pin {
+                let online = Simulator::new(&inst, 1).run(&mut rrs::engine::policy::PinColor(c));
+                prop_assert!(opt.cost <= online.total_cost());
+            }
+        }
+    }
+
+    #[test]
+    fn par_edf_drops_monotone_in_resources(inst in rate_limited_strategy()) {
+        let d1 = par_edf_drop_cost(&inst, 1).dropped;
+        let d2 = par_edf_drop_cost(&inst, 2).dropped;
+        let d4 = par_edf_drop_cost(&inst, 4).dropped;
+        prop_assert!(d2 <= d1);
+        prop_assert!(d4 <= d2);
+    }
+
+    #[test]
+    fn double_speed_never_drops_more(inst in rate_limited_strategy()) {
+        // DS-Seq-EDF vs Seq-EDF (Lemma 3.8's direction): doubling the speed
+        // of the same policy cannot increase drops on these instances.
+        let s1 = Simulator::new(&inst, 4).run(&mut Edf::seq());
+        let s2 = Simulator::new(&inst, 4).with_speed(2).run(&mut Edf::seq());
+        prop_assert!(s2.dropped <= s1.dropped, "speed-2 dropped more: {} > {}", s2.dropped, s1.dropped);
+    }
+
+    #[test]
+    fn classification_is_sound(inst in general_strategy()) {
+        // classify() must agree with the individual checkers.
+        let class = classify::classify(&inst);
+        match class {
+            InstanceClass::RateLimited => {
+                prop_assert!(classify::check_rate_limited(&inst).is_ok())
+            }
+            InstanceClass::Batched => {
+                prop_assert!(classify::check_batched(&inst).is_ok());
+                prop_assert!(classify::check_rate_limited(&inst).is_err());
+            }
+            InstanceClass::General => prop_assert!(classify::check_batched(&inst).is_err()),
+        }
+    }
+}
+
+/// Strategy: a *tiny* rate-limited instance for the brute-force oracle.
+fn tiny_strategy() -> impl Strategy<Value = Instance> {
+    (
+        1u64..=3,
+        prop::collection::vec(0u32..=2, 1..=2),          // 1-2 colors, bounds 1..4
+        prop::collection::vec((0u64..=2, 0u64..=3), 0..=6),
+    )
+        .prop_map(|(delta, exps, picks)| {
+            let mut b = InstanceBuilder::new(delta);
+            let bounds: Vec<u64> = exps.iter().map(|&e| 1u64 << e).collect();
+            let colors: Vec<ColorId> = bounds.iter().map(|&d| b.color(d)).collect();
+            for (i, (block, jobs)) in picks.into_iter().enumerate() {
+                let idx = i % colors.len();
+                let d = bounds[idx];
+                let count = jobs.min(d);
+                if count > 0 {
+                    b.arrive(block * d, colors[idx], count);
+                }
+            }
+            b.build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dp_matches_brute_force(inst in tiny_strategy()) {
+        for m in 1..=2usize {
+            let dp = solve_opt(&inst, m, OptConfig::default()).unwrap().cost;
+            let brute = solve_brute(&inst, m);
+            prop_assert_eq!(dp, brute, "m={} inst={:?}", m, inst);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn text_format_round_trips(inst in general_strategy()) {
+        let text = rrs::model::to_text(&inst);
+        let back = rrs::model::from_text(&text).unwrap();
+        prop_assert_eq!(inst, back);
+    }
+
+    #[test]
+    fn varbatch_late_executions_are_bonus_saves(inst in rate_limited_strategy()) {
+        // §5.2: the *virtual* schedule is punctual by construction. The
+        // physical projection may execute early (pending jobs of a
+        // configured color) and may save virtually-dropped jobs late, so
+        // the invariant is late <= virtual drops - physical drops.
+        let mut trace = rrs::engine::TraceRecorder::new();
+        let out = Simulator::new(&inst, 8).run_traced(&mut full_algorithm(), &mut trace);
+        let stats = punctuality_stats(&inst, &trace);
+        let vinst = rrs::core::varbatch_instance(&inst);
+        let virt = Simulator::new(&vinst, 8)
+            .run(&mut Distribute::new(DeltaLruEdf::new()));
+        let bonus = virt.dropped.saturating_sub(out.dropped);
+        prop_assert!(stats.late <= bonus, "late {:?} > bonus {}", stats, bonus);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn simulation_is_deterministic(inst in general_strategy()) {
+        // Two independent runs of the same (stateless-seeded) policy stack
+        // must agree bit for bit — no hidden nondeterminism (hash order,
+        // allocation addresses) may leak into scheduling decisions.
+        let a = Simulator::new(&inst, 8).run(&mut full_algorithm());
+        let b = Simulator::new(&inst, 8).run(&mut full_algorithm());
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,82 @@
+//! Scale tests: larger instances than the unit tests use, checking that
+//! invariants survive volume. The `#[ignore]`d tests are soak-scale; run
+//! them with `cargo test --release -- --ignored`.
+
+use rrs::prelude::*;
+
+fn big_rate_limited(seed: u64, colors: usize, rounds: u64) -> Instance {
+    let bounds: Vec<u64> = (0..colors).map(|i| 1u64 << (1 + (i % 5))).collect();
+    let cfg = RateLimitedConfig { delta: 16, bounds, rounds, activity: 0.75, load: 0.9 };
+    rate_limited_instance(&cfg, seed)
+}
+
+#[test]
+fn medium_scale_run_conserves_and_respects_lemmas() {
+    let inst = big_rate_limited(1, 24, 2048);
+    assert!(inst.total_jobs() > 10_000, "workload should be substantial");
+    let r = check_lemmas(&inst, 16);
+    assert!(r.all_hold(), "{r:?}");
+    let out = Simulator::new(&inst, 16).run(&mut DeltaLruEdf::new());
+    assert!(out.conserved());
+}
+
+#[test]
+fn medium_scale_full_stack_on_general_traffic() {
+    let cfg = GeneralConfig {
+        delta: 8,
+        bounds: vec![3, 5, 8, 13, 16, 21, 32],
+        rounds: 1024,
+        arrival_prob: 0.25,
+        max_burst: 4,
+    };
+    let inst = general_instance(&cfg, 2);
+    let out = Simulator::new(&inst, 16).run(&mut full_algorithm());
+    assert!(out.conserved());
+    // Sanity ceiling: never worse than dropping everything.
+    assert!(out.dropped <= inst.total_jobs());
+}
+
+#[test]
+fn medium_scale_adversaries() {
+    // Larger appendix instances than the experiment defaults.
+    let a = lru_killer(LruKillerParams { n: 16, delta: 4, j: 8, k: 11 });
+    let off = Simulator::new(&a.instance, 1)
+        .run(&mut ReplayPolicy::new(a.off_schedule.clone()))
+        .total_cost();
+    assert_eq!(off, a.predicted_off_cost);
+    let dlru_edf = Simulator::new(&a.instance, 16).run(&mut DeltaLruEdf::new()).total_cost();
+    assert!(ratio(dlru_edf, off) < 6.0);
+
+    let b = edf_killer(EdfKillerParams { n: 16, delta: 20, j: 5, k: 9 });
+    let off = Simulator::new(&b.instance, 1)
+        .run(&mut ReplayPolicy::new(b.off_schedule.clone()))
+        .total_cost();
+    assert_eq!(off, b.predicted_off_cost);
+    let dlru_edf = Simulator::new(&b.instance, 16).run(&mut DeltaLruEdf::new()).total_cost();
+    assert!(ratio(dlru_edf, off) < 6.0);
+}
+
+#[test]
+#[ignore = "soak-scale; run with --release -- --ignored"]
+fn soak_hundred_colors_hundred_thousand_rounds() {
+    let inst = big_rate_limited(7, 100, 100_000);
+    let out = Simulator::new(&inst, 32).run(&mut DeltaLruEdf::new());
+    assert!(out.conserved());
+    let r = check_lemmas(&inst, 32);
+    assert!(r.all_hold(), "{r:?}");
+}
+
+#[test]
+#[ignore = "soak-scale; run with --release -- --ignored"]
+fn soak_full_stack_long_general_trace() {
+    let cfg = GeneralConfig {
+        delta: 32,
+        bounds: vec![2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64],
+        rounds: 50_000,
+        arrival_prob: 0.3,
+        max_burst: 4,
+    };
+    let inst = general_instance(&cfg, 3);
+    let out = Simulator::new(&inst, 24).run(&mut full_algorithm());
+    assert!(out.conserved());
+}
