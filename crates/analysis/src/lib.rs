@@ -34,7 +34,10 @@ pub mod timeline;
 
 pub use attribution::{attribute_costs, attribution_table, ColorCosts};
 pub use lemmas::{check_lemmas, LemmaReport};
-pub use punctuality::{execution_records, punctuality_stats, Punctuality, PunctualityStats};
+pub use punctuality::{
+    bonus_saves, execution_records, fifo_outcomes, punctuality_stats, unattributed_lates,
+    Punctuality, PunctualityStats,
+};
 pub use ratio::ratio;
 pub use run::{run_dlru_edf, run_policy, RunReport};
 pub use table::Table;
@@ -46,7 +49,8 @@ pub mod prelude {
     pub use crate::attribution::{attribute_costs, attribution_table, ColorCosts};
     pub use crate::lemmas::{check_lemmas, LemmaReport};
     pub use crate::punctuality::{
-        execution_records, punctuality_stats, Punctuality, PunctualityStats,
+        bonus_saves, execution_records, fifo_outcomes, punctuality_stats, unattributed_lates,
+        Punctuality, PunctualityStats,
     };
     pub use crate::ratio::ratio;
     pub use crate::run::{run_dlru_edf, run_policy, RunReport};

@@ -153,6 +153,124 @@ impl PushMultiple for Vec<ExecutionRecord> {
     }
 }
 
+/// Per-color FIFO job outcomes reconstructed from a trace:
+/// `outcomes[c][k]` is `true` iff the `k`-th arriving job of color `c` was
+/// executed (`false` = dropped). Exact for the same reason as
+/// [`execution_records`]: the engine retires each color's jobs strictly in
+/// deadline (= arrival) order, for executions and drops alike.
+pub fn fifo_outcomes(num_colors: usize, trace: &TraceRecorder) -> Vec<Vec<bool>> {
+    let mut outcomes: Vec<Vec<bool>> = vec![Vec::new(); num_colors];
+    // Retirement is FIFO, so the pending jobs of a color are always the
+    // contiguous index range `heads[c]..outcomes[c].len()`.
+    let mut heads: Vec<usize> = vec![0; num_colors];
+    for event in &trace.events {
+        match *event {
+            TraceEvent::Arrive { color, count, .. } => {
+                let q = &mut outcomes[color.index()];
+                q.resize(q.len() + count as usize, false);
+            }
+            TraceEvent::Drop { color, count, .. } => {
+                heads[color.index()] += count as usize;
+            }
+            TraceEvent::Execute { color, count, .. } => {
+                let head = &mut heads[color.index()];
+                let range = *head..*head + count as usize;
+                *head = range.end;
+                for slot in &mut outcomes[color.index()][range] {
+                    *slot = true;
+                }
+            }
+            TraceEvent::Reconfig { .. } => {}
+        }
+    }
+    outcomes
+}
+
+/// The number of *bonus saves* of a physical VarBatch run against its
+/// virtual referee run: jobs the virtual schedule dropped but the physical
+/// projection executed. This is the right diagnostic column next to
+/// `late` — but note it does **not** bound lateness (see
+/// [`unattributed_lates`] for the invariant that does hold).
+///
+/// Both traces index each color's jobs FIFO, and the VarBatch reduction
+/// preserves per-color job order (batching delays whole prefixes), so the
+/// `k`-th job of color `c` is the same job in both runs.
+pub fn bonus_saves(physical: &TraceRecorder, virtual_run: &TraceRecorder, num_colors: usize) -> u64 {
+    let phys = fifo_outcomes(num_colors, physical);
+    let virt = fifo_outcomes(num_colors, virtual_run);
+    let mut bonus = 0u64;
+    for (p, v) in phys.iter().zip(&virt) {
+        debug_assert_eq!(p.len(), v.len(), "physical and virtual job counts diverge");
+        bonus += p
+            .iter()
+            .zip(v)
+            .filter(|&(&phys_exec, &virt_exec)| phys_exec && !virt_exec)
+            .count() as u64;
+    }
+    bonus
+}
+
+/// The number of *unattributed* late executions of a physical VarBatch run:
+/// late executions of jobs with no virtually-dropped job at-or-before them
+/// in their color's FIFO order.
+///
+/// §5.2's punctuality theorem, in the form the engine's oldest-first
+/// projection actually satisfies, is that this count is **zero**: the
+/// virtual schedule is punctual by construction, so lateness can enter the
+/// physical schedule only downstream of a virtual drop — either the late
+/// job itself is a bonus save (virtually dropped, physically executed), or
+/// it was displaced past its punctual window by earlier bonus saves of its
+/// color consuming execution slots. Proof sketch: while job `k` is pending
+/// its color's queue is nonempty, so every virtual execution slot up to the
+/// end of `k`'s punctual window converts into a physical execution; if no
+/// job `<= k` were virtually dropped, those slots alone retire jobs
+/// `0..=k` within the window, contradicting a late execution of `k`.
+///
+/// Note neither aggregate count bounds lateness: `late <= bonus_saves` and
+/// `late <= virt_drops` both fail on real workloads, because one save can
+/// displace a *chain* of successors into their late half-blocks.
+pub fn unattributed_lates(
+    inst: &Instance,
+    physical: &TraceRecorder,
+    virtual_run: &TraceRecorder,
+) -> u64 {
+    let virt = fifo_outcomes(inst.colors.len(), virtual_run);
+    // Index of each color's first virtual drop; lates at-or-after it are
+    // attributed.
+    let first_vd: Vec<Option<usize>> =
+        virt.iter().map(|v| v.iter().position(|&e| !e)).collect();
+    // Arrival round of each job, FIFO per color.
+    let mut arrivals: Vec<Vec<u64>> = vec![Vec::new(); inst.colors.len()];
+    let mut heads: Vec<usize> = vec![0; inst.colors.len()];
+    let mut unattributed = 0u64;
+    for event in &physical.events {
+        match *event {
+            TraceEvent::Arrive { round, color, count } => {
+                let a = &mut arrivals[color.index()];
+                a.resize(a.len() + count as usize, round);
+            }
+            TraceEvent::Drop { color, count, .. } => {
+                heads[color.index()] += count as usize;
+            }
+            TraceEvent::Execute { round, color, count, .. } => {
+                let c = color.index();
+                let bound = inst.colors.delay_bound(color);
+                let start = heads[c];
+                heads[c] += count as usize;
+                for (off, &arrival) in arrivals[c][start..heads[c]].iter().enumerate() {
+                    let rec = ExecutionRecord { color, arrival, executed: round, bound };
+                    let attributed = first_vd[c].is_some_and(|f| f <= start + off);
+                    if rec.punctuality() == Punctuality::Late && !attributed {
+                        unattributed += 1;
+                    }
+                }
+            }
+            TraceEvent::Reconfig { .. } => {}
+        }
+    }
+    unattributed
+}
+
 /// Classify every execution of a traced run.
 pub fn punctuality_stats(inst: &Instance, trace: &TraceRecorder) -> PunctualityStats {
     let mut stats = PunctualityStats::default();

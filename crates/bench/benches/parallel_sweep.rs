@@ -1,0 +1,53 @@
+//! Parallel sweep scaling: the same seed sweep timed serially (`jobs = 1`)
+//! and at full parallelism, so `cargo bench parallel_sweep` reports the
+//! achieved speedup directly. Determinism is asserted inline: the parallel
+//! table must render byte-identically to the serial one.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rrs_analysis::experiments::{e11_arbitrary_bounds, e3_vs_opt};
+use rrs_engine::{jobs, set_jobs};
+
+const SEEDS: u64 = 32;
+
+fn with_jobs<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    let prev = jobs();
+    set_jobs(n);
+    let r = f();
+    set_jobs(prev);
+    r
+}
+
+fn bench_e3_sweep(c: &mut Criterion) {
+    let serial = with_jobs(1, || e3_vs_opt(0..SEEDS).to_string());
+    let parallel = e3_vs_opt(0..SEEDS).to_string();
+    assert_eq!(serial, parallel, "parallel sweep must be bit-identical");
+
+    let mut g = c.benchmark_group("parallel_sweep/e3");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(SEEDS));
+    g.bench_function("jobs_1", |b| {
+        b.iter(|| with_jobs(1, || std::hint::black_box(e3_vs_opt(0..SEEDS))))
+    });
+    g.bench_function("jobs_max", |b| b.iter(|| std::hint::black_box(e3_vs_opt(0..SEEDS))));
+    g.finish();
+}
+
+fn bench_e11_sweep(c: &mut Criterion) {
+    let serial = with_jobs(1, || e11_arbitrary_bounds(0..SEEDS).to_string());
+    let parallel = e11_arbitrary_bounds(0..SEEDS).to_string();
+    assert_eq!(serial, parallel, "parallel sweep must be bit-identical");
+
+    let mut g = c.benchmark_group("parallel_sweep/e11");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(SEEDS));
+    g.bench_function("jobs_1", |b| {
+        b.iter(|| with_jobs(1, || std::hint::black_box(e11_arbitrary_bounds(0..SEEDS))))
+    });
+    g.bench_function("jobs_max", |b| {
+        b.iter(|| std::hint::black_box(e11_arbitrary_bounds(0..SEEDS)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_e3_sweep, bench_e11_sweep);
+criterion_main!(benches);

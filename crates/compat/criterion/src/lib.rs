@@ -1,0 +1,337 @@
+//! Offline stand-in for the `criterion` crate, so `cargo bench` works with
+//! no registry access.
+//!
+//! Implements the API subset the workspace's benches use: [`Criterion`],
+//! [`BenchmarkGroup`] (`sample_size`, `throughput`, `bench_function`,
+//! `finish`), [`Bencher::iter`], [`Throughput`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Measurement is a plain
+//! wall-clock protocol: warm up, auto-calibrate an iteration batch to
+//! ~`MIN_SAMPLE_TIME`, time `sample_size` batches, report the median (and
+//! min/max) per-iteration time plus derived throughput.
+//!
+//! Harness behavior matches real criterion where cargo depends on it:
+//! `--test` runs every benchmark body once and exits, `--list` prints the
+//! benchmark names, and a positional argument filters benchmarks by
+//! substring.
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How the harness was invoked.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    /// Full measurement (`cargo bench`).
+    Bench,
+    /// Run each body once (`cargo test` / `--test`).
+    Test,
+    /// Print names only (`--list`).
+    List,
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { mode: Mode::Bench, filter: None, default_sample_size: 20 }
+    }
+}
+
+/// Minimum time one measured sample should take, so timer resolution noise
+/// stays below ~1%.
+const MIN_SAMPLE_TIME: Duration = Duration::from_millis(5);
+
+impl Criterion {
+    /// Build a harness from the process arguments (the contract cargo's
+    /// `harness = false` bench targets get).
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => c.mode = Mode::Test,
+                "--list" => c.mode = Mode::List,
+                s if s.starts_with('-') => {} // ignore --bench, --nocapture, ...
+                s => c.filter = Some(s.to_string()),
+            }
+        }
+        c
+    }
+
+    fn selected(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    /// Benchmark a function under `id`.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        run_one(self.mode, self.selected(id), id, sample_size, None, f);
+        self
+    }
+
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing sample-size and throughput
+/// settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of measured samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotate per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark a function within this group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(
+            self.criterion.mode,
+            self.criterion.selected(&full),
+            &full,
+            self.sample_size,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// End the group (accepted for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; times the routine under test.
+pub struct Bencher {
+    mode: Mode,
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, running it repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.mode == Mode::Test {
+            black_box(routine());
+            return;
+        }
+        // Calibrate: grow the batch until one batch clears MIN_SAMPLE_TIME.
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= MIN_SAMPLE_TIME || iters >= 1 << 20 {
+                break;
+            }
+            iters = iters
+                .saturating_mul(2)
+                .max((iters as f64 * MIN_SAMPLE_TIME.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)) as u64)
+                .min(1 << 20);
+        }
+        self.iters_per_sample = iters;
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} \u{b5}s", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn fmt_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.3} G{unit}/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.3} M{unit}/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.3} K{unit}/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} {unit}/s")
+    }
+}
+
+fn run_one<F>(mode: Mode, selected: bool, id: &str, sample_size: usize, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    match mode {
+        Mode::List => {
+            println!("{id}: benchmark");
+            return;
+        }
+        _ if !selected => return,
+        Mode::Test => {
+            let mut b = Bencher {
+                mode,
+                iters_per_sample: 1,
+                samples: Vec::new(),
+                sample_size,
+            };
+            f(&mut b);
+            println!("test {id} ... ok");
+            return;
+        }
+        Mode::Bench => {}
+    }
+    let mut b = Bencher {
+        mode,
+        iters_per_sample: 1,
+        samples: Vec::new(),
+        sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{id}: no measurement (closure never called iter)");
+        return;
+    }
+    let mut per_iter: Vec<f64> = b
+        .samples
+        .iter()
+        .map(|s| s.as_secs_f64() / b.iters_per_sample as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = per_iter[per_iter.len() / 2];
+    let lo = per_iter[0];
+    let hi = per_iter[per_iter.len() - 1];
+    let fmt = |secs: f64| fmt_duration(Duration::from_secs_f64(secs));
+    let mut line = format!(
+        "{id:<50} time: [{} {} {}]",
+        fmt(lo),
+        fmt(median),
+        fmt(hi)
+    );
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            line.push_str(&format!("  thrpt: {}", fmt_rate(n as f64 / median, "elem")));
+        }
+        Some(Throughput::Bytes(n)) => {
+            line.push_str(&format!("  thrpt: {}", fmt_rate(n as f64 / median, "B")));
+        }
+        None => {}
+    }
+    println!("{line}");
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut ran = 0u64;
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(2);
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("counting", |b| b.iter(|| ran = black_box(ran.wrapping_add(1))));
+        g.finish();
+        assert!(ran > 0, "routine must actually run");
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion { mode: Mode::Test, ..Criterion::default() };
+        let mut ran = 0u64;
+        c.bench_function("once", |b| b.iter(|| ran += 1));
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn filter_skips_unmatched() {
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+            ..Criterion::default()
+        };
+        let mut ran = false;
+        c.bench_function("something_else", |b| b.iter(|| ran = true));
+        assert!(!ran);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500.0 ns");
+        assert!(fmt_duration(Duration::from_micros(1500)).ends_with("ms"));
+        assert!(fmt_rate(2.5e6, "elem").starts_with("2.500 M"));
+    }
+}

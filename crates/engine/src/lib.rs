@@ -44,6 +44,7 @@
 //! ```
 
 pub mod assign;
+pub mod par;
 pub mod pending;
 pub mod policy;
 pub mod replay;
@@ -51,6 +52,7 @@ pub mod sim;
 pub mod trace;
 
 pub use assign::{recolor_reconfigs, stable_assign};
+pub use par::{jobs, par_map_sweep, set_jobs};
 pub use pending::PendingStore;
 pub use policy::{Observation, Policy, Slot};
 pub use replay::{FixedSchedule, ReplayPolicy};
@@ -60,6 +62,7 @@ pub use trace::{NullRecorder, Recorder, RoundSummary, SummaryRecorder, TraceEven
 /// Convenient re-exports for downstream crates.
 pub mod prelude {
     pub use crate::assign::{recolor_reconfigs, stable_assign};
+    pub use crate::par::{jobs, par_map_sweep, set_jobs};
     pub use crate::pending::PendingStore;
     pub use crate::policy::{Observation, Policy, Slot};
     pub use crate::replay::{FixedSchedule, ReplayPolicy};

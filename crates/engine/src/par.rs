@@ -1,0 +1,155 @@
+//! Dependency-free parallel sweep primitive for experiment harnesses.
+//!
+//! Experiment tables are built from many *independent* simulator runs — a
+//! seed sweep, a parameter grid, a candidate enumeration. [`par_map_sweep`]
+//! fans those runs across OS threads with a work-stealing index queue and
+//! returns results **in input order**, so a parallel sweep is bit-identical
+//! to the serial one: the simulator is deterministic, each item's closure
+//! sees only its own input, and the scatter-by-index collection step erases
+//! scheduling nondeterminism.
+//!
+//! The worker count comes from the process-wide [`set_jobs`]/[`jobs`] knob
+//! (CLI `--jobs N`), defaulting to [`std::thread::available_parallelism`].
+//! With one worker (or one item) the sweep degrades to a plain serial loop
+//! on the calling thread — no threads are spawned, so `--jobs 1` is exactly
+//! the pre-parallel code path.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide worker-count override; 0 means "unset, use the hardware".
+static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the process-wide worker count for [`par_map_sweep`].
+///
+/// # Panics
+/// Panics if `n` is zero (callers should reject `--jobs 0` at parse time;
+/// this is the backstop).
+pub fn set_jobs(n: usize) {
+    assert!(n >= 1, "worker count must be at least 1");
+    JOBS.store(n, Ordering::Relaxed);
+}
+
+/// The effective worker count: the [`set_jobs`] override if set, else the
+/// `RRS_JOBS` environment variable if parseable, else
+/// [`std::thread::available_parallelism`] (1 if even that is unknown).
+pub fn jobs() -> usize {
+    let set = JOBS.load(Ordering::Relaxed);
+    if set != 0 {
+        return set;
+    }
+    if let Some(n) = std::env::var("RRS_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+    {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Map `f` over `items` on up to [`jobs`] threads, returning the results
+/// in input order.
+///
+/// Scheduling is dynamic (workers steal the next unclaimed index from a
+/// shared atomic counter), so uneven per-item cost balances automatically;
+/// determinism is unaffected because results are scattered back by index.
+/// Panics in `f` propagate to the caller once all workers have stopped.
+pub fn par_map_sweep<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = jobs().min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let collected: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            return local;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    for (i, r) in collected.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let out = par_map_sweep(&items, |&x| x * x);
+        let expect: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn matches_serial_with_uneven_work() {
+        let items: Vec<u64> = (0..64).collect();
+        let heavy = |&x: &u64| -> u64 {
+            // Uneven spin so workers finish out of order.
+            let mut acc = x;
+            for _ in 0..(x % 7) * 1000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            acc
+        };
+        let serial: Vec<u64> = items.iter().map(heavy).collect();
+        assert_eq!(par_map_sweep(&items, heavy), serial);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map_sweep(&empty, |&x| x).is_empty());
+        assert_eq!(par_map_sweep(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn jobs_knob_round_trips() {
+        // Relaxed global state: other tests don't touch the knob.
+        set_jobs(3);
+        assert_eq!(jobs(), 3);
+        set_jobs(1);
+        assert_eq!(jobs(), 1);
+        // Leave unset-like behavior for the rest of the suite.
+        JOBS.store(0, Ordering::Relaxed);
+        assert!(jobs() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_jobs_rejected() {
+        set_jobs(0);
+    }
+}

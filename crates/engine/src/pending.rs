@@ -11,11 +11,23 @@ use std::collections::VecDeque;
 use rrs_model::ColorId;
 
 /// Pending unit jobs, bucketed by color and deadline.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct PendingStore {
     queues: Vec<VecDeque<(u64, u64)>>, // per color: (deadline, count), ascending
     counts: Vec<u64>,                  // per color total
     total: u64,
+    min_due: u64, // lower bound on the earliest pending deadline
+}
+
+impl Default for PendingStore {
+    fn default() -> Self {
+        PendingStore {
+            queues: Vec::new(),
+            counts: Vec::new(),
+            total: 0,
+            min_due: u64::MAX,
+        }
+    }
 }
 
 impl PendingStore {
@@ -59,6 +71,7 @@ impl PendingStore {
         }
         self.counts[color.index()] += count;
         self.total += count;
+        self.min_due = self.min_due.min(deadline);
     }
 
     /// Drop every job with deadline `<= round` (the drop phase of `round`
@@ -66,7 +79,14 @@ impl PendingStore {
     /// the store robust to sparse use). Appends `(color, dropped)` pairs to
     /// `out` in consistent color order and returns the total dropped.
     pub fn drop_due(&mut self, round: u64, out: &mut Vec<(ColorId, u64)>) -> u64 {
+        // `min_due` is a lower bound on every pending deadline, so most
+        // rounds skip the per-color scan entirely (executions can only
+        // raise the true minimum, which keeps the bound valid).
+        if round < self.min_due {
+            return 0;
+        }
         let mut total = 0;
+        let mut next_due = u64::MAX;
         for (i, q) in self.queues.iter_mut().enumerate() {
             let mut dropped = 0;
             while let Some(&(d, n)) = q.front() {
@@ -76,6 +96,9 @@ impl PendingStore {
                 dropped += n;
                 q.pop_front();
             }
+            if let Some(&(d, _)) = q.front() {
+                next_due = next_due.min(d);
+            }
             if dropped > 0 {
                 self.counts[i] -= dropped;
                 total += dropped;
@@ -83,6 +106,7 @@ impl PendingStore {
             }
         }
         self.total -= total;
+        self.min_due = next_due;
         total
     }
 

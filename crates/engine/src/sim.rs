@@ -91,7 +91,11 @@ impl<'a> Simulator<'a> {
         let mut executed = 0u64;
         let mut dropped_total = 0u64;
         let mut dropped_buf: Vec<(ColorId, u64)> = Vec::new();
-        let mut exec_counts: Vec<(ColorId, u64)> = Vec::new();
+        // Execution-phase scratch, reused across mini-rounds: a dense
+        // per-color slot count plus the list of colors touched this mini,
+        // so grouping is O(locations) instead of O(locations · colors).
+        let mut exec_count_by_color: Vec<u64> = vec![0; self.inst.colors.len()];
+        let mut touched: Vec<ColorId> = Vec::new();
 
         policy.init(self.inst.delta, self.n_locations);
 
@@ -156,17 +160,24 @@ impl<'a> Simulator<'a> {
 
                 // Phase 4: execution. Group locations by color, then execute
                 // earliest-deadline jobs of each configured color.
-                exec_counts.clear();
+                touched.clear();
                 for &s in &slots {
                     if let Some(c) = s {
-                        match exec_counts.iter_mut().find(|(cc, _)| *cc == c) {
-                            Some((_, k)) => *k += 1,
-                            None => exec_counts.push((c, 1)),
+                        if c.index() >= exec_count_by_color.len() {
+                            // Policies may configure colors the instance
+                            // never requests; they execute nothing.
+                            exec_count_by_color.resize(c.index() + 1, 0);
                         }
+                        let k = &mut exec_count_by_color[c.index()];
+                        if *k == 0 {
+                            touched.push(c);
+                        }
+                        *k += 1;
                     }
                 }
-                exec_counts.sort_unstable_by_key(|&(c, _)| c);
-                for &(c, q) in &exec_counts {
+                touched.sort_unstable();
+                for &c in &touched {
+                    let q = std::mem::take(&mut exec_count_by_color[c.index()]);
                     let e = pending.execute(c, q);
                     if e > 0 {
                         executed += e;

@@ -5,7 +5,16 @@
 //! the DP in [`crate::opt`], but so simple it serves as its independent
 //! correctness oracle. The property tests run both on tiny instances and
 //! assert equal optimal costs.
+//!
+//! The first round's branches fan out across threads
+//! ([`rrs_engine::par_map_sweep`]); the branch-and-bound incumbent is a
+//! shared [`AtomicU64`] updated with `fetch_min`, which keeps the result
+//! deterministic — pruning order affects only speed, never the final
+//! minimum.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rrs_engine::par_map_sweep;
 use rrs_model::Instance;
 
 /// Pending profile as canonical `(color, deadline, count)` rows.
@@ -101,41 +110,20 @@ fn rec_solve(
     cache: &[u32],
     pending: &Pending,
     spent: u64,
-    best: &mut u64,
+    best: &AtomicU64,
 ) {
-    if spent >= *best {
+    if spent >= best.load(Ordering::Relaxed) {
         return; // branch-and-bound prune
     }
     if round > horizon {
-        *best = spent;
+        best.fetch_min(spent, Ordering::Relaxed);
         return;
     }
     let mut p = pending.clone();
     let dropped = drops_due(&mut p, round);
     arrivals(inst, round, &mut p);
 
-    let mut cands: Vec<u32> = p.iter().map(|&(c, _, _)| c).collect();
-    cands.extend(cache.iter().copied().filter(|&c| c != BLACK));
-    cands.push(BLACK);
-    cands.sort_unstable();
-    cands.dedup();
-
-    for newcache in multisets(&cands, m) {
-        let rc = reconfig_count(cache, &newcache);
-        let mut p2 = p.clone();
-        let mut i = 0;
-        while i < newcache.len() {
-            let c = newcache[i];
-            let mut q = 1;
-            while i + 1 < newcache.len() && newcache[i + 1] == c {
-                q += 1;
-                i += 1;
-            }
-            if c != BLACK {
-                execute(&mut p2, c, q);
-            }
-            i += 1;
-        }
+    for (newcache, p2, step_cost) in expand(inst, m, round, cache, &p) {
         rec_solve(
             inst,
             m,
@@ -143,19 +131,69 @@ fn rec_solve(
             horizon,
             &newcache,
             &p2,
-            spent + dropped + inst.delta * rc,
+            spent + dropped + step_cost,
             best,
         );
     }
 }
 
+/// All successor states of one round: `(new cache, pending after execution,
+/// reconfiguration cost)` for every candidate cache multiset.
+fn expand(
+    inst: &Instance,
+    m: usize,
+    _round: u64,
+    cache: &[u32],
+    p: &Pending,
+) -> Vec<(Vec<u32>, Pending, u64)> {
+    let mut cands: Vec<u32> = p.iter().map(|&(c, _, _)| c).collect();
+    cands.extend(cache.iter().copied().filter(|&c| c != BLACK));
+    cands.push(BLACK);
+    cands.sort_unstable();
+    cands.dedup();
+
+    multisets(&cands, m)
+        .into_iter()
+        .map(|newcache| {
+            let rc = reconfig_count(cache, &newcache);
+            let mut p2 = p.clone();
+            let mut i = 0;
+            while i < newcache.len() {
+                let c = newcache[i];
+                let mut q = 1;
+                while i + 1 < newcache.len() && newcache[i + 1] == c {
+                    q += 1;
+                    i += 1;
+                }
+                if c != BLACK {
+                    execute(&mut p2, c, q);
+                }
+                i += 1;
+            }
+            let cost = inst.delta * rc;
+            (newcache, p2, cost)
+        })
+        .collect()
+}
+
 /// Exhaustively compute the optimal cost for `m` resources. Exponential;
 /// only for tiny instances (the oracle for [`crate::opt::solve_opt`]).
+/// Round 0's branches run in parallel, sharing the incumbent bound.
 pub fn solve_brute(inst: &Instance, m: usize) -> u64 {
     assert!(m >= 1);
-    let mut best = u64::MAX;
-    rec_solve(inst, m, 0, inst.horizon(), &vec![BLACK; m], &Vec::new(), 0, &mut best);
-    best
+    let best = AtomicU64::new(u64::MAX);
+    let horizon = inst.horizon();
+    let cache = vec![BLACK; m];
+    // Unroll round 0 by hand so its branches fan out across threads; each
+    // branch then runs the serial DFS against the shared incumbent.
+    let mut p: Pending = Vec::new();
+    let dropped = drops_due(&mut p, 0);
+    arrivals(inst, 0, &mut p);
+    let branches = expand(inst, m, 0, &cache, &p);
+    par_map_sweep(&branches, |(newcache, p2, step_cost)| {
+        rec_solve(inst, m, 1, horizon, newcache, p2, dropped + step_cost, &best);
+    });
+    best.load(Ordering::Relaxed)
 }
 
 #[cfg(test)]

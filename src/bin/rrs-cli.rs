@@ -7,8 +7,12 @@
 //! rrs-cli attribute <policy> <FILE> [--locations N]   per-color cost table
 //! rrs-cli opt <FILE> [--resources M]                  exact offline optimum
 //! rrs-cli lemmas <FILE> [--locations N]               check Lemmas 3.2/3.3/3.4
-//! rrs-cli evaluate                                    print every experiment table
+//! rrs-cli evaluate [--only NAME]                      print experiment tables
 //! ```
+//!
+//! The global `--jobs N` flag (any subcommand; default: all cores) sets the
+//! worker count for parallel sweeps. Tables are bit-identical at any
+//! setting; `--jobs 1` is fully serial.
 //!
 //! Kinds: `rate-limited`, `batched`, `general`, `router`, `datacenter`,
 //! `background`, `bursty`, `lru-killer`, `edf-killer`.
@@ -27,7 +31,8 @@ fn usage() -> ExitCode {
          rrs-cli attribute <policy> <FILE> [--locations N]\n  \
          rrs-cli opt <FILE> [--resources M]\n  \
          rrs-cli lemmas <FILE> [--locations N]\n  \
-         rrs-cli evaluate\n\
+         rrs-cli evaluate [--only NAME]\n\
+         global flags: --jobs N (parallel sweep workers; default: all cores)\n\
          kinds: rate-limited batched general router datacenter background bursty lru-killer edf-killer\n\
          policies: dlru edf classic-lru dlru-edf distribute full"
     );
@@ -197,8 +202,46 @@ fn cmd_classify(args: Vec<String>) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_evaluate(mut args: Vec<String>) -> Result<(), String> {
+    let only = take_flag(&mut args, "--only");
+    match only {
+        Some(name) => {
+            let suite = experiments::default_suite();
+            let build = suite
+                .iter()
+                .find(|&&(n, _)| n == name)
+                .map(|&(_, build)| build)
+                .ok_or_else(|| {
+                    let names: Vec<&str> = suite.iter().map(|&(n, _)| n).collect();
+                    format!("unknown experiment '{name}' (have: {})", names.join(" "))
+                })?;
+            println!("{}", build());
+        }
+        None => {
+            for table in experiments::all_default() {
+                println!("{table}");
+            }
+        }
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    // Global flag, usable with any subcommand.
+    match take_flag(&mut argv, "--jobs").map(|v| v.parse::<usize>()) {
+        // take_flag leaves a trailing value-less flag in place.
+        None if argv.iter().any(|a| a == "--jobs") => {
+            eprintln!("error: --jobs requires a value");
+            return ExitCode::from(2);
+        }
+        None => {}
+        Some(Ok(n)) if n >= 1 => rrs::engine::set_jobs(n),
+        Some(_) => {
+            eprintln!("error: --jobs must be a positive integer");
+            return ExitCode::from(2);
+        }
+    }
     if argv.is_empty() {
         return usage();
     }
@@ -210,12 +253,7 @@ fn main() -> ExitCode {
         "attribute" => cmd_attribute(argv),
         "opt" => cmd_opt(argv),
         "lemmas" => cmd_lemmas(argv),
-        "evaluate" => {
-            for table in experiments::all_default() {
-                println!("{table}");
-            }
-            Ok(())
-        }
+        "evaluate" => cmd_evaluate(argv),
         _ => return usage(),
     };
     match result {

@@ -1,0 +1,41 @@
+//! `sweep-smoke` — a plain release-mode throughput check for the parallel
+//! sweep runner (no bench harness, no flags to remember):
+//!
+//! ```text
+//! cargo run --release --bin sweep-smoke [SEEDS]
+//! ```
+//!
+//! Runs the E3 seed sweep serially (`jobs = 1`) and at full parallelism,
+//! prints both wall-clock times and the speedup, and fails loudly if the
+//! two tables are not byte-identical.
+
+use std::time::Instant;
+
+use rrs::analysis::experiments::e3_vs_opt;
+use rrs::engine::{jobs, set_jobs};
+
+fn main() {
+    let seeds: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("SEEDS must be a positive integer"))
+        .unwrap_or(64);
+
+    let workers = jobs();
+    set_jobs(1);
+    let t0 = Instant::now();
+    let serial = e3_vs_opt(0..seeds).to_string();
+    let serial_time = t0.elapsed();
+
+    set_jobs(workers);
+    let t1 = Instant::now();
+    let parallel = e3_vs_opt(0..seeds).to_string();
+    let parallel_time = t1.elapsed();
+
+    assert_eq!(serial, parallel, "parallel table diverged from serial");
+
+    let speedup = serial_time.as_secs_f64() / parallel_time.as_secs_f64().max(1e-9);
+    println!("e3_vs_opt sweep, {seeds} seeds");
+    println!("  serial   (jobs=1):  {serial_time:?}");
+    println!("  parallel (jobs={workers}): {parallel_time:?}");
+    println!("  speedup: {speedup:.2}x, tables byte-identical");
+}

@@ -100,6 +100,55 @@ fn bad_instance_file_reports_error() {
 }
 
 #[test]
+fn evaluate_jobs_round_trips_byte_identical() {
+    let run = |jobs: &str| {
+        let out = cli()
+            .args(["evaluate", "--only", "e3", "--jobs", jobs])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "--jobs {jobs}: {}", String::from_utf8_lossy(&out.stderr));
+        out.stdout
+    };
+    let serial = run("1");
+    assert!(!serial.is_empty());
+    assert_eq!(serial, run("4"), "parallel table bytes diverged from serial");
+    assert_eq!(serial, run("3"), "odd worker count diverged");
+}
+
+#[test]
+fn evaluate_only_selects_one_experiment() {
+    let out = cli().args(["evaluate", "--only", "e13"]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("E13"), "{text}");
+    assert!(!text.contains("E3 ("), "other tables must not print: {text}");
+}
+
+#[test]
+fn evaluate_only_unknown_name_fails() {
+    let out = cli().args(["evaluate", "--only", "e99"]).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown experiment"), "{err}");
+}
+
+#[test]
+fn zero_jobs_rejected() {
+    let out = cli().args(["evaluate", "--jobs", "0"]).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--jobs"), "{err}");
+}
+
+#[test]
+fn valueless_jobs_flag_rejected() {
+    let out = cli().args(["evaluate", "--only", "e3", "--jobs"]).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--jobs requires a value"), "{err}");
+}
+
+#[test]
 fn all_generator_kinds_work() {
     for kind in [
         "rate-limited",

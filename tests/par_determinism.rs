@@ -1,0 +1,30 @@
+//! Golden determinism: parallel sweeps must be bit-identical to serial.
+//!
+//! One test function drives every comparison because the jobs knob is
+//! process-global; separate `#[test]`s would race on it under the default
+//! multi-threaded test runner.
+
+use rrs::analysis::experiments::{e11_arbitrary_bounds, e15_punctuality, e3_vs_opt};
+use rrs::engine::set_jobs;
+
+#[test]
+fn parallel_tables_match_serial_byte_for_byte() {
+    let render_all = || {
+        (
+            e3_vs_opt(0..12).to_string(),
+            e11_arbitrary_bounds(0..8).to_string(),
+            e15_punctuality(0..6).to_string(),
+        )
+    };
+    set_jobs(1);
+    let serial = render_all();
+    set_jobs(4);
+    let parallel = render_all();
+    // Element-for-element comparison so a mismatch names the table.
+    assert_eq!(serial.0, parallel.0, "e3_vs_opt diverged");
+    assert_eq!(serial.1, parallel.1, "e11_arbitrary_bounds diverged");
+    assert_eq!(serial.2, parallel.2, "e15_punctuality diverged");
+    // An odd worker count exercises uneven work distribution too.
+    set_jobs(3);
+    assert_eq!(serial.0, e3_vs_opt(0..12).to_string());
+}

@@ -73,6 +73,29 @@ proptest! {
     }
 
     #[test]
+    fn outcome_invariants_hold_at_any_speed_and_horizon(
+        inst in general_strategy(),
+        speed in 1u32..=2,
+        extra in 0u64..=16,
+    ) {
+        // The Outcome bookkeeping identities must survive mini-rounds
+        // (speed 2) and horizons extended past the instance's own: every
+        // arrival is executed or dropped, the ledger's drop count is the
+        // outcome's, and the round count covers the extension.
+        let out = Simulator::new(&inst, 8)
+            .with_speed(speed)
+            .with_horizon(inst.horizon() + extra)
+            .run(&mut full_algorithm());
+        prop_assert!(out.conserved(), "speed {}: {:?}", speed, out);
+        prop_assert_eq!(out.cost.drops, out.dropped);
+        prop_assert_eq!(out.rounds, inst.horizon() + extra + 1);
+        prop_assert_eq!(
+            out.total_cost(),
+            inst.delta * out.cost.reconfigs + out.dropped
+        );
+    }
+
+    #[test]
     fn lemma_bounds_hold_on_random_rate_limited(inst in rate_limited_strategy()) {
         let r = check_lemmas(&inst, 8);
         prop_assert!(r.lemma_3_3_holds(), "3.3: {:?}", r);
@@ -178,19 +201,22 @@ proptest! {
     }
 
     #[test]
-    fn varbatch_late_executions_are_bonus_saves(inst in rate_limited_strategy()) {
-        // §5.2: the *virtual* schedule is punctual by construction. The
-        // physical projection may execute early (pending jobs of a
-        // configured color) and may save virtually-dropped jobs late, so
-        // the invariant is late <= virtual drops - physical drops.
+    fn varbatch_late_executions_are_attributed(inst in rate_limited_strategy()) {
+        // §5.2: the *virtual* schedule is punctual by construction, so
+        // lateness can enter the physical projection only downstream of a
+        // virtual drop: a late-executed job is either itself a bonus save
+        // (virtually dropped, physically executed) or was displaced past
+        // its punctual window by earlier bonus saves of its color. No
+        // aggregate count bounds lateness (one save can displace a chain
+        // of successors), so the invariant is per-job attribution.
         let mut trace = rrs::engine::TraceRecorder::new();
-        let out = Simulator::new(&inst, 8).run_traced(&mut full_algorithm(), &mut trace);
-        let stats = punctuality_stats(&inst, &trace);
+        Simulator::new(&inst, 8).run_traced(&mut full_algorithm(), &mut trace);
         let vinst = rrs::core::varbatch_instance(&inst);
-        let virt = Simulator::new(&vinst, 8)
-            .run(&mut Distribute::new(DeltaLruEdf::new()));
-        let bonus = virt.dropped.saturating_sub(out.dropped);
-        prop_assert!(stats.late <= bonus, "late {:?} > bonus {}", stats, bonus);
+        let mut virt_trace = rrs::engine::TraceRecorder::new();
+        Simulator::new(&vinst, 8)
+            .run_traced(&mut Distribute::new(DeltaLruEdf::new()), &mut virt_trace);
+        let unattributed = rrs::analysis::unattributed_lates(&inst, &trace, &virt_trace);
+        prop_assert!(unattributed == 0, "{} late executions with no virtual drop before them", unattributed);
     }
 }
 
