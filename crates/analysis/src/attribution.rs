@@ -37,19 +37,27 @@ impl ColorCosts {
 pub fn attribute_costs<P: Policy>(inst: &Instance, n: usize, policy: &mut P) -> Vec<ColorCosts> {
     let mut trace = TraceRecorder::new();
     Simulator::new(inst, n).run_traced(policy, &mut trace);
+    per_color_from_events(inst, trace.events.iter())
+}
+
+/// Fold a stream of trace events into per-color cost breakdowns. This is
+/// the single attribution rule shared by [`attribute_costs`], the run
+/// reports, and the CLI's saved-trace `report` mode.
+pub fn per_color_from_events<'a>(
+    inst: &Instance,
+    events: impl IntoIterator<Item = &'a TraceEvent>,
+) -> Vec<ColorCosts> {
     let mut per: Vec<ColorCosts> = inst
         .colors
         .ids()
         .map(|color| ColorCosts { color, arrived: 0, executed: 0, dropped: 0, reconfigs_to: 0 })
         .collect();
-    for e in &trace.events {
+    for e in events {
         match *e {
             TraceEvent::Arrive { color, count, .. } => per[color.index()].arrived += count,
             TraceEvent::Execute { color, count, .. } => per[color.index()].executed += count,
             TraceEvent::Drop { color, count, .. } => per[color.index()].dropped += count,
-            TraceEvent::Reconfig { to: Some(color), .. } => {
-                per[color.index()].reconfigs_to += 1
-            }
+            TraceEvent::Reconfig { to: Some(color), .. } => per[color.index()].reconfigs_to += 1,
             TraceEvent::Reconfig { to: None, .. } => {}
         }
     }
@@ -59,10 +67,8 @@ pub fn attribute_costs<P: Policy>(inst: &Instance, n: usize, policy: &mut P) -> 
 /// Render an attribution as a table sorted by descending cost.
 pub fn attribution_table(title: &str, delta: u64, mut per: Vec<ColorCosts>) -> Table {
     per.sort_by_key(|c| std::cmp::Reverse(c.cost(delta)));
-    let mut t = Table::new(
-        title,
-        &["color", "arrived", "executed", "dropped", "reconfigs_to", "cost"],
-    );
+    let mut t =
+        Table::new(title, &["color", "arrived", "executed", "dropped", "reconfigs_to", "cost"]);
     for c in per {
         t.row(vec![
             c.color.to_string(),

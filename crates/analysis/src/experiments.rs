@@ -6,20 +6,29 @@
 //! Every sweep fans its independent simulator runs across threads with
 //! [`par_map_sweep`] (rows are computed in parallel, appended in input
 //! order), so the tables are bit-identical at any `--jobs` setting.
+//!
+//! **Observability.** Each experiment's principal online runs go through
+//! [`observed_run`] / [`run_dlru_edf_labeled`] with a stable label (e.g.
+//! `"e3 seed=4"`). When report collection is off — the default — these are
+//! plain runs; when a caller (the CLI's `evaluate --metrics-out`) enables
+//! it, every labeled run additionally deposits a [`crate::RunReport`] into
+//! the collector, drained sorted by label so the sweep's work-stealing
+//! completion order never leaks into the output.
 
-use rrs_core::{full_algorithm, ClassicLru, DeltaLru, DeltaLruEdf, Edf};
+use rrs_core::{full_algorithm, AlgoMetrics, ClassicLru, DeltaLru, DeltaLruEdf, Edf};
 use rrs_engine::{par_map_sweep, Policy, ReplayPolicy, Simulator};
 use rrs_model::Instance;
 use rrs_offline::{combined_lower_bound, portfolio_upper_bound, solve_opt, OptConfig};
 use rrs_workloads::{
     background_vs_short_term, batched_instance, edf_killer, general_instance, lru_killer,
-    multiservice_router, rate_limited_instance, BackgroundConfig, BatchedConfig,
-    EdfKillerParams, GeneralConfig, LruKillerParams, RateLimitedConfig, RouterConfig,
+    multiservice_router, rate_limited_instance, BackgroundConfig, BatchedConfig, EdfKillerParams,
+    GeneralConfig, LruKillerParams, RateLimitedConfig, RouterConfig,
 };
 
+use crate::attribution::per_color_from_events;
 use crate::lemmas::check_lemmas;
 use crate::ratio::ratio;
-use crate::run::run_dlru_edf;
+use crate::run::{collecting, observed_run, record_report, run_dlru_edf_labeled, RunReport};
 use crate::table::{fmt_ratio, Table};
 
 /// A named policy constructor, as swept by E8 and the router scenario.
@@ -41,9 +50,9 @@ pub fn e1_lru_adversary(n: usize, delta: u64, j_range: std::ops::RangeInclusive<
         let k = j + 2;
         let params = LruKillerParams { n, delta, j, k };
         let adv = lru_killer(params);
-        let dlru = Simulator::new(&adv.instance, n).run(&mut DeltaLru::new()).total_cost();
-        let dlru_edf =
-            Simulator::new(&adv.instance, n).run(&mut DeltaLruEdf::new()).total_cost();
+        let label = format!("e1 j={j}");
+        let dlru = observed_run(&label, &adv.instance, n, &mut DeltaLru::new()).total_cost();
+        let dlru_edf = observed_run(&label, &adv.instance, n, &mut DeltaLruEdf::new()).total_cost();
         let off = Simulator::new(&adv.instance, adv.off_resources)
             .run(&mut ReplayPolicy::new(adv.off_schedule.clone()))
             .total_cost();
@@ -68,7 +77,12 @@ pub fn e1_lru_adversary(n: usize, delta: u64, j_range: std::ops::RangeInclusive<
 
 /// E2 (Appendix B): the EDF lower-bound construction. Sweeps `k`; EDF's
 /// ratio grows like `2^{k-j-1}/(n/2+1)` while ΔLRU-EDF's stays bounded.
-pub fn e2_edf_adversary(n: usize, delta: u64, j: u32, k_range: std::ops::RangeInclusive<u32>) -> Table {
+pub fn e2_edf_adversary(
+    n: usize,
+    delta: u64,
+    j: u32,
+    k_range: std::ops::RangeInclusive<u32>,
+) -> Table {
     let mut t = Table::new(
         "E2 (Appendix B): EDF vs OFF on the EDF-killer",
         &["j", "k", "edf", "dlru_edf", "off", "ratio_edf", "ratio_dlru_edf", "theory"],
@@ -77,9 +91,9 @@ pub fn e2_edf_adversary(n: usize, delta: u64, j: u32, k_range: std::ops::RangeIn
     for row in par_map_sweep(&ks, |&k| {
         let params = EdfKillerParams { n, delta, j, k };
         let adv = edf_killer(params);
-        let edf = Simulator::new(&adv.instance, n).run(&mut Edf::new()).total_cost();
-        let dlru_edf =
-            Simulator::new(&adv.instance, n).run(&mut DeltaLruEdf::new()).total_cost();
+        let label = format!("e2 k={k}");
+        let edf = observed_run(&label, &adv.instance, n, &mut Edf::new()).total_cost();
+        let dlru_edf = observed_run(&label, &adv.instance, n, &mut DeltaLruEdf::new()).total_cost();
         let off = Simulator::new(&adv.instance, adv.off_resources)
             .run(&mut ReplayPolicy::new(adv.off_schedule.clone()))
             .total_cost();
@@ -105,13 +119,8 @@ pub fn e2_edf_adversary(n: usize, delta: u64, j: u32, k_range: std::ops::RangeIn
 /// E3 (Theorem 1): ΔLRU-EDF with `n = 8m` against the exact offline optimum
 /// on small random rate-limited instances.
 pub fn e3_vs_opt(seeds: std::ops::Range<u64>) -> Table {
-    let cfg = RateLimitedConfig {
-        delta: 3,
-        bounds: vec![2, 4],
-        rounds: 16,
-        activity: 0.8,
-        load: 0.9,
-    };
+    let cfg =
+        RateLimitedConfig { delta: 3, bounds: vec![2, 4], rounds: 16, activity: 0.8, load: 0.9 };
     let m = 1;
     let n = 8 * m;
     let mut t = Table::new(
@@ -123,14 +132,10 @@ pub fn e3_vs_opt(seeds: std::ops::Range<u64>) -> Table {
     for (row, r) in par_map_sweep(&seeds, |&seed| {
         let inst = rate_limited_instance(&cfg, seed);
         let opt = solve_opt(&inst, m, OptConfig::default()).expect("instance sized for OPT");
-        let online = run_dlru_edf(&inst, n);
+        let online = run_dlru_edf_labeled(&format!("e3 seed={seed}"), &inst, n);
         let r = ratio(online.cost(), opt.cost);
-        let row = vec![
-            seed.to_string(),
-            opt.cost.to_string(),
-            online.cost().to_string(),
-            fmt_ratio(r),
-        ];
+        let row =
+            vec![seed.to_string(), opt.cost.to_string(), online.cost().to_string(), fmt_ratio(r)];
         (row, r)
     }) {
         worst = worst.max(if r.is_finite() { r } else { 0.0 });
@@ -147,9 +152,8 @@ pub fn e4_epoch_bounds(seeds: std::ops::Range<u64>) -> Table {
         "E4 (Lemmas 3.3/3.4): reconfig <= 4*epochs*\u{394}, inelig drops <= epochs*\u{394}",
         &["seed", "load", "epochs", "reconfig", "4*E*delta", "inelig", "E*delta", "holds"],
     );
-    let grid: Vec<(u64, f64)> = seeds
-        .flat_map(|seed| [0.3, 0.7, 1.0].map(|load| (seed, load)))
-        .collect();
+    let grid: Vec<(u64, f64)> =
+        seeds.flat_map(|seed| [0.3, 0.7, 1.0].map(|load| (seed, load))).collect();
     for row in par_map_sweep(&grid, |&(seed, load)| {
         let cfg = RateLimitedConfig {
             delta: 4,
@@ -215,13 +219,8 @@ pub fn e5_drop_chain(seeds: std::ops::Range<u64>) -> Table {
 pub fn e6_distribute(seeds: std::ops::Range<u64>) -> Table {
     let n = 8;
     let m = 1;
-    let cfg = BatchedConfig {
-        delta: 4,
-        bounds: vec![2, 4, 8],
-        rounds: 64,
-        activity: 0.7,
-        overload: 3.0,
-    };
+    let cfg =
+        BatchedConfig { delta: 4, bounds: vec![2, 4, 8], rounds: 64, activity: 0.7, overload: 3.0 };
     let mut t = Table::new(
         "E6 (Theorem 2): Distribute \u{2218} \u{394}LRU-EDF on oversize batches vs OPT bracket",
         &["seed", "jobs", "cost", "lower_bound", "opt_upper", "ratio_vs_lb"],
@@ -230,7 +229,7 @@ pub fn e6_distribute(seeds: std::ops::Range<u64>) -> Table {
     for row in par_map_sweep(&seeds, |&seed| {
         let inst = batched_instance(&cfg, seed);
         let mut p = rrs_core::Distribute::new(DeltaLruEdf::new());
-        let out = Simulator::new(&inst, n).run(&mut p);
+        let out = observed_run(&format!("e6 seed={seed}"), &inst, n, &mut p);
         let lb = combined_lower_bound(&inst, m);
         let ub = portfolio_upper_bound(&inst, m);
         vec![
@@ -268,7 +267,7 @@ pub fn e7_varbatch(seeds: std::ops::Range<u64>) -> Table {
     for row in par_map_sweep(&seeds, |&seed| {
         let inst = general_instance(&cfg, seed);
         let mut p = full_algorithm();
-        let out = Simulator::new(&inst, n).run(&mut p);
+        let out = observed_run(&format!("e7 seed={seed}"), &inst, n, &mut p);
         assert!(out.conserved());
         let lb = combined_lower_bound(&inst, m);
         let ub = portfolio_upper_bound(&inst, m);
@@ -305,7 +304,7 @@ pub fn e8_motivation(seed: u64) -> Table {
     ];
     for row in par_map_sweep(&policies, |&(name, mk)| {
         let mut policy = mk();
-        let out = Simulator::new(&inst, n).run(&mut &mut *policy);
+        let out = observed_run(&format!("e8 policy={name}"), &inst, n, &mut &mut *policy);
         vec![
             name.to_string(),
             out.cost.reconfig_cost().to_string(),
@@ -335,27 +334,15 @@ pub fn e9_throughput_shapes() -> Vec<(String, Instance, usize)> {
 /// E10: the resource-augmentation sweep — ΔLRU-EDF's ratio against exact
 /// OPT (m = 1) as its location budget grows.
 pub fn e10_augmentation(seed: u64) -> Table {
-    let cfg = RateLimitedConfig {
-        delta: 3,
-        bounds: vec![2, 4],
-        rounds: 16,
-        activity: 0.9,
-        load: 1.0,
-    };
+    let cfg =
+        RateLimitedConfig { delta: 3, bounds: vec![2, 4], rounds: 16, activity: 0.9, load: 1.0 };
     let inst = rate_limited_instance(&cfg, seed);
     let opt = solve_opt(&inst, 1, OptConfig::default()).expect("sized for OPT").cost;
-    let mut t = Table::new(
-        "E10: resource augmentation sweep vs OPT(m=1)",
-        &["n", "cost", "opt", "ratio"],
-    );
+    let mut t =
+        Table::new("E10: resource augmentation sweep vs OPT(m=1)", &["n", "cost", "opt", "ratio"]);
     for row in par_map_sweep(&[4usize, 8, 16, 32], |&n| {
-        let r = run_dlru_edf(&inst, n);
-        vec![
-            n.to_string(),
-            r.cost().to_string(),
-            opt.to_string(),
-            fmt_ratio(ratio(r.cost(), opt)),
-        ]
+        let r = run_dlru_edf_labeled(&format!("e10 n={n:02}"), &inst, n);
+        vec![n.to_string(), r.cost().to_string(), opt.to_string(), fmt_ratio(ratio(r.cost(), opt))]
     }) {
         t.row(row);
     }
@@ -382,7 +369,7 @@ pub fn e11_arbitrary_bounds(seeds: std::ops::Range<u64>) -> Table {
     for row in par_map_sweep(&seeds, |&seed| {
         let inst = general_instance(&cfg, seed);
         let mut p = full_algorithm();
-        let out = Simulator::new(&inst, n).run(&mut p);
+        let out = observed_run(&format!("e11 seed={seed}"), &inst, n, &mut p);
         assert!(out.conserved());
         let lb = combined_lower_bound(&inst, 1);
         vec![
@@ -417,20 +404,23 @@ pub fn e12_split_ablation() -> Table {
         &["lru_share", "ratio_appendix_a", "ratio_appendix_b", "worst"],
     );
     for row in par_map_sweep(&[0.0, 0.25, 0.5, 0.75, 1.0], |&share| {
-        let ca = Simulator::new(&a.instance, n)
-            .run(&mut DeltaLruEdf::with_lru_share(share))
-            .total_cost();
-        let cb = Simulator::new(&b.instance, n)
-            .run(&mut DeltaLruEdf::with_lru_share(share))
-            .total_cost();
+        let ca = observed_run(
+            &format!("e12 share={share:.2} appendix_a"),
+            &a.instance,
+            n,
+            &mut DeltaLruEdf::with_lru_share(share),
+        )
+        .total_cost();
+        let cb = observed_run(
+            &format!("e12 share={share:.2} appendix_b"),
+            &b.instance,
+            n,
+            &mut DeltaLruEdf::with_lru_share(share),
+        )
+        .total_cost();
         let ra = ratio(ca, off_a);
         let rb = ratio(cb, off_b);
-        vec![
-            format!("{share:.2}"),
-            fmt_ratio(ra),
-            fmt_ratio(rb),
-            fmt_ratio(ra.max(rb)),
-        ]
+        vec![format!("{share:.2}"), fmt_ratio(ra), fmt_ratio(rb), fmt_ratio(ra.max(rb))]
     }) {
         t.row(row);
     }
@@ -455,9 +445,10 @@ pub fn e13_counter_gate_ablation(num_colors_sweep: &[usize]) -> Table {
             b.arrive((i as u64) * 4, c, 1);
         }
         let inst = b.build();
-        let classic = Simulator::new(&inst, n).run(&mut ClassicLru::new()).total_cost();
-        let dlru = Simulator::new(&inst, n).run(&mut DeltaLru::new()).total_cost();
-        let dlru_edf = Simulator::new(&inst, n).run(&mut DeltaLruEdf::new()).total_cost();
+        let label = format!("e13 colors={num:03}");
+        let classic = observed_run(&label, &inst, n, &mut ClassicLru::new()).total_cost();
+        let dlru = observed_run(&label, &inst, n, &mut DeltaLru::new()).total_cost();
+        let dlru_edf = observed_run(&label, &inst, n, &mut DeltaLruEdf::new()).total_cost();
         vec![
             num.to_string(),
             classic.to_string(),
@@ -504,24 +495,27 @@ pub fn e14_replication_ablation() -> Table {
     }
     workloads.push(("overrate_backlog", b.build()));
     // The adversaries.
-    workloads.push((
-        "lru_killer",
-        lru_killer(LruKillerParams { n, delta: 2, j: 6, k: 8 }).instance,
-    ));
-    workloads.push((
-        "edf_killer",
-        edf_killer(EdfKillerParams { n, delta: 10, j: 4, k: 7 }).instance,
-    ));
+    workloads
+        .push(("lru_killer", lru_killer(LruKillerParams { n, delta: 2, j: 6, k: 8 }).instance));
+    workloads
+        .push(("edf_killer", edf_killer(EdfKillerParams { n, delta: 10, j: 4, k: 7 }).instance));
     for row in par_map_sweep(&workloads, |(name, inst)| {
-        let paper = Simulator::new(inst, n).run(&mut DeltaLruEdf::new()).total_cost();
-        let wide = Simulator::new(inst, n)
-            .run(&mut DeltaLruEdf::with_replication(1))
+        let paper = observed_run(&format!("e14 {name} paper"), inst, n, &mut DeltaLruEdf::new())
             .total_cost();
+        let wide = observed_run(
+            &format!("e14 {name} wide"),
+            inst,
+            n,
+            &mut DeltaLruEdf::with_replication(1),
+        )
+        .total_cost();
         vec![name.to_string(), paper.to_string(), wide.to_string()]
     }) {
         t.row(row);
     }
-    t.note("neither dominates: diversity-bound workloads favor wide, drain-bound favor replication");
+    t.note(
+        "neither dominates: diversity-bound workloads favor wide, drain-bound favor replication",
+    );
     t
 }
 
@@ -548,13 +542,35 @@ pub fn e15_punctuality(seeds: std::ops::Range<u64>) -> Table {
     };
     let mut t = Table::new(
         "E15 (\u{a7}5.2): execution punctuality of the VarBatch stack",
-        &["seed", "early", "punctual", "late", "phys_drops", "virt_drops", "bonus", "late_attributed"],
+        &[
+            "seed",
+            "early",
+            "punctual",
+            "late",
+            "phys_drops",
+            "virt_drops",
+            "bonus",
+            "late_attributed",
+        ],
     );
     let seeds: Vec<u64> = seeds.collect();
     for row in par_map_sweep(&seeds, |&seed| {
         let inst = general_instance(&cfg, seed);
         let mut trace = rrs_engine::TraceRecorder::new();
-        let out = Simulator::new(&inst, 8).run_traced(&mut full_algorithm(), &mut trace);
+        let mut p = full_algorithm();
+        let out = Simulator::new(&inst, 8).run_traced(&mut p, &mut trace);
+        if collecting() {
+            // E15 already traces its physical run; fold the same events
+            // into a report instead of running the policy a second time.
+            record_report(RunReport {
+                label: format!("e15 seed={seed}"),
+                policy: p.name().to_string(),
+                locations: 8,
+                outcome: out.clone(),
+                metrics: AlgoMetrics::default(),
+                per_color: per_color_from_events(&inst, trace.events.iter()),
+            });
+        }
         let stats = crate::punctuality::punctuality_stats(&inst, &trace);
         // The wrapper's internal virtual run is exactly Distribute ∘
         // ΔLRU-EDF on the materialized σ' (the differential tests verify
@@ -563,10 +579,8 @@ pub fn e15_punctuality(seeds: std::ops::Range<u64>) -> Table {
         let mut virt_trace = rrs_engine::TraceRecorder::new();
         let virt = Simulator::new(&vinst, 8)
             .run_traced(&mut rrs_core::Distribute::new(DeltaLruEdf::new()), &mut virt_trace);
-        let bonus =
-            crate::punctuality::bonus_saves(&trace, &virt_trace, inst.colors.len());
-        let unattributed =
-            crate::punctuality::unattributed_lates(&inst, &trace, &virt_trace);
+        let bonus = crate::punctuality::bonus_saves(&trace, &virt_trace, inst.colors.len());
+        let unattributed = crate::punctuality::unattributed_lates(&inst, &trace, &virt_trace);
         vec![
             seed.to_string(),
             stats.early.to_string(),
@@ -603,7 +617,7 @@ pub fn router_scenario(seed: u64) -> Table {
     ];
     for row in par_map_sweep(&policies, |&(name, mk)| {
         let mut policy = mk();
-        let out = Simulator::new(&inst, n).run(&mut &mut *policy);
+        let out = observed_run(&format!("router policy={name}"), &inst, n, &mut &mut *policy);
         vec![
             name.to_string(),
             out.cost.reconfig_cost().to_string(),
@@ -759,6 +773,30 @@ mod tests {
         let t = e15_punctuality(0..4);
         for i in 0..t.len() {
             assert_eq!(t.cell(i, "late_attributed"), Some("true"), "row {i}");
+        }
+    }
+
+    #[test]
+    fn collection_captures_labeled_reports_in_label_order() {
+        let _g = crate::run::test_sync::COLLECTOR_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        crate::run::enable_report_collection();
+        let _ = e3_vs_opt(0..3);
+        let reports = crate::run::take_reports();
+        // Concurrent tests may deposit extra labeled reports while
+        // collection is on, so assert presence and order, not exact count.
+        let mine: Vec<_> = reports.iter().filter(|r| r.label.starts_with("e3 seed=")).collect();
+        for i in 0..3 {
+            assert!(
+                mine.iter().any(|r| r.label == format!("e3 seed={i}")),
+                "missing e3 seed={i}: {mine:?}"
+            );
+        }
+        assert!(mine.windows(2).all(|w| w[0].label <= w[1].label), "unsorted: {mine:?}");
+        for r in &mine {
+            assert_eq!(r.policy, "dlru-edf");
+            assert!(r.outcome.conserved());
+            let dropped: u64 = r.per_color.iter().map(|c| c.dropped).sum();
+            assert_eq!(dropped, r.outcome.dropped);
         }
     }
 

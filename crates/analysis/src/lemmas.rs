@@ -95,10 +95,7 @@ pub fn check_lemmas(inst: &Instance, n: usize) -> LemmaReport {
     let report = run_dlru_edf(inst, n);
     let m = (n / 8).max(1);
     let par = par_edf_drop_cost(inst, m);
-    let ds = Simulator::new(inst, (n / 4).max(1))
-        .with_speed(2)
-        .run(&mut Edf::seq())
-        .dropped;
+    let ds = Simulator::new(inst, (n / 4).max(1)).with_speed(2).run(&mut Edf::seq()).dropped;
     LemmaReport {
         n,
         m,

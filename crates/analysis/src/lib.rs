@@ -32,28 +32,36 @@ pub mod run;
 pub mod table;
 pub mod timeline;
 
-pub use attribution::{attribute_costs, attribution_table, ColorCosts};
+pub use attribution::{attribute_costs, attribution_table, per_color_from_events, ColorCosts};
 pub use lemmas::{check_lemmas, LemmaReport};
 pub use punctuality::{
     bonus_saves, execution_records, fifo_outcomes, punctuality_stats, unattributed_lates,
     Punctuality, PunctualityStats,
 };
 pub use ratio::ratio;
-pub use run::{run_dlru_edf, run_policy, RunReport};
+pub use run::{
+    collecting, enable_report_collection, observed_run, record_report, run_dlru_edf,
+    run_dlru_edf_labeled, run_policy, take_reports, RunReport,
+};
 pub use table::Table;
 pub use timeline::{timeline, timeline_table, Window};
 
 /// Convenient re-exports.
 pub mod prelude {
+    pub use crate::attribution::{
+        attribute_costs, attribution_table, per_color_from_events, ColorCosts,
+    };
     pub use crate::experiments;
-    pub use crate::attribution::{attribute_costs, attribution_table, ColorCosts};
     pub use crate::lemmas::{check_lemmas, LemmaReport};
     pub use crate::punctuality::{
         bonus_saves, execution_records, fifo_outcomes, punctuality_stats, unattributed_lates,
         Punctuality, PunctualityStats,
     };
     pub use crate::ratio::ratio;
-    pub use crate::run::{run_dlru_edf, run_policy, RunReport};
+    pub use crate::run::{
+        collecting, enable_report_collection, observed_run, record_report, run_dlru_edf,
+        run_dlru_edf_labeled, run_policy, take_reports, RunReport,
+    };
     pub use crate::table::Table;
     pub use crate::timeline::{timeline, timeline_table, Window};
 }

@@ -122,12 +122,10 @@ pub fn execution_records(inst: &Instance, trace: &TraceRecorder) -> Vec<Executio
                         panic!("trace executes more jobs than are pending for {color}");
                     };
                     let take = (*n).min(count);
-                    out.push_multiple(ExecutionRecord {
-                        color,
-                        arrival: *arrival,
-                        executed: round,
-                        bound,
-                    }, take);
+                    out.push_multiple(
+                        ExecutionRecord { color, arrival: *arrival, executed: round, bound },
+                        take,
+                    );
                     *n -= take;
                     count -= take;
                     if *n == 0 {
@@ -195,17 +193,18 @@ pub fn fifo_outcomes(num_colors: usize, trace: &TraceRecorder) -> Vec<Vec<bool>>
 /// Both traces index each color's jobs FIFO, and the VarBatch reduction
 /// preserves per-color job order (batching delays whole prefixes), so the
 /// `k`-th job of color `c` is the same job in both runs.
-pub fn bonus_saves(physical: &TraceRecorder, virtual_run: &TraceRecorder, num_colors: usize) -> u64 {
+pub fn bonus_saves(
+    physical: &TraceRecorder,
+    virtual_run: &TraceRecorder,
+    num_colors: usize,
+) -> u64 {
     let phys = fifo_outcomes(num_colors, physical);
     let virt = fifo_outcomes(num_colors, virtual_run);
     let mut bonus = 0u64;
     for (p, v) in phys.iter().zip(&virt) {
         debug_assert_eq!(p.len(), v.len(), "physical and virtual job counts diverge");
-        bonus += p
-            .iter()
-            .zip(v)
-            .filter(|&(&phys_exec, &virt_exec)| phys_exec && !virt_exec)
-            .count() as u64;
+        bonus += p.iter().zip(v).filter(|&(&phys_exec, &virt_exec)| phys_exec && !virt_exec).count()
+            as u64;
     }
     bonus
 }
@@ -237,8 +236,7 @@ pub fn unattributed_lates(
     let virt = fifo_outcomes(inst.colors.len(), virtual_run);
     // Index of each color's first virtual drop; lates at-or-after it are
     // attributed.
-    let first_vd: Vec<Option<usize>> =
-        virt.iter().map(|v| v.iter().position(|&e| !e)).collect();
+    let first_vd: Vec<Option<usize>> = virt.iter().map(|v| v.iter().position(|&e| !e)).collect();
     // Arrival round of each job, FIFO per color.
     let mut arrivals: Vec<Vec<u64>> = vec![Vec::new(); inst.colors.len()];
     let mut heads: Vec<usize> = vec![0; inst.colors.len()];
@@ -369,8 +367,7 @@ mod tests {
         sched.set(0, vec![Some(idle)]);
         sched.set(2, vec![Some(c)]);
         let mut trace = TraceRecorder::new();
-        Simulator::new(&inst, 1)
-            .run_traced(&mut rrs_engine::ReplayPolicy::new(sched), &mut trace);
+        Simulator::new(&inst, 1).run_traced(&mut rrs_engine::ReplayPolicy::new(sched), &mut trace);
         let recs = execution_records(&inst, &trace);
         let c_recs: Vec<_> = recs.iter().filter(|r| r.color == c).collect();
         assert_eq!(c_recs.len(), 1);

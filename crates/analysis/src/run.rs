@@ -1,19 +1,46 @@
-//! One-call run helpers.
+//! One-call run helpers and the machine-readable [`RunReport`].
+//!
+//! A [`RunReport`] bundles everything one simulated run produced: the
+//! engine [`Outcome`] (costs plus conservation counters), the lemma
+//! counters of the instrumented algorithms, and a per-color cost
+//! attribution. [`RunReport::to_json`] serializes it as a single JSON
+//! object with a stable key order — hand-rolled, no serde — so sweeps can
+//! stream reports to a JSONL file.
+//!
+//! **Report collection.** Experiments opt in with
+//! [`enable_report_collection`]; while enabled, [`observed_run`] and
+//! [`run_dlru_edf_labeled`] additionally push a labeled report into a
+//! process-wide collector drained by [`take_reports`]. Reports are sorted
+//! by label on drain, so the collected output is deterministic even when
+//! the runs themselves completed on a work-stealing sweep in arbitrary
+//! order. When collection is disabled (the default) `observed_run` is a
+//! plain run with zero observability overhead.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 
 use rrs_core::{AlgoMetrics, DeltaLruEdf};
-use rrs_engine::{Outcome, Policy, Simulator};
-use rrs_model::Instance;
+use rrs_engine::{Outcome, Policy, Recorder, Simulator, Slot};
+use rrs_model::{ColorId, Instance};
 
-/// The result of running a policy: engine costs plus (for the instrumented
-/// algorithms) the lemma counters.
+use crate::attribution::ColorCosts;
+
+/// The result of running a policy: engine costs, lemma counters (zeroed
+/// for uninstrumented policies), and the per-color attribution.
 #[derive(Clone, Debug)]
 pub struct RunReport {
+    /// Caller-chosen label (e.g. `"e3 seed=4"`); empty for ad-hoc runs.
+    pub label: String,
     /// Policy name.
     pub policy: String,
+    /// Locations the policy was given.
+    pub locations: usize,
     /// Engine outcome (costs, conservation counters).
     pub outcome: Outcome,
     /// Lemma counters (zeroed for uninstrumented policies).
     pub metrics: AlgoMetrics,
+    /// Per-color cost attribution, indexed by dense color id.
+    pub per_color: Vec<ColorCosts>,
 }
 
 impl RunReport {
@@ -21,6 +48,138 @@ impl RunReport {
     pub fn cost(&self) -> u64 {
         self.outcome.total_cost()
     }
+
+    /// One JSON object with a stable key order (hand-rolled; no serde).
+    /// Suitable as a JSONL line: contains no raw newlines.
+    pub fn to_json(&self) -> String {
+        let c = &self.outcome.cost;
+        let mut out = String::with_capacity(256);
+        out.push_str(&format!(
+            "{{\"label\":{},\"policy\":{},\"locations\":{},\"delta\":{},\"rounds\":{},\
+             \"arrived\":{},\"executed\":{},\"dropped\":{},\"reconfigs\":{},\
+             \"reconfig_cost\":{},\"drop_cost\":{},\"total_cost\":{},\"conserved\":{},\
+             \"metrics\":{},\"per_color\":[",
+            json_string(&self.label),
+            json_string(&self.policy),
+            self.locations,
+            c.delta,
+            self.outcome.rounds,
+            self.outcome.arrived,
+            self.outcome.executed,
+            self.outcome.dropped,
+            c.reconfigs,
+            c.reconfig_cost(),
+            c.drop_cost(),
+            c.total(),
+            self.outcome.conserved(),
+            self.metrics.to_json(),
+        ));
+        for (i, pc) in self.per_color.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"color\":{},\"arrived\":{},\"executed\":{},\"dropped\":{},\
+                 \"reconfigs_to\":{},\"cost\":{}}}",
+                pc.color.index(),
+                pc.arrived,
+                pc.executed,
+                pc.dropped,
+                pc.reconfigs_to,
+                pc.cost(c.delta)
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Escape a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Streaming per-color attribution: folds trace callbacks directly into
+/// [`ColorCosts`] without retaining the event stream, so observed runs stay
+/// O(colors) in memory regardless of horizon.
+struct ColorFold {
+    per: Vec<ColorCosts>,
+}
+
+impl ColorFold {
+    fn new(inst: &Instance) -> Self {
+        let per = inst
+            .colors
+            .ids()
+            .map(|color| ColorCosts { color, arrived: 0, executed: 0, dropped: 0, reconfigs_to: 0 })
+            .collect();
+        Self { per }
+    }
+}
+
+impl Recorder for ColorFold {
+    fn on_drop(&mut self, _round: u64, color: ColorId, count: u64) {
+        self.per[color.index()].dropped += count;
+    }
+    fn on_arrive(&mut self, _round: u64, color: ColorId, count: u64) {
+        self.per[color.index()].arrived += count;
+    }
+    fn on_reconfig(&mut self, _round: u64, _mini: u32, _location: usize, _from: Slot, to: Slot) {
+        if let Some(color) = to {
+            self.per[color.index()].reconfigs_to += 1;
+        }
+    }
+    fn on_execute(&mut self, _round: u64, _mini: u32, color: ColorId, count: u64) {
+        self.per[color.index()].executed += count;
+    }
+}
+
+/// Whether observed runs should record reports into the collector.
+static COLLECTING: AtomicBool = AtomicBool::new(false);
+
+/// The process-wide report collector.
+static REPORTS: Mutex<Vec<RunReport>> = Mutex::new(Vec::new());
+
+/// Turn report collection on: subsequent [`observed_run`] /
+/// [`run_dlru_edf_labeled`] calls push a labeled [`RunReport`] into the
+/// process-wide collector.
+pub fn enable_report_collection() {
+    COLLECTING.store(true, Ordering::Relaxed);
+}
+
+/// Is report collection currently enabled?
+pub fn collecting() -> bool {
+    COLLECTING.load(Ordering::Relaxed)
+}
+
+/// Push a report into the collector (no-op *check* is the caller's job;
+/// this always records).
+pub fn record_report(report: RunReport) {
+    REPORTS.lock().expect("report collector lock poisoned").push(report);
+}
+
+/// Drain the collector, turn collection off, and return the reports sorted
+/// by `(label, policy)` — a deterministic order even when the runs finished
+/// on a work-stealing sweep.
+pub fn take_reports() -> Vec<RunReport> {
+    COLLECTING.store(false, Ordering::Relaxed);
+    let mut reports = std::mem::take(&mut *REPORTS.lock().expect("report collector lock poisoned"));
+    reports.sort_by(|a, b| a.label.cmp(&b.label).then_with(|| a.policy.cmp(&b.policy)));
+    reports
 }
 
 /// Run any policy on `n` locations and return the outcome.
@@ -28,11 +187,58 @@ pub fn run_policy<P: Policy>(inst: &Instance, n: usize, policy: &mut P) -> Outco
     Simulator::new(inst, n).run(policy)
 }
 
-/// Run ΔLRU-EDF on `n` locations and return costs plus lemma counters.
+/// Run any policy and, when report collection is enabled, record a labeled
+/// [`RunReport`] (with zeroed lemma counters — use
+/// [`run_dlru_edf_labeled`] for the instrumented headline algorithm).
+/// When collection is disabled this is exactly [`run_policy`].
+pub fn observed_run<P: Policy>(label: &str, inst: &Instance, n: usize, policy: &mut P) -> Outcome {
+    if !collecting() {
+        return Simulator::new(inst, n).run(policy);
+    }
+    let mut fold = ColorFold::new(inst);
+    let outcome = Simulator::new(inst, n).run_traced(policy, &mut fold);
+    record_report(RunReport {
+        label: label.to_string(),
+        policy: policy.name().to_string(),
+        locations: n,
+        outcome: outcome.clone(),
+        metrics: AlgoMetrics::default(),
+        per_color: fold.per,
+    });
+    outcome
+}
+
+/// Run ΔLRU-EDF on `n` locations and return costs plus lemma counters and
+/// the per-color attribution.
 pub fn run_dlru_edf(inst: &Instance, n: usize) -> RunReport {
+    run_dlru_edf_labeled("", inst, n)
+}
+
+/// [`run_dlru_edf`] with a caller-chosen label; when report collection is
+/// enabled the report is also pushed into the collector.
+pub fn run_dlru_edf_labeled(label: &str, inst: &Instance, n: usize) -> RunReport {
     let mut p = DeltaLruEdf::new();
-    let outcome = Simulator::new(inst, n).run(&mut p);
-    RunReport { policy: p.name().to_string(), outcome, metrics: p.metrics() }
+    let mut fold = ColorFold::new(inst);
+    let outcome = Simulator::new(inst, n).run_traced(&mut p, &mut fold);
+    let report = RunReport {
+        label: label.to_string(),
+        policy: p.name().to_string(),
+        locations: n,
+        outcome,
+        metrics: p.metrics(),
+        per_color: fold.per,
+    };
+    if collecting() {
+        record_report(report.clone());
+    }
+    report
+}
+
+/// Tests that toggle or drain the process-wide collector serialize on this
+/// lock so they cannot steal each other's reports.
+#[cfg(test)]
+pub(crate) mod test_sync {
+    pub static COLLECTOR_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 }
 
 #[cfg(test)]
@@ -40,12 +246,16 @@ mod tests {
     use super::*;
     use rrs_model::InstanceBuilder;
 
-    #[test]
-    fn report_carries_metrics() {
+    fn small() -> Instance {
         let mut b = InstanceBuilder::new(2);
         let c = b.color(4);
         b.arrive(0, c, 4).arrive(4, c, 4);
-        let inst = b.build();
+        b.build()
+    }
+
+    #[test]
+    fn report_carries_metrics() {
+        let inst = small();
         let r = run_dlru_edf(&inst, 4);
         assert_eq!(r.policy, "dlru-edf");
         assert!(r.outcome.conserved());
@@ -61,5 +271,67 @@ mod tests {
         let inst = b.build();
         let out = run_policy(&inst, 2, &mut rrs_core::Edf::new());
         assert!(out.conserved());
+    }
+
+    #[test]
+    fn per_color_matches_outcome_totals() {
+        let inst = small();
+        let r = run_dlru_edf(&inst, 4);
+        let arrived: u64 = r.per_color.iter().map(|c| c.arrived).sum();
+        let executed: u64 = r.per_color.iter().map(|c| c.executed).sum();
+        let dropped: u64 = r.per_color.iter().map(|c| c.dropped).sum();
+        let reconfigs: u64 = r.per_color.iter().map(|c| c.reconfigs_to).sum();
+        assert_eq!(arrived, r.outcome.arrived);
+        assert_eq!(executed, r.outcome.executed);
+        assert_eq!(dropped, r.outcome.dropped);
+        assert_eq!(reconfigs, r.outcome.cost.reconfigs);
+    }
+
+    #[test]
+    fn json_is_one_line_with_stable_fields() {
+        let inst = small();
+        let r = run_dlru_edf_labeled("smoke \"q\"", &inst, 4);
+        let j = r.to_json();
+        assert!(!j.contains('\n'), "{j}");
+        assert!(j.starts_with("{\"label\":\"smoke \\\"q\\\"\""), "{j}");
+        for key in ["\"policy\":\"dlru-edf\"", "\"delta\":2", "\"metrics\":{", "\"per_color\":["] {
+            assert!(j.contains(key), "{j} missing {key}");
+        }
+        assert!(j.contains(&format!("\"total_cost\":{}", r.cost())), "{j}");
+    }
+
+    #[test]
+    fn collector_records_sorted_labels() {
+        let _g = test_sync::COLLECTOR_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let inst = small();
+        enable_report_collection();
+        assert!(collecting());
+        let _ = run_dlru_edf_labeled("z-last", &inst, 4);
+        let _ = observed_run("a-first", &inst, 2, &mut rrs_core::Edf::new());
+        let reports = take_reports();
+        assert!(!collecting());
+        // Other tests in this binary may have contributed reports; check
+        // relative order of ours rather than exact contents.
+        let za: Vec<usize> = reports
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.label == "z-last" || r.label == "a-first")
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(za.len(), 2, "{reports:?}");
+        assert_eq!(reports[za[0]].label, "a-first");
+        assert_eq!(reports[za[1]].label, "z-last");
+    }
+
+    #[test]
+    fn observed_run_is_plain_when_disabled() {
+        let _g = test_sync::COLLECTOR_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let inst = small();
+        // Collection off (take_reports in other tests turns it off; make sure).
+        let _ = take_reports();
+        let before = REPORTS.lock().unwrap().len();
+        let out = observed_run("quiet", &inst, 2, &mut rrs_core::Edf::new());
+        assert!(out.conserved());
+        assert_eq!(REPORTS.lock().unwrap().len(), before);
     }
 }

@@ -69,12 +69,8 @@ impl fmt::Display for Table {
             }
         }
         writeln!(f, "{}", self.title)?;
-        let header: Vec<String> = self
-            .columns
-            .iter()
-            .zip(&widths)
-            .map(|(c, w)| format!("{c:>w$}"))
-            .collect();
+        let header: Vec<String> =
+            self.columns.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
         writeln!(f, "  {}", header.join("  "))?;
         let rule: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
         writeln!(f, "  {}", "-".repeat(rule))?;

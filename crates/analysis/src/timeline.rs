@@ -55,7 +55,8 @@ pub fn timeline<P: Policy>(inst: &Instance, n: usize, policy: &mut P, window: u6
 
 /// Render a timeline as a table (one row per window).
 pub fn timeline_table(title: &str, delta: u64, windows: &[Window]) -> Table {
-    let mut t = Table::new(title, &["rounds", "arrivals", "executed", "drops", "reconfigs", "cost"]);
+    let mut t =
+        Table::new(title, &["rounds", "arrivals", "executed", "drops", "reconfigs", "cost"]);
     for w in windows {
         t.row(vec![
             format!("{}..{}", w.start, w.end),

@@ -4,7 +4,9 @@
 use std::sync::Once;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rrs_analysis::experiments::{e12_split_ablation, e13_counter_gate_ablation, e14_replication_ablation};
+use rrs_analysis::experiments::{
+    e12_split_ablation, e13_counter_gate_ablation, e14_replication_ablation,
+};
 use rrs_bench::print_once;
 
 static E12_ONCE: Once = Once::new();
@@ -41,10 +43,5 @@ fn bench_e14_replication(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_e12_split_ablation,
-    bench_e13_counter_gate,
-    bench_e14_replication
-);
+criterion_group!(benches, bench_e12_split_ablation, bench_e13_counter_gate, bench_e14_replication);
 criterion_main!(benches);

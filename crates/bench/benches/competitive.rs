@@ -51,9 +51,7 @@ fn bench_e11_arbitrary_bounds(c: &mut Criterion) {
     print_once(&E11_ONCE, &e11_arbitrary_bounds(0..8));
     let mut g = c.benchmark_group("e11_arbitrary_bounds");
     g.sample_size(10);
-    g.bench_function("6_seeds", |b| {
-        b.iter(|| std::hint::black_box(e11_arbitrary_bounds(0..6)))
-    });
+    g.bench_function("6_seeds", |b| b.iter(|| std::hint::black_box(e11_arbitrary_bounds(0..6))));
     g.finish();
 }
 

@@ -90,12 +90,7 @@ impl Criterion {
 
     /// Start a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup {
-            criterion: self,
-            name: name.into(),
-            sample_size: 20,
-            throughput: None,
-        }
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 20, throughput: None }
     }
 }
 
@@ -170,7 +165,10 @@ impl Bencher {
             }
             iters = iters
                 .saturating_mul(2)
-                .max((iters as f64 * MIN_SAMPLE_TIME.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)) as u64)
+                .max(
+                    (iters as f64 * MIN_SAMPLE_TIME.as_secs_f64() / elapsed.as_secs_f64().max(1e-9))
+                        as u64,
+                )
                 .min(1 << 20);
         }
         self.iters_per_sample = iters;
@@ -210,8 +208,14 @@ fn fmt_rate(per_sec: f64, unit: &str) -> String {
     }
 }
 
-fn run_one<F>(mode: Mode, selected: bool, id: &str, sample_size: usize, throughput: Option<Throughput>, mut f: F)
-where
+fn run_one<F>(
+    mode: Mode,
+    selected: bool,
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
     F: FnMut(&mut Bencher),
 {
     match mode {
@@ -221,45 +225,27 @@ where
         }
         _ if !selected => return,
         Mode::Test => {
-            let mut b = Bencher {
-                mode,
-                iters_per_sample: 1,
-                samples: Vec::new(),
-                sample_size,
-            };
+            let mut b = Bencher { mode, iters_per_sample: 1, samples: Vec::new(), sample_size };
             f(&mut b);
             println!("test {id} ... ok");
             return;
         }
         Mode::Bench => {}
     }
-    let mut b = Bencher {
-        mode,
-        iters_per_sample: 1,
-        samples: Vec::new(),
-        sample_size,
-    };
+    let mut b = Bencher { mode, iters_per_sample: 1, samples: Vec::new(), sample_size };
     f(&mut b);
     if b.samples.is_empty() {
         println!("{id}: no measurement (closure never called iter)");
         return;
     }
-    let mut per_iter: Vec<f64> = b
-        .samples
-        .iter()
-        .map(|s| s.as_secs_f64() / b.iters_per_sample as f64)
-        .collect();
+    let mut per_iter: Vec<f64> =
+        b.samples.iter().map(|s| s.as_secs_f64() / b.iters_per_sample as f64).collect();
     per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let median = per_iter[per_iter.len() / 2];
     let lo = per_iter[0];
     let hi = per_iter[per_iter.len() - 1];
     let fmt = |secs: f64| fmt_duration(Duration::from_secs_f64(secs));
-    let mut line = format!(
-        "{id:<50} time: [{} {} {}]",
-        fmt(lo),
-        fmt(median),
-        fmt(hi)
-    );
+    let mut line = format!("{id:<50} time: [{} {} {}]", fmt(lo), fmt(median), fmt(hi));
     match throughput {
         Some(Throughput::Elements(n)) => {
             line.push_str(&format!("  thrpt: {}", fmt_rate(n as f64 / median, "elem")));
@@ -319,10 +305,7 @@ mod tests {
 
     #[test]
     fn filter_skips_unmatched() {
-        let mut c = Criterion {
-            filter: Some("nomatch".into()),
-            ..Criterion::default()
-        };
+        let mut c = Criterion { filter: Some("nomatch".into()), ..Criterion::default() };
         let mut ran = false;
         c.bench_function("something_else", |b| b.iter(|| ran = true));
         assert!(!ran);

@@ -66,12 +66,8 @@ fn splitmix64(state: &mut u64) -> u64 {
 impl SeedableRng for StdRng {
     fn seed_from_u64(seed: u64) -> Self {
         let mut sm = seed;
-        let s = [
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-        ];
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
         StdRng { s }
     }
 }
@@ -79,10 +75,7 @@ impl SeedableRng for StdRng {
 impl Rng for StdRng {
     fn next_u64(&mut self) -> u64 {
         // xoshiro256++ (Blackman & Vigna, public domain reference).
-        let result = self.s[0]
-            .wrapping_add(self.s[3])
-            .rotate_left(23)
-            .wrapping_add(self.s[0]);
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];

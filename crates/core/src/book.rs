@@ -136,11 +136,7 @@ impl ColorBook {
 
     /// Iterate over all eligible colors in consistent order.
     pub fn eligible_colors(&self) -> impl Iterator<Item = ColorId> + '_ {
-        self.states
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.eligible)
-            .map(|(i, _)| ColorId(i as u32))
+        self.states.iter().enumerate().filter(|(_, s)| s.eligible).map(|(i, _)| ColorId(i as u32))
     }
 
     /// Learn about new colors from a (possibly grown) color table.
@@ -416,14 +412,7 @@ mod tests {
     fn eligible_colors_iterates_in_consistent_order() {
         let colors = ColorTable::from_bounds(&[1, 1, 1]);
         let mut book = ColorBook::new(1);
-        step(
-            &mut book,
-            &colors,
-            0,
-            &[(ColorId(2), 1), (ColorId(0), 1)],
-            &[],
-            &[],
-        );
+        step(&mut book, &colors, 0, &[(ColorId(2), 1), (ColorId(0), 1)], &[], &[]);
         let v: Vec<_> = book.eligible_colors().collect();
         assert_eq!(v, vec![ColorId(0), ColorId(2)]);
     }

@@ -73,14 +73,10 @@ impl Policy for ClassicLru {
         // Cache the most recently referenced colors.
         self.scratch.clear();
         self.scratch.extend(
-            self.last_arrival
-                .iter()
-                .enumerate()
-                .filter_map(|(i, t)| t.map(|_| ColorId(i as u32))),
+            self.last_arrival.iter().enumerate().filter_map(|(i, t)| t.map(|_| ColorId(i as u32))),
         );
         let last = &self.last_arrival;
-        self.scratch
-            .sort_unstable_by_key(|c| (std::cmp::Reverse(last[c.index()]), *c));
+        self.scratch.sort_unstable_by_key(|c| (std::cmp::Reverse(last[c.index()]), *c));
         self.scratch.truncate(self.capacity);
 
         self.cached = self.scratch.iter().copied().collect();

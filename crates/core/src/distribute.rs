@@ -146,11 +146,8 @@ impl<P: Policy> Policy for Distribute<P> {
 
         // Inner reconfiguration on the virtual instance.
         self.vnext.clone_from(&self.vslots);
-        let (arr, drp): (&rrs_engine::policy::ColorCounts, &rrs_engine::policy::ColorCounts) = if obs.mini_round == 0 {
-            (&self.varrivals, &self.vdropped)
-        } else {
-            (&[], &[])
-        };
+        let (arr, drp): (&rrs_engine::policy::ColorCounts, &rrs_engine::policy::ColorCounts) =
+            if obs.mini_round == 0 { (&self.varrivals, &self.vdropped) } else { (&[], &[]) };
         let vobs = Observation {
             round: obs.round,
             mini_round: obs.mini_round,

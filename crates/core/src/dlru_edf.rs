@@ -169,14 +169,12 @@ impl Policy for DeltaLruEdf {
         // colors; X = nonidle colors in the top n/4 ranks not already
         // cached.
         self.nonlru.clear();
-        self.nonlru
-            .extend(self.scratch[lru_len..].iter().copied());
+        self.nonlru.extend(self.scratch[lru_len..].iter().copied());
         sort_by_edf(book, obs.pending, &mut self.nonlru);
 
         self.keep.clear();
         // Cached non-LRU colors stay unless evicted for space.
-        self.keep
-            .extend(self.cached.iter().copied().filter(|c| !self.lru_set.contains(c)));
+        self.keep.extend(self.cached.iter().copied().filter(|c| !self.lru_set.contains(c)));
         for &c in self.nonlru.iter().take(self.edf_window) {
             if !obs.pending.is_idle(c) && !self.cached.contains(&c) {
                 self.keep.push(c);
@@ -184,8 +182,7 @@ impl Policy for DeltaLruEdf {
         }
         let nonlru_capacity = self.capacity - self.lru_set.len();
         if self.keep.len() > nonlru_capacity {
-            self.keep
-                .sort_unstable_by_key(|&c| edf_key(book, obs.pending, c));
+            self.keep.sort_unstable_by_key(|&c| edf_key(book, obs.pending, c));
             self.keep.truncate(nonlru_capacity);
         }
 

@@ -42,7 +42,13 @@ impl Edf {
     /// The paper's EDF algorithm: each cached color occupies two locations,
     /// so `n` locations cache `n/2` distinct colors.
     pub fn new() -> Self {
-        Self { book: None, cached: BTreeSet::new(), replication: 2, capacity: 0, scratch: Vec::new() }
+        Self {
+            book: None,
+            cached: BTreeSet::new(),
+            replication: 2,
+            capacity: 0,
+            scratch: Vec::new(),
+        }
     }
 
     /// Seq-EDF (§3.3): all locations hold distinct colors (no replication).
@@ -114,8 +120,7 @@ impl Policy for Edf {
         }
 
         self.cached = union.iter().copied().collect();
-        let desired: Vec<(ColorId, u64)> =
-            union.iter().map(|&c| (c, self.replication)).collect();
+        let desired: Vec<(ColorId, u64)> = union.iter().map(|&c| (c, self.replication)).collect();
         *out = stable_assign(obs.slots, &desired);
     }
 }

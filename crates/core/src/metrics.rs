@@ -40,6 +40,24 @@ impl AlgoMetrics {
     pub fn total_drops(&self) -> u64 {
         self.eligible_drops + self.ineligible_drops
     }
+
+    /// Hand-rolled JSON object (no serde; stable key order). `num_epochs`
+    /// is included as a derived convenience field.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"counter_wraps\":{},\"timestamp_updates\":{},\"completed_epochs\":{},\
+             \"active_epochs\":{},\"num_epochs\":{},\"eligible_drops\":{},\
+             \"ineligible_drops\":{},\"super_epochs\":{}}}",
+            self.counter_wraps,
+            self.timestamp_updates,
+            self.completed_epochs,
+            self.active_epochs,
+            self.num_epochs(),
+            self.eligible_drops,
+            self.ineligible_drops,
+            self.super_epochs
+        )
+    }
 }
 
 #[cfg(test)]
@@ -56,5 +74,31 @@ mod tests {
     fn total_drops_sums_classes() {
         let m = AlgoMetrics { eligible_drops: 4, ineligible_drops: 6, ..Default::default() };
         assert_eq!(m.total_drops(), 10);
+    }
+
+    #[test]
+    fn json_includes_every_counter() {
+        let m = AlgoMetrics {
+            counter_wraps: 1,
+            timestamp_updates: 2,
+            completed_epochs: 3,
+            active_epochs: 4,
+            eligible_drops: 5,
+            ineligible_drops: 6,
+            super_epochs: 7,
+        };
+        let j = m.to_json();
+        for key in [
+            "\"counter_wraps\":1",
+            "\"timestamp_updates\":2",
+            "\"completed_epochs\":3",
+            "\"active_epochs\":4",
+            "\"num_epochs\":7",
+            "\"eligible_drops\":5",
+            "\"ineligible_drops\":6",
+            "\"super_epochs\":7",
+        ] {
+            assert!(j.contains(key), "{j} missing {key}");
+        }
     }
 }

@@ -28,12 +28,7 @@ pub struct EdfKey {
 /// The EDF ranking key of an (eligible) color.
 pub fn edf_key(book: &ColorBook, pending: &PendingStore, c: ColorId) -> EdfKey {
     let s = book.state(c);
-    EdfKey {
-        idle: pending.is_idle(c),
-        deadline: s.deadline,
-        delay_bound: s.delay_bound,
-        color: c,
-    }
+    EdfKey { idle: pending.is_idle(c), deadline: s.deadline, delay_bound: s.delay_bound, color: c }
 }
 
 /// Total order implementing the ΔLRU ranking; smaller is better (most

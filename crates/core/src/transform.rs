@@ -51,10 +51,7 @@ impl SubColorMap {
 /// # Panics
 /// Panics (debug) if the input is not batched.
 pub fn distribute_instance(inst: &Instance) -> (Instance, SubColorMap) {
-    let mut map = SubColorMap {
-        subs: vec![Vec::new(); inst.colors.len()],
-        to_phys: Vec::new(),
-    };
+    let mut map = SubColorMap { subs: vec![Vec::new(); inst.colors.len()], to_phys: Vec::new() };
     let mut vcolors = ColorTable::new();
     let mut vrequests = RequestSeq::new();
 
@@ -139,10 +136,8 @@ mod tests {
         b.arrive(2, c, 5);
         let inst = b.build();
         let (vinst, map) = distribute_instance(&inst);
-        let sizes: Vec<u64> = map.subs[c.index()]
-            .iter()
-            .map(|&vc| vinst.requests.at(2).count_of(vc))
-            .collect();
+        let sizes: Vec<u64> =
+            map.subs[c.index()].iter().map(|&vc| vinst.requests.at(2).count_of(vc)).collect();
         assert_eq!(sizes, vec![2, 2, 1]);
     }
 

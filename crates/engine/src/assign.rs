@@ -16,10 +16,7 @@ use crate::policy::Slot;
 /// Panics if the slices have different lengths.
 pub fn recolor_reconfigs(old: &[Slot], new: &[Slot]) -> u64 {
     assert_eq!(old.len(), new.len(), "assignment length changed");
-    old.iter()
-        .zip(new)
-        .filter(|(o, n)| o != n && n.is_some())
-        .count() as u64
+    old.iter().zip(new).filter(|(o, n)| o != n && n.is_some()).count() as u64
 }
 
 /// Place a desired multiset of colors onto locations while keeping as many
@@ -38,11 +35,7 @@ pub fn recolor_reconfigs(old: &[Slot], new: &[Slot]) -> u64 {
 /// color is listed twice.
 pub fn stable_assign(old: &[Slot], desired: &[(ColorId, u64)]) -> Vec<Slot> {
     let total: u64 = desired.iter().map(|&(_, k)| k).sum();
-    assert!(
-        total <= old.len() as u64,
-        "desired {total} copies exceed {} locations",
-        old.len()
-    );
+    assert!(total <= old.len() as u64, "desired {total} copies exceed {} locations", old.len());
     let mut want: HashMap<ColorId, u64> = HashMap::with_capacity(desired.len());
     for &(c, k) in desired {
         if k == 0 {

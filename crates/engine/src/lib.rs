@@ -49,23 +49,41 @@ pub mod pending;
 pub mod policy;
 pub mod replay;
 pub mod sim;
+pub mod sink;
 pub mod trace;
 
 pub use assign::{recolor_reconfigs, stable_assign};
-pub use par::{jobs, par_map_sweep, set_jobs};
+pub use par::{
+    jobs, par_map_sweep, par_map_sweep_stats, set_jobs, take_sweep_telemetry, SweepTelemetry,
+    WorkerStats,
+};
 pub use pending::PendingStore;
 pub use policy::{Observation, Policy, Slot};
 pub use replay::{FixedSchedule, ReplayPolicy};
 pub use sim::{Outcome, Simulator};
-pub use trace::{NullRecorder, Recorder, RoundSummary, SummaryRecorder, TraceEvent, TraceRecorder};
+pub use sink::{
+    event_to_json, parse_trace, parse_trace_line, JsonlRingSink, JsonlSink, ParsedTrace,
+    PhaseTimer, TraceLine, TraceMeta, TraceParseError, TRACE_SCHEMA_VERSION,
+};
+pub use trace::{
+    NullRecorder, Phase, Recorder, RoundSummary, SummaryRecorder, TraceEvent, TraceRecorder,
+};
 
 /// Convenient re-exports for downstream crates.
 pub mod prelude {
     pub use crate::assign::{recolor_reconfigs, stable_assign};
-    pub use crate::par::{jobs, par_map_sweep, set_jobs};
+    pub use crate::par::{
+        jobs, par_map_sweep, par_map_sweep_stats, set_jobs, take_sweep_telemetry, SweepTelemetry,
+        WorkerStats,
+    };
     pub use crate::pending::PendingStore;
     pub use crate::policy::{Observation, Policy, Slot};
     pub use crate::replay::{FixedSchedule, ReplayPolicy};
     pub use crate::sim::{Outcome, Simulator};
-    pub use crate::trace::{NullRecorder, Recorder, SummaryRecorder, TraceRecorder};
+    pub use crate::sink::{
+        parse_trace, JsonlRingSink, JsonlSink, ParsedTrace, PhaseTimer, TraceMeta,
+    };
+    pub use crate::trace::{
+        NullRecorder, Phase, Recorder, SummaryRecorder, TraceEvent, TraceRecorder,
+    };
 }

@@ -13,9 +13,18 @@
 //! With one worker (or one item) the sweep degrades to a plain serial loop
 //! on the calling thread — no threads are spawned, so `--jobs 1` is exactly
 //! the pre-parallel code path.
+//!
+//! **Telemetry.** Every sweep additionally measures per-worker statistics —
+//! items processed, busy time, steal count — via
+//! [`par_map_sweep_stats`] or the process-wide accumulator drained by
+//! [`take_sweep_telemetry`]. Telemetry is wall-clock and therefore
+//! *advisory*: it is collected on the side and never influences results or
+//! their ordering, preserving byte-identical output at any worker count.
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Process-wide worker-count override; 0 means "unset, use the hardware".
 static JOBS: AtomicUsize = AtomicUsize::new(0);
@@ -38,16 +47,97 @@ pub fn jobs() -> usize {
     if set != 0 {
         return set;
     }
-    if let Some(n) = std::env::var("RRS_JOBS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n >= 1)
+    if let Some(n) =
+        std::env::var("RRS_JOBS").ok().and_then(|v| v.parse::<usize>().ok()).filter(|&n| n >= 1)
     {
         return n;
     }
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Per-worker statistics for one or more sweeps.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Items this worker processed.
+    pub items: u64,
+    /// Claims that were *not* index-sequential with the worker's previous
+    /// claim — i.e. another worker claimed in between, which is the dynamic
+    /// queue balancing load away from slower peers.
+    pub steals: u64,
+    /// Wall-clock time spent inside the mapped closure.
+    pub busy: Duration,
+}
+
+impl WorkerStats {
+    fn merge(&mut self, other: &WorkerStats) {
+        self.items += other.items;
+        self.steals += other.steals;
+        self.busy += other.busy;
+    }
+}
+
+/// Aggregated sweep telemetry: per-worker-slot statistics summed over every
+/// [`par_map_sweep`] call since the last [`take_sweep_telemetry`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SweepTelemetry {
+    /// Sweeps observed.
+    pub sweeps: u64,
+    /// Total items across those sweeps.
+    pub items: u64,
+    /// Per-worker-slot statistics (slot 0 is the calling thread for serial
+    /// sweeps; parallel sweeps index spawned workers in spawn order).
+    pub workers: Vec<WorkerStats>,
+}
+
+impl SweepTelemetry {
+    /// Fold one sweep's per-worker stats into the aggregate.
+    pub fn absorb(&mut self, items: usize, per_worker: &[WorkerStats]) {
+        self.sweeps += 1;
+        self.items += items as u64;
+        if self.workers.len() < per_worker.len() {
+            self.workers.resize(per_worker.len(), WorkerStats::default());
+        }
+        for (slot, stats) in self.workers.iter_mut().zip(per_worker) {
+            slot.merge(stats);
+        }
+    }
+
+    /// Total busy time across all workers.
+    pub fn total_busy(&self) -> Duration {
+        self.workers.iter().map(|w| w.busy).sum()
+    }
+
+    /// A human-readable per-worker utilization table (advisory wall-clock
+    /// numbers; not part of any deterministic output).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "sweep telemetry: {} sweep(s), {} item(s), {} worker slot(s)\n",
+            self.sweeps,
+            self.items,
+            self.workers.len()
+        ));
+        out.push_str("  worker   items  steals          busy\n");
+        for (i, w) in self.workers.iter().enumerate() {
+            out.push_str(&format!(
+                "  {i:>6}  {items:>6}  {steals:>6}  {busy:>12.3?}\n",
+                items = w.items,
+                steals = w.steals,
+                busy = w.busy
+            ));
+        }
+        out
+    }
+}
+
+/// Process-wide telemetry accumulator fed by [`par_map_sweep`].
+static TELEMETRY: Mutex<SweepTelemetry> =
+    Mutex::new(SweepTelemetry { sweeps: 0, items: 0, workers: Vec::new() });
+
+/// Drain and return the telemetry accumulated by every [`par_map_sweep`]
+/// call since the previous drain.
+pub fn take_sweep_telemetry() -> SweepTelemetry {
+    std::mem::take(&mut TELEMETRY.lock().expect("telemetry lock poisoned"))
 }
 
 /// Map `f` over `items` on up to [`jobs`] threads, returning the results
@@ -57,48 +147,81 @@ pub fn jobs() -> usize {
 /// shared atomic counter), so uneven per-item cost balances automatically;
 /// determinism is unaffected because results are scattered back by index.
 /// Panics in `f` propagate to the caller once all workers have stopped.
+/// Per-worker telemetry is folded into the process-wide accumulator (see
+/// [`take_sweep_telemetry`]).
 pub fn par_map_sweep<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    let (results, per_worker) = par_map_sweep_stats(items, f);
+    if !per_worker.is_empty() {
+        TELEMETRY.lock().expect("telemetry lock poisoned").absorb(items.len(), &per_worker);
+    }
+    results
+}
+
+/// [`par_map_sweep`] plus this sweep's per-worker statistics (not folded
+/// into the process-wide accumulator — the caller owns them).
+pub fn par_map_sweep_stats<T, R, F>(items: &[T], f: F) -> (Vec<R>, Vec<WorkerStats>)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if items.is_empty() {
+        return (Vec::new(), Vec::new());
+    }
     let workers = jobs().min(items.len());
     if workers <= 1 {
-        return items.iter().map(f).collect();
+        let t0 = Instant::now();
+        let results: Vec<R> = items.iter().map(f).collect();
+        let stats = WorkerStats { items: items.len() as u64, steals: 0, busy: t0.elapsed() };
+        return (results, vec![stats]);
     }
     let next = AtomicUsize::new(0);
-    let collected: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+    let collected: Vec<(Vec<(usize, R)>, WorkerStats)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 let next = &next;
                 let f = &f;
                 scope.spawn(move || {
                     let mut local: Vec<(usize, R)> = Vec::new();
+                    let mut stats = WorkerStats::default();
+                    let mut last: Option<usize> = None;
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= items.len() {
-                            return local;
+                            return (local, stats);
                         }
-                        local.push((i, f(&items[i])));
+                        if last.is_some_and(|l| i != l + 1) {
+                            stats.steals += 1;
+                        }
+                        last = Some(i);
+                        let t0 = Instant::now();
+                        let r = f(&items[i]);
+                        stats.busy += t0.elapsed();
+                        stats.items += 1;
+                        local.push((i, r));
                     }
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sweep worker panicked"))
-            .collect()
+        handles.into_iter().map(|h| h.join().expect("sweep worker panicked")).collect()
     });
+    let mut per_worker = Vec::with_capacity(workers);
     let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
     slots.resize_with(items.len(), || None);
-    for (i, r) in collected.into_iter().flatten() {
-        slots[i] = Some(r);
+    for (local, stats) in collected {
+        per_worker.push(stats);
+        for (i, r) in local {
+            slots[i] = Some(r);
+        }
     }
-    slots
-        .into_iter()
-        .map(|slot| slot.expect("every index claimed exactly once"))
-        .collect()
+    let results =
+        slots.into_iter().map(|slot| slot.expect("every index claimed exactly once")).collect();
+    (results, per_worker)
 }
 
 #[cfg(test)]
@@ -133,6 +256,32 @@ mod tests {
         let empty: Vec<u32> = Vec::new();
         assert!(par_map_sweep(&empty, |&x| x).is_empty());
         assert_eq!(par_map_sweep(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn stats_account_every_item() {
+        let items: Vec<u64> = (0..97).collect();
+        let (out, stats) = par_map_sweep_stats(&items, |&x| x + 1);
+        assert_eq!(out.len(), items.len());
+        assert!(!stats.is_empty());
+        let counted: u64 = stats.iter().map(|w| w.items).sum();
+        assert_eq!(counted, items.len() as u64);
+    }
+
+    #[test]
+    fn telemetry_accumulates_and_drains() {
+        // Other unit tests in this binary may sweep concurrently, so assert
+        // lower bounds rather than exact counts.
+        let _ = take_sweep_telemetry();
+        let items: Vec<u64> = (0..10).collect();
+        let _ = par_map_sweep(&items, |&x| x);
+        let _ = par_map_sweep(&items, |&x| x);
+        let t = take_sweep_telemetry();
+        assert!(t.sweeps >= 2, "{t:?}");
+        assert!(t.items >= 20, "{t:?}");
+        assert_eq!(t.workers.iter().map(|w| w.items).sum::<u64>(), t.items);
+        let rendered = t.render();
+        assert!(rendered.contains("worker"), "{rendered}");
     }
 
     #[test]

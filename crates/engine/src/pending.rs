@@ -21,12 +21,7 @@ pub struct PendingStore {
 
 impl Default for PendingStore {
     fn default() -> Self {
-        PendingStore {
-            queues: Vec::new(),
-            counts: Vec::new(),
-            total: 0,
-            min_due: u64::MAX,
-        }
+        PendingStore { queues: Vec::new(), counts: Vec::new(), total: 0, min_due: u64::MAX }
     }
 }
 
@@ -160,20 +155,13 @@ impl PendingStore {
 
     /// Colors with at least one pending job, in consistent order.
     pub fn nonidle_colors(&self) -> impl Iterator<Item = ColorId> + '_ {
-        self.counts
-            .iter()
-            .enumerate()
-            .filter(|&(_, &n)| n > 0)
-            .map(|(i, _)| ColorId(i as u32))
+        self.counts.iter().enumerate().filter(|&(_, &n)| n > 0).map(|(i, _)| ColorId(i as u32))
     }
 
     /// The deadline profile of a color (ascending `(deadline, count)`),
     /// used by the exact offline solver to canonicalize states.
     pub fn profile(&self, color: ColorId) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.queues
-            .get(color.index())
-            .into_iter()
-            .flat_map(|q| q.iter().copied())
+        self.queues.get(color.index()).into_iter().flat_map(|q| q.iter().copied())
     }
 }
 

@@ -5,7 +5,7 @@ use rrs_model::{ColorId, CostLedger, Instance};
 
 use crate::pending::PendingStore;
 use crate::policy::{Observation, Policy, Slot};
-use crate::trace::{NullRecorder, Recorder};
+use crate::trace::{NullRecorder, Phase, Recorder};
 
 /// The result of a simulation run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -103,6 +103,7 @@ impl<'a> Simulator<'a> {
             recorder.on_round_start(round);
 
             // Phase 1: drop.
+            recorder.on_phase_start(round, 0, Phase::Drop);
             dropped_buf.clear();
             let d = pending.drop_due(round, &mut dropped_buf);
             dropped_total += d;
@@ -112,6 +113,7 @@ impl<'a> Simulator<'a> {
             }
 
             // Phase 2: arrival.
+            recorder.on_phase_start(round, 0, Phase::Arrival);
             let request = self.inst.requests.at(round);
             for &(c, n) in request.pairs() {
                 let deadline = round + self.inst.colors.delay_bound(c);
@@ -122,11 +124,9 @@ impl<'a> Simulator<'a> {
 
             for mini in 0..self.speed {
                 // Phase 3: reconfiguration.
-                let (arr, drp): (&crate::policy::ColorCounts, &crate::policy::ColorCounts) = if mini == 0 {
-                    (request.pairs(), &dropped_buf)
-                } else {
-                    (&[], &[])
-                };
+                recorder.on_phase_start(round, mini, Phase::Reconfig);
+                let (arr, drp): (&crate::policy::ColorCounts, &crate::policy::ColorCounts) =
+                    if mini == 0 { (request.pairs(), &dropped_buf) } else { (&[], &[]) };
                 next.clone_from(&slots);
                 let obs = Observation {
                     round,
@@ -160,6 +160,7 @@ impl<'a> Simulator<'a> {
 
                 // Phase 4: execution. Group locations by color, then execute
                 // earliest-deadline jobs of each configured color.
+                recorder.on_phase_start(round, mini, Phase::Execution);
                 touched.clear();
                 for &s in &slots {
                     if let Some(c) = s {
@@ -185,6 +186,7 @@ impl<'a> Simulator<'a> {
                     }
                 }
             }
+            recorder.on_round_end(round);
         }
 
         debug_assert_eq!(pending.total(), 0, "jobs pending past the horizon");

@@ -1,0 +1,919 @@
+//! Streaming trace sinks and phase timing: the engine half of the
+//! observability pipeline.
+//!
+//! [`JsonlSink`] implements [`Recorder`] and writes one self-describing JSON
+//! line per [`TraceEvent`] to any [`io::Write`]; [`parse_trace`] reads the
+//! format back (hand-rolled, no serde — consistent with the workspace's
+//! no-registry constraint). [`JsonlRingSink`] is the bounded variant for
+//! long horizons: it retains only the newest lines and counts what it shed.
+//! [`PhaseTimer`] accumulates wall-clock time per round phase and per
+//! mini-round.
+//!
+//! **Determinism boundary.** Trace lines carry *no* timestamps or other
+//! host-dependent fields: the byte stream is a pure function of the
+//! (instance, policy, locations, speed) tuple, so traces are golden-testable
+//! at any `--jobs` setting. All wall-clock measurement lives in
+//! [`PhaseTimer`] and the sweep telemetry of [`crate::par`], which are
+//! advisory and never feed deterministic outputs.
+
+use std::collections::VecDeque;
+use std::io::{self, Write};
+use std::time::{Duration, Instant};
+
+use rrs_model::ColorId;
+
+use crate::policy::Slot;
+use crate::trace::{Phase, Recorder, TraceEvent};
+
+/// Version stamped into every meta line; bump on breaking schema changes.
+pub const TRACE_SCHEMA_VERSION: u64 = 1;
+
+/// Run identity written as the first line of a trace file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceMeta {
+    /// Policy name as reported by [`crate::policy::Policy::name`].
+    pub policy: String,
+    /// Reconfiguration cost Δ.
+    pub delta: u64,
+    /// Number of locations the policy controlled.
+    pub locations: usize,
+    /// Schedule speed (mini-rounds per round).
+    pub speed: u32,
+}
+
+impl TraceMeta {
+    /// The meta line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(96);
+        s.push_str("{\"ev\":\"meta\",\"version\":");
+        s.push_str(&TRACE_SCHEMA_VERSION.to_string());
+        s.push_str(",\"policy\":");
+        push_json_str(&mut s, &self.policy);
+        s.push_str(",\"delta\":");
+        s.push_str(&self.delta.to_string());
+        s.push_str(",\"locations\":");
+        s.push_str(&self.locations.to_string());
+        s.push_str(",\"speed\":");
+        s.push_str(&self.speed.to_string());
+        s.push('}');
+        s
+    }
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_slot(out: &mut String, slot: Slot) {
+    match slot {
+        None => out.push_str("null"),
+        Some(c) => out.push_str(&c.0.to_string()),
+    }
+}
+
+/// Serialize one [`TraceEvent`] as a self-describing JSON object (no
+/// trailing newline). Stable key order; colors are dense indices; the black
+/// pseudo-color is `null`.
+pub fn event_to_json(e: &TraceEvent) -> String {
+    let mut s = String::with_capacity(64);
+    match *e {
+        TraceEvent::Drop { round, color, count } => {
+            s.push_str("{\"ev\":\"drop\",\"round\":");
+            s.push_str(&round.to_string());
+            s.push_str(",\"color\":");
+            s.push_str(&color.0.to_string());
+            s.push_str(",\"count\":");
+            s.push_str(&count.to_string());
+            s.push('}');
+        }
+        TraceEvent::Arrive { round, color, count } => {
+            s.push_str("{\"ev\":\"arrive\",\"round\":");
+            s.push_str(&round.to_string());
+            s.push_str(",\"color\":");
+            s.push_str(&color.0.to_string());
+            s.push_str(",\"count\":");
+            s.push_str(&count.to_string());
+            s.push('}');
+        }
+        TraceEvent::Reconfig { round, mini, location, from, to } => {
+            s.push_str("{\"ev\":\"reconfig\",\"round\":");
+            s.push_str(&round.to_string());
+            s.push_str(",\"mini\":");
+            s.push_str(&mini.to_string());
+            s.push_str(",\"location\":");
+            s.push_str(&location.to_string());
+            s.push_str(",\"from\":");
+            push_slot(&mut s, from);
+            s.push_str(",\"to\":");
+            push_slot(&mut s, to);
+            s.push('}');
+        }
+        TraceEvent::Execute { round, mini, color, count } => {
+            s.push_str("{\"ev\":\"execute\",\"round\":");
+            s.push_str(&round.to_string());
+            s.push_str(",\"mini\":");
+            s.push_str(&mini.to_string());
+            s.push_str(",\"color\":");
+            s.push_str(&color.0.to_string());
+            s.push_str(",\"count\":");
+            s.push_str(&count.to_string());
+            s.push('}');
+        }
+    }
+    s
+}
+
+fn round_line(round: u64) -> String {
+    format!("{{\"ev\":\"round\",\"round\":{round}}}")
+}
+
+fn truncated_line(dropped: u64) -> String {
+    format!("{{\"ev\":\"truncated\",\"dropped\":{dropped}}}")
+}
+
+/// A streaming JSONL trace sink: one line per round start and per event,
+/// written as they happen.
+///
+/// I/O errors cannot surface through [`Recorder`]'s `()`-returning hooks, so
+/// the sink latches the first error and [`JsonlSink::finish`] reports it;
+/// writes after an error are skipped.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    out: W,
+    lines: u64,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// A sink with no meta header.
+    pub fn new(out: W) -> Self {
+        Self { out, lines: 0, error: None }
+    }
+
+    /// A sink whose first line identifies the run.
+    pub fn with_meta(out: W, meta: &TraceMeta) -> Self {
+        let mut sink = Self::new(out);
+        sink.write_line(&meta.to_json());
+        sink
+    }
+
+    fn write_line(&mut self, line: &str) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = self.out.write_all(line.as_bytes()).and_then(|()| self.out.write_all(b"\n"))
+        {
+            self.error = Some(e);
+            return;
+        }
+        self.lines += 1;
+    }
+
+    /// Lines successfully written so far.
+    pub fn lines_written(&self) -> u64 {
+        self.lines
+    }
+
+    /// Flush and return the writer, surfacing any latched I/O error.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+impl<W: Write> Recorder for JsonlSink<W> {
+    fn on_round_start(&mut self, round: u64) {
+        self.write_line(&round_line(round));
+    }
+    fn on_drop(&mut self, round: u64, color: ColorId, count: u64) {
+        self.write_line(&event_to_json(&TraceEvent::Drop { round, color, count }));
+    }
+    fn on_arrive(&mut self, round: u64, color: ColorId, count: u64) {
+        self.write_line(&event_to_json(&TraceEvent::Arrive { round, color, count }));
+    }
+    fn on_reconfig(&mut self, round: u64, mini: u32, location: usize, from: Slot, to: Slot) {
+        self.write_line(&event_to_json(&TraceEvent::Reconfig { round, mini, location, from, to }));
+    }
+    fn on_execute(&mut self, round: u64, mini: u32, color: ColorId, count: u64) {
+        self.write_line(&event_to_json(&TraceEvent::Execute { round, mini, color, count }));
+    }
+}
+
+/// A bounded JSONL sink for long horizons: formats every line but retains
+/// only the newest `capacity`, counting what it shed. [`JsonlRingSink::dump`]
+/// writes the retained tail (preceded by a `truncated` marker when lines
+/// were shed) to a writer.
+#[derive(Clone, Debug)]
+pub struct JsonlRingSink {
+    meta: Option<String>,
+    lines: VecDeque<String>,
+    capacity: usize,
+    truncated: u64,
+}
+
+impl JsonlRingSink {
+    /// A ring sink retaining the newest `capacity` lines.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "capacity must be at least 1");
+        Self { meta: None, lines: VecDeque::with_capacity(capacity), capacity, truncated: 0 }
+    }
+
+    /// Attach a meta header (always emitted by `dump`, never shed).
+    pub fn with_meta(mut self, meta: &TraceMeta) -> Self {
+        self.meta = Some(meta.to_json());
+        self
+    }
+
+    fn push(&mut self, line: String) {
+        while self.lines.len() >= self.capacity {
+            self.lines.pop_front();
+            self.truncated += 1;
+        }
+        self.lines.push_back(line);
+    }
+
+    /// Lines shed to respect the capacity.
+    pub fn truncated(&self) -> u64 {
+        self.truncated
+    }
+
+    /// Retained line count.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Write meta (if any), a truncation marker (if lines were shed) and the
+    /// retained tail.
+    pub fn dump<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        if let Some(meta) = &self.meta {
+            writeln!(w, "{meta}")?;
+        }
+        if self.truncated > 0 {
+            writeln!(w, "{}", truncated_line(self.truncated))?;
+        }
+        for line in &self.lines {
+            writeln!(w, "{line}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Recorder for JsonlRingSink {
+    fn on_round_start(&mut self, round: u64) {
+        self.push(round_line(round));
+    }
+    fn on_drop(&mut self, round: u64, color: ColorId, count: u64) {
+        self.push(event_to_json(&TraceEvent::Drop { round, color, count }));
+    }
+    fn on_reconfig(&mut self, round: u64, mini: u32, location: usize, from: Slot, to: Slot) {
+        self.push(event_to_json(&TraceEvent::Reconfig { round, mini, location, from, to }));
+    }
+    fn on_arrive(&mut self, round: u64, color: ColorId, count: u64) {
+        self.push(event_to_json(&TraceEvent::Arrive { round, color, count }));
+    }
+    fn on_execute(&mut self, round: u64, mini: u32, color: ColorId, count: u64) {
+        self.push(event_to_json(&TraceEvent::Execute { round, mini, color, count }));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// A parse failure, located by 1-based line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// 1-based line number of the offending line (0 for stream-level errors).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+/// One decoded trace line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceLine {
+    /// The run-identity header.
+    Meta(TraceMeta),
+    /// A round-start marker.
+    Round {
+        /// Round index.
+        round: u64,
+    },
+    /// A simulation event.
+    Event(TraceEvent),
+    /// A ring-sink truncation marker: `dropped` older lines were shed.
+    Truncated {
+        /// Lines shed before the retained tail.
+        dropped: u64,
+    },
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Scalar {
+    Null,
+    Num(u64),
+    Str(String),
+}
+
+struct Scanner<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(s: &'a str) -> Self {
+        Self { bytes: s.as_bytes(), pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self.peek().ok_or("unterminated string")?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return Err("short \\u escape".into());
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| "bad \\u escape")?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape '\\{}'", other as char)),
+                    }
+                }
+                // Multi-byte UTF-8: copy the full sequence.
+                _ => {
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && self.bytes[end] & 0b1100_0000 == 0b1000_0000 {
+                        end += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| "invalid UTF-8 in string")?;
+                    out.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Scalar, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'"') => Ok(Scalar::Str(self.string()?)),
+            Some(b'n') => {
+                if self.bytes[self.pos..].starts_with(b"null") {
+                    self.pos += 4;
+                    Ok(Scalar::Null)
+                } else {
+                    Err("expected null".into())
+                }
+            }
+            Some(b) if b.is_ascii_digit() => {
+                let start = self.pos;
+                while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+                text.parse::<u64>().map(Scalar::Num).map_err(|e| format!("bad number: {e}"))
+            }
+            _ => Err(format!("unexpected value at byte {}", self.pos)),
+        }
+    }
+
+    /// Parse a flat JSON object into its key/value pairs.
+    fn object(&mut self) -> Result<Vec<(String, Scalar)>, String> {
+        self.skip_ws();
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(fields);
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err("trailing bytes after object".into());
+        }
+        Ok(fields)
+    }
+}
+
+fn field<'a>(fields: &'a [(String, Scalar)], key: &str) -> Result<&'a Scalar, String> {
+    fields
+        .iter()
+        .find_map(|(k, v)| (k == key).then_some(v))
+        .ok_or_else(|| format!("missing field '{key}'"))
+}
+
+fn num(fields: &[(String, Scalar)], key: &str) -> Result<u64, String> {
+    match field(fields, key)? {
+        Scalar::Num(n) => Ok(*n),
+        other => Err(format!("field '{key}' is not a number: {other:?}")),
+    }
+}
+
+fn text(fields: &[(String, Scalar)], key: &str) -> Result<String, String> {
+    match field(fields, key)? {
+        Scalar::Str(s) => Ok(s.clone()),
+        other => Err(format!("field '{key}' is not a string: {other:?}")),
+    }
+}
+
+fn slot(fields: &[(String, Scalar)], key: &str) -> Result<Slot, String> {
+    match field(fields, key)? {
+        Scalar::Null => Ok(None),
+        Scalar::Num(n) => {
+            let id = u32::try_from(*n).map_err(|_| format!("field '{key}' out of range"))?;
+            Ok(Some(ColorId(id)))
+        }
+        other => Err(format!("field '{key}' is not a color: {other:?}")),
+    }
+}
+
+fn color(fields: &[(String, Scalar)], key: &str) -> Result<ColorId, String> {
+    slot(fields, key)?.ok_or_else(|| format!("field '{key}' must not be black"))
+}
+
+fn mini(fields: &[(String, Scalar)]) -> Result<u32, String> {
+    u32::try_from(num(fields, "mini")?).map_err(|_| "field 'mini' out of range".to_string())
+}
+
+/// Decode one JSONL trace line.
+pub fn parse_trace_line(line: &str) -> Result<TraceLine, String> {
+    let fields = Scanner::new(line).object()?;
+    let ev = text(&fields, "ev")?;
+    match ev.as_str() {
+        "meta" => {
+            let version = num(&fields, "version")?;
+            if version != TRACE_SCHEMA_VERSION {
+                return Err(format!(
+                    "unsupported trace schema version {version} (supported: {TRACE_SCHEMA_VERSION})"
+                ));
+            }
+            Ok(TraceLine::Meta(TraceMeta {
+                policy: text(&fields, "policy")?,
+                delta: num(&fields, "delta")?,
+                locations: num(&fields, "locations")? as usize,
+                speed: u32::try_from(num(&fields, "speed")?)
+                    .map_err(|_| "field 'speed' out of range".to_string())?,
+            }))
+        }
+        "round" => Ok(TraceLine::Round { round: num(&fields, "round")? }),
+        "truncated" => Ok(TraceLine::Truncated { dropped: num(&fields, "dropped")? }),
+        "drop" => Ok(TraceLine::Event(TraceEvent::Drop {
+            round: num(&fields, "round")?,
+            color: color(&fields, "color")?,
+            count: num(&fields, "count")?,
+        })),
+        "arrive" => Ok(TraceLine::Event(TraceEvent::Arrive {
+            round: num(&fields, "round")?,
+            color: color(&fields, "color")?,
+            count: num(&fields, "count")?,
+        })),
+        "reconfig" => Ok(TraceLine::Event(TraceEvent::Reconfig {
+            round: num(&fields, "round")?,
+            mini: mini(&fields)?,
+            location: num(&fields, "location")? as usize,
+            from: slot(&fields, "from")?,
+            to: slot(&fields, "to")?,
+        })),
+        "execute" => Ok(TraceLine::Event(TraceEvent::Execute {
+            round: num(&fields, "round")?,
+            mini: mini(&fields)?,
+            color: color(&fields, "color")?,
+            count: num(&fields, "count")?,
+        })),
+        other => Err(format!("unknown event kind '{other}'")),
+    }
+}
+
+/// A fully parsed trace.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ParsedTrace {
+    /// The run-identity header, if present.
+    pub meta: Option<TraceMeta>,
+    /// All simulation events in stream order.
+    pub events: Vec<TraceEvent>,
+    /// Rounds observed (count of round-start markers).
+    pub rounds: u64,
+    /// Lines shed upstream by a ring sink.
+    pub truncated: u64,
+}
+
+impl ParsedTrace {
+    /// Total jobs arrived.
+    pub fn arrived(&self) -> u64 {
+        self.sum(|e| match e {
+            TraceEvent::Arrive { count, .. } => Some(*count),
+            _ => None,
+        })
+    }
+
+    /// Total jobs executed.
+    pub fn executed(&self) -> u64 {
+        self.sum(|e| match e {
+            TraceEvent::Execute { count, .. } => Some(*count),
+            _ => None,
+        })
+    }
+
+    /// Total jobs dropped.
+    pub fn dropped(&self) -> u64 {
+        self.sum(|e| match e {
+            TraceEvent::Drop { count, .. } => Some(*count),
+            _ => None,
+        })
+    }
+
+    /// Total reconfigurations (recolorings to non-black).
+    pub fn reconfigs(&self) -> u64 {
+        self.events.iter().filter(|e| matches!(e, TraceEvent::Reconfig { to: Some(_), .. })).count()
+            as u64
+    }
+
+    /// Total cost `Δ·reconfigs + drops`, using the meta Δ.
+    pub fn total_cost(&self) -> Option<u64> {
+        let delta = self.meta.as_ref()?.delta;
+        Some(delta * self.reconfigs() + self.dropped())
+    }
+
+    fn sum(&self, f: impl Fn(&TraceEvent) -> Option<u64>) -> u64 {
+        self.events.iter().filter_map(f).sum()
+    }
+}
+
+/// Parse a whole JSONL trace (empty lines ignored). Fails on the first
+/// malformed line, identified by line number.
+pub fn parse_trace(textual: &str) -> Result<ParsedTrace, TraceParseError> {
+    let mut out = ParsedTrace::default();
+    for (i, line) in textual.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parsed =
+            parse_trace_line(line).map_err(|message| TraceParseError { line: i + 1, message })?;
+        match parsed {
+            TraceLine::Meta(m) => {
+                if out.meta.is_some() {
+                    return Err(TraceParseError {
+                        line: i + 1,
+                        message: "duplicate meta line".into(),
+                    });
+                }
+                out.meta = Some(m);
+            }
+            TraceLine::Round { .. } => out.rounds += 1,
+            TraceLine::Event(e) => out.events.push(e),
+            TraceLine::Truncated { dropped } => out.truncated += dropped,
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Phase timing
+// ---------------------------------------------------------------------------
+
+/// Accumulates wall-clock time per round phase and per mini-round.
+///
+/// Purely advisory: timings never appear in traces, tables or any other
+/// deterministic output. Attach alongside a sink with the tuple tee, e.g.
+/// `run_traced(&mut policy, &mut (&mut sink, &mut timer))`.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseTimer {
+    totals: [Duration; 4],
+    per_mini: Vec<Duration>,
+    rounds: u64,
+    open: Option<(Instant, Phase, u32)>,
+}
+
+impl PhaseTimer {
+    /// A fresh timer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn close(&mut self, now: Instant) {
+        if let Some((t0, phase, mini)) = self.open.take() {
+            let dt = now.duration_since(t0);
+            self.totals[phase.index()] += dt;
+            if matches!(phase, Phase::Reconfig | Phase::Execution) {
+                let idx = mini as usize;
+                if self.per_mini.len() <= idx {
+                    self.per_mini.resize(idx + 1, Duration::ZERO);
+                }
+                self.per_mini[idx] += dt;
+            }
+        }
+    }
+
+    /// Accumulated time in one phase.
+    pub fn phase_total(&self, phase: Phase) -> Duration {
+        self.totals[phase.index()]
+    }
+
+    /// `(phase name, accumulated time)` for all four phases, in round order.
+    pub fn totals(&self) -> [(&'static str, Duration); 4] {
+        [
+            (Phase::Drop.name(), self.totals[0]),
+            (Phase::Arrival.name(), self.totals[1]),
+            (Phase::Reconfig.name(), self.totals[2]),
+            (Phase::Execution.name(), self.totals[3]),
+        ]
+    }
+
+    /// Accumulated (reconfig + execution) time per mini-round index.
+    pub fn per_mini(&self) -> &[Duration] {
+        &self.per_mini
+    }
+
+    /// Rounds observed.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Total measured time across all phases.
+    pub fn total(&self) -> Duration {
+        self.totals.iter().sum()
+    }
+
+    /// A human-readable phase-time table (advisory wall-clock numbers).
+    pub fn render(&self) -> String {
+        let total = self.total();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "phase timing over {} rounds (wall clock, advisory):\n",
+            self.rounds
+        ));
+        for (name, dt) in self.totals() {
+            let share =
+                if total.is_zero() { 0.0 } else { 100.0 * dt.as_secs_f64() / total.as_secs_f64() };
+            out.push_str(&format!("  {name:<10} {dt:>12.3?}  {share:5.1}%\n"));
+        }
+        if self.per_mini.len() > 1 {
+            for (i, dt) in self.per_mini.iter().enumerate() {
+                out.push_str(&format!("  mini {i}: {dt:.3?} (reconfig+execution)\n"));
+            }
+        }
+        out
+    }
+}
+
+impl Recorder for PhaseTimer {
+    fn on_round_start(&mut self, round: u64) {
+        let _ = round;
+        self.rounds += 1;
+    }
+    fn on_phase_start(&mut self, _round: u64, mini: u32, phase: Phase) {
+        let now = Instant::now();
+        self.close(now);
+        self.open = Some((now, phase, mini));
+    }
+    fn on_round_end(&mut self, _round: u64) {
+        self.close(Instant::now());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Drop { round: 0, color: ColorId(2), count: 3 },
+            TraceEvent::Arrive { round: 0, color: ColorId(0), count: 1 },
+            TraceEvent::Reconfig {
+                round: 0,
+                mini: 0,
+                location: 4,
+                from: None,
+                to: Some(ColorId(1)),
+            },
+            TraceEvent::Reconfig {
+                round: 1,
+                mini: 1,
+                location: 2,
+                from: Some(ColorId(1)),
+                to: None,
+            },
+            TraceEvent::Execute { round: 1, mini: 1, color: ColorId(1), count: 2 },
+        ]
+    }
+
+    #[test]
+    fn event_json_round_trips() {
+        for e in sample_events() {
+            let line = event_to_json(&e);
+            match parse_trace_line(&line).expect(&line) {
+                TraceLine::Event(back) => assert_eq!(back, e, "{line}"),
+                other => panic!("expected event, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn meta_round_trips_with_escapes() {
+        let meta = TraceMeta {
+            policy: "weird \"name\"\\with\tescapes".into(),
+            delta: 7,
+            locations: 16,
+            speed: 2,
+        };
+        let line = meta.to_json();
+        match parse_trace_line(&line).unwrap() {
+            TraceLine::Meta(back) => assert_eq!(back, meta),
+            other => panic!("expected meta, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sink_stream_parses_back() {
+        let mut sink = JsonlSink::with_meta(
+            Vec::new(),
+            &TraceMeta { policy: "test".into(), delta: 3, locations: 2, speed: 1 },
+        );
+        sink.on_round_start(0);
+        for e in sample_events() {
+            match e {
+                TraceEvent::Drop { round, color, count } => sink.on_drop(round, color, count),
+                TraceEvent::Arrive { round, color, count } => sink.on_arrive(round, color, count),
+                TraceEvent::Reconfig { round, mini, location, from, to } => {
+                    sink.on_reconfig(round, mini, location, from, to)
+                }
+                TraceEvent::Execute { round, mini, color, count } => {
+                    sink.on_execute(round, mini, color, count)
+                }
+            }
+        }
+        let bytes = sink.finish().unwrap();
+        let parsed = parse_trace(std::str::from_utf8(&bytes).unwrap()).unwrap();
+        assert_eq!(parsed.meta.as_ref().unwrap().delta, 3);
+        assert_eq!(parsed.rounds, 1);
+        assert_eq!(parsed.events, sample_events());
+        assert_eq!(parsed.dropped(), 3);
+        assert_eq!(parsed.arrived(), 1);
+        assert_eq!(parsed.executed(), 2);
+        assert_eq!(parsed.reconfigs(), 1);
+        // Δ = 3, one reconfiguration, three drops.
+        assert_eq!(parsed.total_cost(), Some(6));
+    }
+
+    #[test]
+    fn ring_sink_keeps_newest_and_marks_truncation() {
+        let mut ring = JsonlRingSink::new(2).with_meta(&TraceMeta {
+            policy: "p".into(),
+            delta: 1,
+            locations: 1,
+            speed: 1,
+        });
+        ring.on_drop(0, ColorId(0), 1);
+        ring.on_drop(1, ColorId(0), 1);
+        ring.on_drop(2, ColorId(0), 1);
+        assert_eq!(ring.truncated(), 1);
+        assert_eq!(ring.len(), 2);
+        let mut buf = Vec::new();
+        ring.dump(&mut buf).unwrap();
+        let parsed = parse_trace(std::str::from_utf8(&buf).unwrap()).unwrap();
+        assert_eq!(parsed.truncated, 1);
+        assert_eq!(parsed.events.len(), 2);
+        assert!(matches!(parsed.events[0], TraceEvent::Drop { round: 1, .. }));
+    }
+
+    #[test]
+    fn bad_lines_are_rejected_with_location() {
+        let cases = [
+            "not json",
+            "{\"ev\":\"drop\",\"round\":0}",
+            "{\"ev\":\"nope\"}",
+            "{\"ev\":\"meta\",\"version\":999,\"policy\":\"x\",\"delta\":1,\"locations\":1,\"speed\":1}",
+            "{\"ev\":\"drop\",\"round\":0,\"color\":null,\"count\":1}",
+        ];
+        for bad in cases {
+            assert!(parse_trace_line(bad).is_err(), "{bad}");
+        }
+        let err = parse_trace("{\"ev\":\"round\",\"round\":0}\nnot json\n").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn phase_timer_accumulates_all_phases() {
+        let mut t = PhaseTimer::new();
+        t.on_round_start(0);
+        for (mini, phase) in
+            [(0, Phase::Drop), (0, Phase::Arrival), (0, Phase::Reconfig), (0, Phase::Execution)]
+        {
+            t.on_phase_start(0, mini, phase);
+        }
+        t.on_round_end(0);
+        assert_eq!(t.rounds(), 1);
+        assert!(t.total() >= t.phase_total(Phase::Execution));
+        let rendered = t.render();
+        for name in ["drop", "arrival", "reconfig", "execution"] {
+            assert!(rendered.contains(name), "{rendered}");
+        }
+    }
+
+    #[test]
+    fn sink_defers_io_errors_to_finish() {
+        struct Failing;
+        impl Write for Failing {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = JsonlSink::new(Failing);
+        sink.on_round_start(0);
+        sink.on_round_start(1); // skipped, error already latched
+        assert_eq!(sink.lines_written(), 0);
+        assert!(sink.finish().is_err());
+    }
+}

@@ -1,5 +1,7 @@
 //! Trace recording: optional observers of a simulation run.
 
+use std::collections::VecDeque;
+
 use rrs_model::ColorId;
 
 use crate::policy::Slot;
@@ -17,12 +19,57 @@ pub enum TraceEvent {
     Execute { round: u64, mini: u32, color: ColorId, count: u64 },
 }
 
+/// The four phases of a round (Section 2), in execution order. Drop and
+/// arrival happen once per round; reconfiguration and execution repeat once
+/// per mini-round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// Phase 1: expired pending jobs are dropped.
+    Drop,
+    /// Phase 2: the round's request arrives.
+    Arrival,
+    /// Phase 3: the policy recolors locations.
+    Reconfig,
+    /// Phase 4: configured locations execute pending jobs.
+    Execution,
+}
+
+impl Phase {
+    /// All phases in round order.
+    pub const ALL: [Phase; 4] = [Phase::Drop, Phase::Arrival, Phase::Reconfig, Phase::Execution];
+
+    /// Stable lowercase name (used by sinks and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Drop => "drop",
+            Phase::Arrival => "arrival",
+            Phase::Reconfig => "reconfig",
+            Phase::Execution => "execution",
+        }
+    }
+
+    /// Dense index into [`Phase::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            Phase::Drop => 0,
+            Phase::Arrival => 1,
+            Phase::Reconfig => 2,
+            Phase::Execution => 3,
+        }
+    }
+}
+
 /// Observer of simulation events. All methods default to no-ops so
 /// recorders implement only what they need.
 pub trait Recorder {
     /// Start of a round, before its drop phase.
     fn on_round_start(&mut self, round: u64) {
         let _ = round;
+    }
+    /// Start of a phase within (`round`, `mini`). Drop and arrival fire with
+    /// `mini = 0`; reconfiguration and execution fire once per mini-round.
+    fn on_phase_start(&mut self, round: u64, mini: u32, phase: Phase) {
+        let _ = (round, mini, phase);
     }
     /// Jobs dropped in the drop phase.
     fn on_drop(&mut self, round: u64, color: ColorId, count: u64) {
@@ -40,6 +87,67 @@ pub trait Recorder {
     fn on_execute(&mut self, round: u64, mini: u32, color: ColorId, count: u64) {
         let _ = (round, mini, color, count);
     }
+    /// End of a round, after its last execution phase.
+    fn on_round_end(&mut self, round: u64) {
+        let _ = round;
+    }
+}
+
+impl<R: Recorder + ?Sized> Recorder for &mut R {
+    fn on_round_start(&mut self, round: u64) {
+        (**self).on_round_start(round);
+    }
+    fn on_phase_start(&mut self, round: u64, mini: u32, phase: Phase) {
+        (**self).on_phase_start(round, mini, phase);
+    }
+    fn on_drop(&mut self, round: u64, color: ColorId, count: u64) {
+        (**self).on_drop(round, color, count);
+    }
+    fn on_arrive(&mut self, round: u64, color: ColorId, count: u64) {
+        (**self).on_arrive(round, color, count);
+    }
+    fn on_reconfig(&mut self, round: u64, mini: u32, location: usize, from: Slot, to: Slot) {
+        (**self).on_reconfig(round, mini, location, from, to);
+    }
+    fn on_execute(&mut self, round: u64, mini: u32, color: ColorId, count: u64) {
+        (**self).on_execute(round, mini, color, count);
+    }
+    fn on_round_end(&mut self, round: u64) {
+        (**self).on_round_end(round);
+    }
+}
+
+/// Tee: drive two recorders from one run (e.g. a JSONL sink plus a phase
+/// timer). Nest tees for more than two.
+impl<A: Recorder, B: Recorder> Recorder for (A, B) {
+    fn on_round_start(&mut self, round: u64) {
+        self.0.on_round_start(round);
+        self.1.on_round_start(round);
+    }
+    fn on_phase_start(&mut self, round: u64, mini: u32, phase: Phase) {
+        self.0.on_phase_start(round, mini, phase);
+        self.1.on_phase_start(round, mini, phase);
+    }
+    fn on_drop(&mut self, round: u64, color: ColorId, count: u64) {
+        self.0.on_drop(round, color, count);
+        self.1.on_drop(round, color, count);
+    }
+    fn on_arrive(&mut self, round: u64, color: ColorId, count: u64) {
+        self.0.on_arrive(round, color, count);
+        self.1.on_arrive(round, color, count);
+    }
+    fn on_reconfig(&mut self, round: u64, mini: u32, location: usize, from: Slot, to: Slot) {
+        self.0.on_reconfig(round, mini, location, from, to);
+        self.1.on_reconfig(round, mini, location, from, to);
+    }
+    fn on_execute(&mut self, round: u64, mini: u32, color: ColorId, count: u64) {
+        self.0.on_execute(round, mini, color, count);
+        self.1.on_execute(round, mini, color, count);
+    }
+    fn on_round_end(&mut self, round: u64) {
+        self.0.on_round_end(round);
+        self.1.on_round_end(round);
+    }
 }
 
 /// Discards everything.
@@ -48,18 +156,57 @@ pub struct NullRecorder;
 
 impl Recorder for NullRecorder {}
 
-/// Records the full event stream. Memory grows with the trace; intended for
-/// tests and small analyses.
+/// Records the full event stream.
+///
+/// By default memory grows with the trace (intended for tests and small
+/// analyses); [`TraceRecorder::with_capacity_limit`] bounds it to the most
+/// recent events for long horizons.
 #[derive(Clone, Debug, Default)]
 pub struct TraceRecorder {
-    /// All events in occurrence order.
-    pub events: Vec<TraceEvent>,
+    /// Retained events in occurrence order (oldest first). When a capacity
+    /// limit is set, this holds only the newest `capacity` events.
+    pub events: VecDeque<TraceEvent>,
+    /// Maximum retained events; `None` means unbounded.
+    capacity: Option<usize>,
+    /// Events discarded (oldest-first) to respect the capacity limit.
+    truncated: u64,
 }
 
 impl TraceRecorder {
-    /// A fresh empty trace.
+    /// A fresh empty trace with unbounded capacity.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A bounded trace that retains only the newest `capacity` events,
+    /// dropping the oldest and counting them in
+    /// [`TraceRecorder::truncated`].
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity_limit(capacity: usize) -> Self {
+        assert!(capacity >= 1, "capacity limit must be at least 1");
+        Self { events: VecDeque::with_capacity(capacity), capacity: Some(capacity), truncated: 0 }
+    }
+
+    /// The configured capacity limit, if any.
+    pub fn capacity_limit(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Number of events discarded to respect the capacity limit.
+    pub fn truncated(&self) -> u64 {
+        self.truncated
+    }
+
+    fn push(&mut self, event: TraceEvent) {
+        if let Some(cap) = self.capacity {
+            while self.events.len() >= cap {
+                self.events.pop_front();
+                self.truncated += 1;
+            }
+        }
+        self.events.push_back(event);
     }
 
     /// Total drops recorded.
@@ -75,10 +222,8 @@ impl TraceRecorder {
 
     /// Total reconfigurations recorded (recolorings to non-black).
     pub fn total_reconfigs(&self) -> u64 {
-        self.events
-            .iter()
-            .filter(|e| matches!(e, TraceEvent::Reconfig { to: Some(_), .. }))
-            .count() as u64
+        self.events.iter().filter(|e| matches!(e, TraceEvent::Reconfig { to: Some(_), .. })).count()
+            as u64
     }
 
     /// Total executions recorded.
@@ -95,16 +240,16 @@ impl TraceRecorder {
 
 impl Recorder for TraceRecorder {
     fn on_drop(&mut self, round: u64, color: ColorId, count: u64) {
-        self.events.push(TraceEvent::Drop { round, color, count });
+        self.push(TraceEvent::Drop { round, color, count });
     }
     fn on_arrive(&mut self, round: u64, color: ColorId, count: u64) {
-        self.events.push(TraceEvent::Arrive { round, color, count });
+        self.push(TraceEvent::Arrive { round, color, count });
     }
     fn on_reconfig(&mut self, round: u64, mini: u32, location: usize, from: Slot, to: Slot) {
-        self.events.push(TraceEvent::Reconfig { round, mini, location, from, to });
+        self.push(TraceEvent::Reconfig { round, mini, location, from, to });
     }
     fn on_execute(&mut self, round: u64, mini: u32, color: ColorId, count: u64) {
-        self.events.push(TraceEvent::Execute { round, mini, color, count });
+        self.push(TraceEvent::Execute { round, mini, color, count });
     }
 }
 
@@ -177,6 +322,47 @@ mod tests {
         assert_eq!(t.total_reconfigs(), 1);
         assert_eq!(t.total_executed(), 3);
         assert_eq!(t.events.len(), 4);
+        assert_eq!(t.truncated(), 0);
+        assert_eq!(t.capacity_limit(), None);
+    }
+
+    #[test]
+    fn capacity_limit_drops_oldest_and_counts() {
+        let mut t = TraceRecorder::with_capacity_limit(2);
+        t.on_drop(0, ColorId(0), 1);
+        t.on_drop(1, ColorId(0), 2);
+        t.on_drop(2, ColorId(0), 4);
+        assert_eq!(t.events.len(), 2);
+        assert_eq!(t.truncated(), 1);
+        // Oldest gone: only rounds 1 and 2 retained.
+        assert_eq!(t.total_drops(), 6);
+        assert!(matches!(t.events[0], TraceEvent::Drop { round: 1, .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_capacity_rejected() {
+        let _ = TraceRecorder::with_capacity_limit(0);
+    }
+
+    #[test]
+    fn tee_drives_both_recorders() {
+        let mut pair = (TraceRecorder::new(), SummaryRecorder::new());
+        pair.on_round_start(0);
+        pair.on_drop(0, ColorId(0), 2);
+        pair.on_execute(0, 0, ColorId(0), 1);
+        assert_eq!(pair.0.events.len(), 2);
+        assert_eq!(pair.1.rounds[0].drops, 2);
+        assert_eq!(pair.1.rounds[0].executed, 1);
+    }
+
+    #[test]
+    fn phase_names_and_indices_are_stable() {
+        let names: Vec<&str> = Phase::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names, ["drop", "arrival", "reconfig", "execution"]);
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
     }
 
     #[test]

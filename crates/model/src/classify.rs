@@ -47,10 +47,9 @@ impl std::fmt::Display for ValidationError {
             Self::UnknownColor { round, color } => {
                 write!(f, "round {round}: unknown color {color}")
             }
-            Self::UnbatchedArrival { round, color } => write!(
-                f,
-                "round {round}: color {color} arrives off its batch boundary"
-            ),
+            Self::UnbatchedArrival { round, color } => {
+                write!(f, "round {round}: color {color} arrives off its batch boundary")
+            }
             Self::OverRateLimit { round, color, count, limit } => write!(
                 f,
                 "round {round}: color {color} batch of {count} exceeds rate limit {limit}"
@@ -196,12 +195,7 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = ValidationError::OverRateLimit {
-            round: 4,
-            color: ColorId(1),
-            count: 9,
-            limit: 4,
-        };
+        let e = ValidationError::OverRateLimit { round: 4, color: ColorId(1), count: 9, limit: 4 };
         assert!(e.to_string().contains("exceeds rate limit"));
     }
 }

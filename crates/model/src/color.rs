@@ -121,10 +121,7 @@ impl ColorTable {
     /// Iterate over all `(color, delay_bound)` pairs in consistent
     /// (ascending id) order.
     pub fn iter(&self) -> impl Iterator<Item = (ColorId, u64)> + '_ {
-        self.infos
-            .iter()
-            .enumerate()
-            .map(|(i, info)| (ColorId(i as u32), info.delay_bound))
+        self.infos.iter().enumerate().map(|(i, info)| (ColorId(i as u32), info.delay_bound))
     }
 
     /// All color ids in consistent order.
@@ -171,10 +168,7 @@ mod tests {
     fn from_bounds_round_trips() {
         let t = ColorTable::from_bounds(&[1, 2, 4]);
         let pairs: Vec<_> = t.iter().collect();
-        assert_eq!(
-            pairs,
-            vec![(ColorId(0), 1), (ColorId(1), 2), (ColorId(2), 4)]
-        );
+        assert_eq!(pairs, vec![(ColorId(0), 1), (ColorId(1), 2), (ColorId(2), 4)]);
     }
 
     #[test]

@@ -46,9 +46,7 @@ impl CostLedger {
     /// Total reconfiguration cost `Δ · reconfigs`.
     #[inline]
     pub fn reconfig_cost(&self) -> u64 {
-        self.delta
-            .checked_mul(self.reconfigs)
-            .expect("reconfiguration cost overflow")
+        self.delta.checked_mul(self.reconfigs).expect("reconfiguration cost overflow")
     }
 
     /// Total drop cost (unit drop cost).
@@ -60,9 +58,7 @@ impl CostLedger {
     /// Total cost `Δ · reconfigs + drops`.
     #[inline]
     pub fn total(&self) -> u64 {
-        self.reconfig_cost()
-            .checked_add(self.drop_cost())
-            .expect("total cost overflow")
+        self.reconfig_cost().checked_add(self.drop_cost()).expect("total cost overflow")
     }
 
     /// Merge another ledger (same Δ) into this one.

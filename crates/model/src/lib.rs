@@ -21,16 +21,16 @@
 //! Everything here is deterministic and allocation-conscious; rounds, job
 //! counts and costs are `u64`, colors are a `u32` newtype.
 
+pub mod classify;
 pub mod color;
 pub mod cost;
-pub mod classify;
 pub mod instance;
 pub mod request;
 pub mod textio;
 
+pub use classify::{InstanceClass, ValidationError};
 pub use color::{ColorId, ColorTable, BLACK};
 pub use cost::CostLedger;
-pub use classify::{InstanceClass, ValidationError};
 pub use instance::{Instance, InstanceBuilder};
 pub use request::{Request, RequestSeq};
 pub use textio::{from_text, to_text, ParseError};

@@ -105,10 +105,7 @@ impl RequestSeq {
     /// The request of a round (empty for rounds past the stored horizon).
     pub fn at(&self, round: u64) -> &Request {
         static EMPTY: Request = Request { arrivals: Vec::new() };
-        usize::try_from(round)
-            .ok()
-            .and_then(|i| self.rounds.get(i))
-            .unwrap_or(&EMPTY)
+        usize::try_from(round).ok().and_then(|i| self.rounds.get(i)).unwrap_or(&EMPTY)
     }
 
     /// Number of stored rounds (the horizon of the last arrival + 1).

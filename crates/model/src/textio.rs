@@ -83,7 +83,10 @@ pub fn from_text(text: &str) -> Result<Instance, ParseError> {
                 if id != colors.len() as u64 {
                     return Err(err(
                         line_no,
-                        format!("color ids must be consecutive; expected {}, got {id}", colors.len()),
+                        format!(
+                            "color ids must be consecutive; expected {}, got {id}",
+                            colors.len()
+                        ),
                     ));
                 }
                 if bound == 0 {
@@ -95,9 +98,10 @@ pub fn from_text(text: &str) -> Result<Instance, ParseError> {
                 let round = arg("round")?;
                 let color = arg("color")?;
                 let count = arg("count")?;
-                let c = ColorId(u32::try_from(color).map_err(|_| {
-                    err(line_no, format!("color id {color} out of range"))
-                })?);
+                let c = ColorId(
+                    u32::try_from(color)
+                        .map_err(|_| err(line_no, format!("color id {color} out of range")))?,
+                );
                 if !colors.contains(c) {
                     return Err(err(line_no, format!("undeclared color {color}")));
                 }

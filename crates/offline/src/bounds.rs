@@ -18,10 +18,7 @@ use crate::par_edf::par_edf_drop_cost;
 /// This is the quantitative form of Lemma 3.1 / Corollary 3.3's "OFF incurs
 /// at least Δ per color" argument.
 pub fn per_color_lower_bound(inst: &Instance) -> u64 {
-    inst.colors
-        .ids()
-        .map(|c| inst.delta.min(inst.requests.total_jobs_of(c)))
-        .sum()
+    inst.colors.ids().map(|c| inst.delta.min(inst.requests.total_jobs_of(c))).sum()
 }
 
 /// A lower bound on the total cost of any schedule using `m` resources:

@@ -124,16 +124,7 @@ fn rec_solve(
     arrivals(inst, round, &mut p);
 
     for (newcache, p2, step_cost) in expand(inst, m, round, cache, &p) {
-        rec_solve(
-            inst,
-            m,
-            round + 1,
-            horizon,
-            &newcache,
-            &p2,
-            spent + dropped + step_cost,
-            best,
-        );
+        rec_solve(inst, m, round + 1, horizon, &newcache, &p2, spent + dropped + step_cost, best);
     }
 }
 

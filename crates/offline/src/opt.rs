@@ -265,10 +265,7 @@ pub fn solve_opt(inst: &Instance, m: usize, config: OptConfig) -> Result<OptResu
         layer = next;
     }
 
-    let best = layer
-        .into_values()
-        .min_by_key(|b| b.cost)
-        .expect("at least one terminal state");
+    let best = layer.into_values().min_by_key(|b| b.cost).expect("at least one terminal state");
     debug_assert_eq!(best.cost, delta * best.reconfigs + best.drops);
 
     let schedule = if config.reconstruct {

@@ -75,8 +75,10 @@ pub fn activity_profile(inst: &Instance) -> Vec<f64> {
             }
             let blocks = horizon.div_ceil(d).max(1);
             let active = (0..blocks)
-                .filter(|&i| !inst.requests.at(i * d).pairs().is_empty()
-                    && inst.requests.at(i * d).count_of(c) > 0)
+                .filter(|&i| {
+                    !inst.requests.at(i * d).pairs().is_empty()
+                        && inst.requests.at(i * d).count_of(c) > 0
+                })
                 .count();
             active as f64 / blocks as f64
         })

@@ -42,7 +42,9 @@ pub use scenarios::{
 
 /// Convenient re-exports.
 pub mod prelude {
-    pub use crate::adversary::{edf_killer, lru_killer, Adversary, EdfKillerParams, LruKillerParams};
+    pub use crate::adversary::{
+        edf_killer, lru_killer, Adversary, EdfKillerParams, LruKillerParams,
+    };
     pub use crate::bursty::{activity_profile, bursty_instance, BurstyConfig};
     pub use crate::random::{
         batched_instance, general_instance, rate_limited_instance, BatchedConfig, GeneralConfig,

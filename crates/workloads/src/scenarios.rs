@@ -46,7 +46,10 @@ impl Default for BackgroundConfig {
 
 /// The background-vs-short-term scenario. Returns the instance plus the
 /// background color (first) and the short-term colors.
-pub fn background_vs_short_term(cfg: &BackgroundConfig, seed: u64) -> (Instance, ColorId, Vec<ColorId>) {
+pub fn background_vs_short_term(
+    cfg: &BackgroundConfig,
+    seed: u64,
+) -> (Instance, ColorId, Vec<ColorId>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = InstanceBuilder::new(cfg.delta);
     let background = b.color(cfg.background_bound);
@@ -200,10 +203,7 @@ mod tests {
         let cfg = BackgroundConfig::default();
         let (inst, bg, shorts) = background_vs_short_term(&cfg, 1);
         assert_eq!(shorts.len(), cfg.num_short);
-        assert_eq!(
-            inst.requests.total_jobs_of(bg),
-            cfg.background_backlog * cfg.background_blocks
-        );
+        assert_eq!(inst.requests.total_jobs_of(bg), cfg.background_backlog * cfg.background_blocks);
         // Batched: all arrivals on block boundaries of their color.
         assert!(classify(&inst) >= InstanceClass::Batched);
     }

@@ -19,11 +19,7 @@ fn showdown(title: &str, adv: &Adversary, n: usize) {
     );
     let off = Simulator::new(&adv.instance, adv.off_resources)
         .run(&mut ReplayPolicy::new(adv.off_schedule.clone()));
-    println!(
-        "   OFF: cost {} (predicted {})",
-        off.total_cost(),
-        adv.predicted_off_cost
-    );
+    println!("   OFF: cost {} (predicted {})", off.total_cost(), adv.predicted_off_cost);
     println!("   {:<10} {:>9} {:>7} {:>8} {:>7}", "policy", "reconfig$", "drops", "total", "ratio");
     let row = |name: &str, out: Outcome| {
         println!(

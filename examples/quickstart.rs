@@ -31,7 +31,11 @@ fn main() {
     println!("  executed:         {}", out.executed);
     println!("  total cost:       {}", out.total_cost());
     let m = policy.metrics();
-    println!("  epochs:           {} (lemma 3.3 bound: {})", m.num_epochs(), 4 * m.num_epochs() * inst.delta);
+    println!(
+        "  epochs:           {} (lemma 3.3 bound: {})",
+        m.num_epochs(),
+        4 * m.num_epochs() * inst.delta
+    );
 
     // Referee against the exact offline optimum with m = 1 resource.
     let opt = solve_opt(&inst, 1, OptConfig::default()).expect("small instance");

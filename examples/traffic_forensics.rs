@@ -28,7 +28,10 @@ fn main() {
         inst.horizon()
     );
     let profile = activity_profile(&inst);
-    println!("per-color activity: {:?}\n", profile.iter().map(|p| (p * 100.0).round()).collect::<Vec<_>>());
+    println!(
+        "per-color activity: {:?}\n",
+        profile.iter().map(|p| (p * 100.0).round()).collect::<Vec<_>>()
+    );
 
     let n = 8;
 

@@ -3,21 +3,32 @@
 //! ```text
 //! rrs-cli generate <kind> [--seed N] [--out FILE]     create an instance
 //! rrs-cli classify <FILE>                             report its problem class
-//! rrs-cli run <policy> <FILE> [--locations N]         run an online policy
+//! rrs-cli run <policy> <FILE> [--locations N]
+//!         [--trace-out T.jsonl] [--metrics-out M.json] run an online policy
 //! rrs-cli attribute <policy> <FILE> [--locations N]   per-color cost table
 //! rrs-cli opt <FILE> [--resources M]                  exact offline optimum
 //! rrs-cli lemmas <FILE> [--locations N]               check Lemmas 3.2/3.3/3.4
-//! rrs-cli evaluate [--only NAME]                      print experiment tables
+//! rrs-cli evaluate [--only NAME] [--metrics-out F]    print experiment tables
+//! rrs-cli report <TRACE.jsonl> [--instance FILE]      cost report from a trace
+//! rrs-cli report --run <policy> <FILE> [--locations N] live run + phase timing
 //! ```
 //!
 //! The global `--jobs N` flag (any subcommand; default: all cores) sets the
 //! worker count for parallel sweeps. Tables are bit-identical at any
 //! setting; `--jobs 1` is fully serial.
 //!
+//! `--trace-out` streams the run as self-describing JSONL (one event per
+//! line, meta header first; schema in `DESIGN.md`); `report` re-derives the
+//! run's totals and cost attribution from such a file and — given the
+//! instance — cross-checks the trace by replaying its reconfiguration
+//! schedule through the simulator. Trace files carry no timestamps: all
+//! wall-clock timing is advisory and appears only in `report --run`.
+//!
 //! Kinds: `rate-limited`, `batched`, `general`, `router`, `datacenter`,
 //! `background`, `bursty`, `lru-killer`, `edf-killer`.
 //! Policies: `dlru`, `edf`, `classic-lru`, `dlru-edf`, `distribute`, `full`.
 
+use std::io::BufWriter;
 use std::process::ExitCode;
 
 use rrs::analysis::experiments;
@@ -27,11 +38,13 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  rrs-cli generate <kind> [--seed N] [--out FILE]\n  \
          rrs-cli classify <FILE>\n  \
-         rrs-cli run <policy> <FILE> [--locations N]\n  \
+         rrs-cli run <policy> <FILE> [--locations N] [--trace-out T.jsonl] [--metrics-out M.json]\n  \
          rrs-cli attribute <policy> <FILE> [--locations N]\n  \
          rrs-cli opt <FILE> [--resources M]\n  \
          rrs-cli lemmas <FILE> [--locations N]\n  \
-         rrs-cli evaluate [--only NAME]\n\
+         rrs-cli evaluate [--only NAME] [--metrics-out REPORTS.jsonl]\n  \
+         rrs-cli report <TRACE.jsonl> [--instance FILE]\n  \
+         rrs-cli report --run <policy> <FILE> [--locations N]\n\
          global flags: --jobs N (parallel sweep workers; default: all cores)\n\
          kinds: rate-limited batched general router datacenter background bursty lru-killer edf-killer\n\
          policies: dlru edf classic-lru dlru-edf distribute full"
@@ -75,12 +88,8 @@ fn cmd_generate(mut args: Vec<String>) -> Result<(), String> {
         "datacenter" => shared_datacenter(&DatacenterConfig::default(), seed),
         "background" => background_vs_short_term(&BackgroundConfig::default(), seed).0,
         "bursty" => bursty_instance(&BurstyConfig::default(), seed),
-        "lru-killer" => {
-            lru_killer(LruKillerParams { n: 8, delta: 2, j: 7, k: 9 }).instance
-        }
-        "edf-killer" => {
-            edf_killer(EdfKillerParams { n: 8, delta: 10, j: 4, k: 8 }).instance
-        }
+        "lru-killer" => lru_killer(LruKillerParams { n: 8, delta: 2, j: 7, k: 9 }).instance,
+        "edf-killer" => edf_killer(EdfKillerParams { n: 8, delta: 10, j: 4, k: 8 }).instance,
         other => return Err(format!("unknown kind '{other}'")),
     };
     let text = rrs::model::to_text(&inst);
@@ -111,21 +120,256 @@ fn make_policy(name: &str) -> Result<Box<dyn Policy>, String> {
     })
 }
 
-fn cmd_run(mut args: Vec<String>) -> Result<(), String> {
-    let n = parse_u64(take_flag(&mut args, "--locations"), 8, "--locations")? as usize;
-    let policy_name = args.first().ok_or("missing <policy>")?.clone();
-    let path = args.get(1).ok_or("missing <FILE>")?;
-    let inst = load(path)?;
-    let mut policy = make_policy(&policy_name)?;
-    let out = Simulator::new(&inst, n).run(&mut policy);
-    println!("policy:      {}", policy.name());
+/// Run a policy by name with a recorder attached, returning the policy's
+/// reported name, the outcome, and its lemma counters (zeroed for the
+/// policies that don't expose [`AlgoMetrics`]).
+fn run_traced_with_metrics(
+    policy_name: &str,
+    inst: &Instance,
+    n: usize,
+    mut rec: &mut dyn Recorder,
+) -> Result<(String, Outcome, AlgoMetrics), String> {
+    let sim = Simulator::new(inst, n);
+    Ok(match policy_name {
+        "dlru" => {
+            let mut p = DeltaLru::new();
+            let out = sim.run_traced(&mut p, &mut rec);
+            (p.name().to_string(), out, p.metrics())
+        }
+        "edf" => {
+            let mut p = Edf::new();
+            let out = sim.run_traced(&mut p, &mut rec);
+            (p.name().to_string(), out, p.metrics())
+        }
+        "dlru-edf" => {
+            let mut p = DeltaLruEdf::new();
+            let out = sim.run_traced(&mut p, &mut rec);
+            (p.name().to_string(), out, p.metrics())
+        }
+        other => {
+            let mut p = make_policy(other)?;
+            let out = sim.run_traced(&mut p, &mut rec);
+            (p.name().to_string(), out, AlgoMetrics::default())
+        }
+    })
+}
+
+fn print_run(name: &str, n: usize, inst: &Instance, out: &Outcome) {
+    println!("policy:      {name}");
     println!("locations:   {n}");
     println!("arrived:     {}", out.arrived);
     println!("executed:    {}", out.executed);
     println!("dropped:     {}", out.dropped);
     println!("reconfigs:   {} (cost {})", out.cost.reconfigs, out.cost.reconfig_cost());
     println!("total cost:  {}", out.total_cost());
-    println!("lower bound: {} (m = max(1, n/8))", combined_lower_bound(&inst, (n / 8).max(1)));
+    println!("lower bound: {} (m = max(1, n/8))", combined_lower_bound(inst, (n / 8).max(1)));
+}
+
+fn cmd_run(mut args: Vec<String>) -> Result<(), String> {
+    let n = parse_u64(take_flag(&mut args, "--locations"), 8, "--locations")? as usize;
+    let trace_out = take_flag(&mut args, "--trace-out");
+    let metrics_out = take_flag(&mut args, "--metrics-out");
+    let policy_name = args.first().ok_or("missing <policy>")?.clone();
+    let path = args.get(1).ok_or("missing <FILE>")?.clone();
+    let inst = load(&path)?;
+
+    if trace_out.is_none() && metrics_out.is_none() {
+        let mut policy = make_policy(&policy_name)?;
+        let out = Simulator::new(&inst, n).run(&mut policy);
+        print_run(policy.name(), n, &inst, &out);
+        return Ok(());
+    }
+
+    // Validate the policy name up front so the meta header is correct.
+    let display_name = make_policy(&policy_name)?.name().to_string();
+    let mut trace = TraceRecorder::new();
+    let (name, out, metrics) = match &trace_out {
+        Some(tpath) => {
+            let file = std::fs::File::create(tpath).map_err(|e| format!("create {tpath}: {e}"))?;
+            let meta =
+                TraceMeta { policy: display_name, delta: inst.delta, locations: n, speed: 1 };
+            let mut sink = JsonlSink::with_meta(BufWriter::new(file), &meta);
+            let result = {
+                let mut tee = (&mut trace, &mut sink);
+                run_traced_with_metrics(&policy_name, &inst, n, &mut tee)?
+            };
+            sink.finish().map_err(|e| format!("write {tpath}: {e}"))?;
+            eprintln!("wrote trace to {tpath}");
+            result
+        }
+        None => run_traced_with_metrics(&policy_name, &inst, n, &mut trace)?,
+    };
+    if let Some(mpath) = metrics_out {
+        let report = rrs::analysis::RunReport {
+            label: format!("run {path}"),
+            policy: name.clone(),
+            locations: n,
+            outcome: out.clone(),
+            metrics,
+            per_color: per_color_from_events(&inst, trace.events.iter()),
+        };
+        std::fs::write(&mpath, report.to_json() + "\n")
+            .map_err(|e| format!("write {mpath}: {e}"))?;
+        eprintln!("wrote metrics to {mpath}");
+    }
+    print_run(&name, n, &inst, &out);
+    Ok(())
+}
+
+fn pct(part: u64, total: u64) -> String {
+    if total == 0 {
+        "0.0%".into()
+    } else {
+        format!("{:.1}%", part as f64 * 100.0 / total as f64)
+    }
+}
+
+fn print_cost_attribution(delta: u64, reconfigs: u64, dropped: u64) {
+    let rc = delta * reconfigs;
+    let total = rc + dropped;
+    println!("cost attribution (\u{394} = {delta}):");
+    println!("  reconfigurations: {reconfigs} \u{d7} {delta} = {rc} ({})", pct(rc, total));
+    println!("  drops:            {dropped} ({})", pct(dropped, total));
+    println!("  total:            {total}");
+}
+
+fn cmd_report(mut args: Vec<String>) -> Result<(), String> {
+    match take_flag(&mut args, "--run") {
+        Some(policy_name) => report_live(&policy_name, args),
+        None => report_saved(args),
+    }
+}
+
+/// `report <TRACE.jsonl> [--instance FILE]`: re-derive a run's totals and
+/// cost attribution from a saved trace; with the instance, additionally
+/// break costs down per color and replay the traced reconfiguration
+/// schedule through the simulator to cross-check the totals.
+fn report_saved(mut args: Vec<String>) -> Result<(), String> {
+    let inst_path = take_flag(&mut args, "--instance");
+    let path = args.first().ok_or("missing <TRACE.jsonl>")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let parsed = parse_trace(&text).map_err(|e| format!("{path}: {e}"))?;
+    let meta = parsed
+        .meta
+        .clone()
+        .ok_or_else(|| format!("{path}: no meta header; cannot attribute costs without \u{394}"))?;
+    println!("trace:       {path}");
+    println!("policy:      {}", meta.policy);
+    println!("locations:   {}", meta.locations);
+    println!("speed:       {}", meta.speed);
+    println!("rounds:      {}", parsed.rounds);
+    println!("events:      {}", parsed.events.len());
+    if parsed.truncated > 0 {
+        println!("truncated:   {} lines shed upstream (totals are partial)", parsed.truncated);
+    }
+    let (arrived, executed, dropped) = (parsed.arrived(), parsed.executed(), parsed.dropped());
+    let reconfigs = parsed.reconfigs();
+    println!("arrived:     {arrived}");
+    println!("executed:    {executed}");
+    println!("dropped:     {dropped}");
+    println!("reconfigs:   {reconfigs}");
+    if parsed.truncated == 0 {
+        let conserved = arrived == executed + dropped;
+        println!("conservation: {}", if conserved { "ok" } else { "VIOLATED" });
+        if !conserved {
+            return Err("trace violates conservation (arrived != executed + dropped)".into());
+        }
+    }
+    print_cost_attribution(meta.delta, reconfigs, dropped);
+    if let Some(ipath) = inst_path {
+        let inst = load(&ipath)?;
+        if inst.delta != meta.delta {
+            return Err(format!(
+                "instance \u{394} = {} but trace \u{394} = {}",
+                inst.delta, meta.delta
+            ));
+        }
+        let per = per_color_from_events(&inst, parsed.events.iter());
+        println!();
+        println!(
+            "{}",
+            attribution_table(
+                &format!("per-color costs ({} @ {} locations)", meta.policy, meta.locations),
+                meta.delta,
+                per
+            )
+        );
+        if parsed.truncated == 0 && meta.speed == 1 {
+            let mut sched = FixedSchedule::new(meta.locations);
+            for e in &parsed.events {
+                if let TraceEvent::Reconfig { round, location, to, .. } = *e {
+                    sched.set_location(round, location, to);
+                }
+            }
+            let replayed = Simulator::new(&inst, meta.locations).run(&mut ReplayPolicy::new(sched));
+            let ok = replayed.arrived == arrived
+                && replayed.executed == executed
+                && replayed.dropped == dropped
+                && replayed.cost.reconfigs == reconfigs;
+            println!(
+                "replay check: {}",
+                if ok { "ok (schedule reproduces the trace totals)" } else { "MISMATCH" }
+            );
+            if !ok {
+                return Err(format!(
+                    "replay mismatch: replayed arrived/executed/dropped/reconfigs = \
+                     {}/{}/{}/{} but trace says {arrived}/{executed}/{dropped}/{reconfigs}",
+                    replayed.arrived, replayed.executed, replayed.dropped, replayed.cost.reconfigs
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `report --run <policy> <FILE>`: run live with a phase timer attached and
+/// print the same report plus lemma bounds and advisory wall-clock timings.
+fn report_live(policy_name: &str, mut args: Vec<String>) -> Result<(), String> {
+    let n = parse_u64(take_flag(&mut args, "--locations"), 8, "--locations")? as usize;
+    let path = args.first().ok_or("missing <FILE>")?;
+    let inst = load(path)?;
+    let mut trace = TraceRecorder::new();
+    let mut timer = PhaseTimer::new();
+    let (name, out, metrics) = {
+        let mut tee = (&mut timer, &mut trace);
+        run_traced_with_metrics(policy_name, &inst, n, &mut tee)?
+    };
+    println!("policy:      {name}");
+    println!("locations:   {n}");
+    println!("rounds:      {}", out.rounds);
+    println!("arrived:     {}", out.arrived);
+    println!("executed:    {}", out.executed);
+    println!("dropped:     {}", out.dropped);
+    println!("conservation: {}", if out.conserved() { "ok" } else { "VIOLATED" });
+    print_cost_attribution(inst.delta, out.cost.reconfigs, out.dropped);
+    println!();
+    let per = per_color_from_events(&inst, trace.events.iter());
+    println!(
+        "{}",
+        attribution_table(&format!("per-color costs ({name} @ {n} locations)"), inst.delta, per)
+    );
+    if metrics != AlgoMetrics::default() {
+        let e = metrics.num_epochs();
+        let r33 = out.cost.reconfig_cost() <= 4 * e * inst.delta;
+        let r34 = metrics.ineligible_drops <= e * inst.delta;
+        println!("lemma bounds (numEpochs = {e}):");
+        println!(
+            "  3.3: reconfig cost {} <= {}  [{}]",
+            out.cost.reconfig_cost(),
+            4 * e * inst.delta,
+            if r33 { "ok" } else { "VIOLATED" }
+        );
+        println!(
+            "  3.4: ineligible drops {} <= {}  [{}]",
+            metrics.ineligible_drops,
+            e * inst.delta,
+            if r34 { "ok" } else { "VIOLATED" }
+        );
+        println!();
+    }
+    // Wall-clock timings are advisory: they never appear in traces or
+    // tables, only here.
+    print!("{}", timer.render());
     Ok(())
 }
 
@@ -192,10 +436,7 @@ fn cmd_classify(args: Vec<String>) -> Result<(), String> {
     let path = args.first().ok_or("missing <FILE>")?;
     let inst = load(path)?;
     println!("class:   {:?}", classify::classify(&inst));
-    println!(
-        "pow2:    {}",
-        classify::check_power_of_two_bounds(&inst).is_ok()
-    );
+    println!("pow2:    {}", classify::check_power_of_two_bounds(&inst).is_ok());
     println!("colors:  {}", inst.colors.len());
     println!("jobs:    {}", inst.total_jobs());
     println!("horizon: {}", inst.horizon());
@@ -204,17 +445,20 @@ fn cmd_classify(args: Vec<String>) -> Result<(), String> {
 
 fn cmd_evaluate(mut args: Vec<String>) -> Result<(), String> {
     let only = take_flag(&mut args, "--only");
+    let metrics_out = take_flag(&mut args, "--metrics-out");
+    if metrics_out.is_some() {
+        rrs::analysis::enable_report_collection();
+    }
     match only {
         Some(name) => {
             let suite = experiments::default_suite();
-            let build = suite
-                .iter()
-                .find(|&&(n, _)| n == name)
-                .map(|&(_, build)| build)
-                .ok_or_else(|| {
-                    let names: Vec<&str> = suite.iter().map(|&(n, _)| n).collect();
-                    format!("unknown experiment '{name}' (have: {})", names.join(" "))
-                })?;
+            let build =
+                suite.iter().find(|&&(n, _)| n == name).map(|&(_, build)| build).ok_or_else(
+                    || {
+                        let names: Vec<&str> = suite.iter().map(|&(n, _)| n).collect();
+                        format!("unknown experiment '{name}' (have: {})", names.join(" "))
+                    },
+                )?;
             println!("{}", build());
         }
         None => {
@@ -222,6 +466,16 @@ fn cmd_evaluate(mut args: Vec<String>) -> Result<(), String> {
                 println!("{table}");
             }
         }
+    }
+    if let Some(mpath) = metrics_out {
+        let reports = rrs::analysis::take_reports();
+        let mut text = String::new();
+        for r in &reports {
+            text.push_str(&r.to_json());
+            text.push('\n');
+        }
+        std::fs::write(&mpath, text).map_err(|e| format!("write {mpath}: {e}"))?;
+        eprintln!("wrote {} run reports to {mpath}", reports.len());
     }
     Ok(())
 }
@@ -254,6 +508,7 @@ fn main() -> ExitCode {
         "opt" => cmd_opt(argv),
         "lemmas" => cmd_lemmas(argv),
         "evaluate" => cmd_evaluate(argv),
+        "report" => cmd_report(argv),
         _ => return usage(),
     };
     match result {

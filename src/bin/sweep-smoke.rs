@@ -6,13 +6,14 @@
 //! ```
 //!
 //! Runs the E3 seed sweep serially (`jobs = 1`) and at full parallelism,
-//! prints both wall-clock times and the speedup, and fails loudly if the
-//! two tables are not byte-identical.
+//! prints both wall-clock times, the speedup, and the per-worker telemetry
+//! (items, steals, busy time) of each phase, and fails loudly if the two
+//! tables are not byte-identical.
 
 use std::time::Instant;
 
 use rrs::analysis::experiments::e3_vs_opt;
-use rrs::engine::{jobs, set_jobs};
+use rrs::engine::{jobs, set_jobs, take_sweep_telemetry};
 
 fn main() {
     let seeds: u64 = std::env::args()
@@ -22,14 +23,17 @@ fn main() {
 
     let workers = jobs();
     set_jobs(1);
+    let _ = take_sweep_telemetry();
     let t0 = Instant::now();
     let serial = e3_vs_opt(0..seeds).to_string();
     let serial_time = t0.elapsed();
+    let serial_tel = take_sweep_telemetry();
 
     set_jobs(workers);
     let t1 = Instant::now();
     let parallel = e3_vs_opt(0..seeds).to_string();
     let parallel_time = t1.elapsed();
+    let parallel_tel = take_sweep_telemetry();
 
     assert_eq!(serial, parallel, "parallel table diverged from serial");
 
@@ -38,4 +42,9 @@ fn main() {
     println!("  serial   (jobs=1):  {serial_time:?}");
     println!("  parallel (jobs={workers}): {parallel_time:?}");
     println!("  speedup: {speedup:.2}x, tables byte-identical");
+    println!();
+    println!("serial phase:");
+    print!("{}", serial_tel.render());
+    println!("parallel phase:");
+    print!("{}", parallel_tel.render());
 }

@@ -57,9 +57,7 @@ fn appendix_a_dlru_drops_the_long_backlog() {
         .events
         .iter()
         .filter_map(|e| match e {
-            rrs::engine::TraceEvent::Execute { color, count, .. } if *color == long => {
-                Some(*count)
-            }
+            rrs::engine::TraceEvent::Execute { color, count, .. } if *color == long => Some(*count),
             _ => None,
         })
         .sum();

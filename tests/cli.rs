@@ -28,12 +28,8 @@ fn generate_classify_run_opt_pipeline() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("RateLimited"), "{text}");
 
-    let out = cli()
-        .args(["run", "dlru-edf"])
-        .arg(&file)
-        .args(["--locations", "8"])
-        .output()
-        .unwrap();
+    let out =
+        cli().args(["run", "dlru-edf"]).arg(&file).args(["--locations", "8"]).output().unwrap();
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("total cost:"), "{text}");
@@ -68,12 +64,16 @@ fn generate_to_stdout_parses_back() {
 #[test]
 fn attribute_prints_per_color_table() {
     let file = tmpfile("attr.rrs");
-    std::fs::write(&file, "delta 2
+    std::fs::write(
+        &file,
+        "delta 2
 color 0 4
 color 1 4
 arrive 0 0 4
 arrive 0 1 4
-").unwrap();
+",
+    )
+    .unwrap();
     let out = cli().args(["attribute", "dlru-edf"]).arg(&file).output().unwrap();
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
@@ -102,10 +102,7 @@ fn bad_instance_file_reports_error() {
 #[test]
 fn evaluate_jobs_round_trips_byte_identical() {
     let run = |jobs: &str| {
-        let out = cli()
-            .args(["evaluate", "--only", "e3", "--jobs", jobs])
-            .output()
-            .unwrap();
+        let out = cli().args(["evaluate", "--only", "e3", "--jobs", jobs]).output().unwrap();
         assert!(out.status.success(), "--jobs {jobs}: {}", String::from_utf8_lossy(&out.stderr));
         out.stdout
     };
@@ -146,6 +143,114 @@ fn valueless_jobs_flag_rejected() {
     assert!(!out.status.success());
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("--jobs requires a value"), "{err}");
+}
+
+/// Pull the integer out of a `label:   value` line.
+fn field(text: &str, label: &str) -> u64 {
+    text.lines()
+        .find(|l| l.trim_start().starts_with(label))
+        .and_then(|l| l.split_whitespace().find_map(|w| w.parse().ok()))
+        .unwrap_or_else(|| panic!("no numeric field '{label}' in:\n{text}"))
+}
+
+#[test]
+fn trace_out_report_round_trip_matches_run_totals() {
+    let inst = tmpfile("trace-inst.rrs");
+    let trace = tmpfile("trace.jsonl");
+    let metrics = tmpfile("metrics.json");
+
+    let out = cli()
+        .args(["generate", "rate-limited", "--seed", "11", "--out"])
+        .arg(&inst)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = cli()
+        .args(["run", "dlru-edf"])
+        .arg(&inst)
+        .arg("--trace-out")
+        .arg(&trace)
+        .arg("--metrics-out")
+        .arg(&metrics)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "run: {}", String::from_utf8_lossy(&out.stderr));
+    let run_text = String::from_utf8_lossy(&out.stdout).to_string();
+
+    let out = cli().arg("report").arg(&trace).arg("--instance").arg(&inst).output().unwrap();
+    assert!(out.status.success(), "report: {}", String::from_utf8_lossy(&out.stderr));
+    let report_text = String::from_utf8_lossy(&out.stdout).to_string();
+
+    // Acceptance: the report's totals equal the run's Outcome exactly.
+    for label in ["arrived:", "executed:", "dropped:"] {
+        assert_eq!(field(&report_text, label), field(&run_text, label), "{label}");
+    }
+    assert_eq!(field(&report_text, "total:"), field(&run_text, "total cost:"));
+    assert!(report_text.contains("conservation: ok"), "{report_text}");
+    assert!(report_text.contains("replay check: ok"), "{report_text}");
+
+    // The metrics file is one parsable JSON report with the same total.
+    let mtext = std::fs::read_to_string(&metrics).unwrap();
+    assert_eq!(mtext.lines().count(), 1);
+    assert!(
+        mtext.contains(&format!("\"total_cost\":{}", field(&run_text, "total cost:"))),
+        "{mtext}"
+    );
+
+    for f in [&inst, &trace, &metrics] {
+        std::fs::remove_file(f).ok();
+    }
+}
+
+#[test]
+fn report_fails_on_malformed_trace() {
+    let bad = tmpfile("bad-trace.jsonl");
+    std::fs::write(&bad, "this is not json\n").unwrap();
+    let out = cli().arg("report").arg(&bad).output().unwrap();
+    assert!(!out.status.success(), "garbage must be rejected");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("line 1"), "{err}");
+    std::fs::remove_file(&bad).ok();
+}
+
+#[test]
+fn report_live_prints_lemma_bounds_and_phase_timing() {
+    let inst = tmpfile("live-inst.rrs");
+    let out = cli()
+        .args(["generate", "rate-limited", "--seed", "3", "--out"])
+        .arg(&inst)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let out = cli().args(["report", "--run", "dlru-edf"]).arg(&inst).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("cost attribution"), "{text}");
+    assert!(text.contains("lemma bounds"), "{text}");
+    assert!(!text.contains("VIOLATED"), "{text}");
+    assert!(text.contains("phase timing"), "{text}");
+    std::fs::remove_file(&inst).ok();
+}
+
+#[test]
+fn evaluate_metrics_out_is_deterministic_across_jobs() {
+    let run = |jobs: &str, tag: &str| {
+        let path = tmpfile(&format!("reports-{tag}.jsonl"));
+        let out = cli()
+            .args(["evaluate", "--only", "e3", "--jobs", jobs, "--metrics-out"])
+            .arg(&path)
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "--jobs {jobs}: {}", String::from_utf8_lossy(&out.stderr));
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        text
+    };
+    let serial = run("1", "j1");
+    assert!(serial.lines().count() >= 8, "{serial}");
+    assert!(serial.lines().all(|l| l.starts_with("{\"label\":\"e3 seed=")), "{serial}");
+    assert_eq!(serial, run("4", "j4"), "report JSONL diverged across worker counts");
 }
 
 #[test]

@@ -27,4 +27,20 @@ fn parallel_tables_match_serial_byte_for_byte() {
     // An odd worker count exercises uneven work distribution too.
     set_jobs(3);
     assert_eq!(serial.0, e3_vs_opt(0..12).to_string());
+
+    // Attaching the observability pipeline (report collection) must not
+    // change a single byte of the tables, and the collected reports come
+    // back label-sorted regardless of work-stealing completion order.
+    rrs::analysis::enable_report_collection();
+    set_jobs(4);
+    let observed = e3_vs_opt(0..12).to_string();
+    let reports = rrs::analysis::take_reports();
+    assert_eq!(serial.0, observed, "report collection changed e3 table bytes");
+    let labels: Vec<&str> =
+        reports.iter().map(|r| r.label.as_str()).filter(|l| l.starts_with("e3 seed=")).collect();
+    assert_eq!(labels.len(), 12, "{labels:?}");
+    assert!(labels.windows(2).all(|w| w[0] <= w[1]), "unsorted: {labels:?}");
+    for r in &reports {
+        assert!(r.outcome.conserved(), "{}", r.label);
+    }
 }

@@ -6,8 +6,8 @@ use rrs::prelude::*;
 /// Strategy: a small rate-limited instance with power-of-two bounds.
 fn rate_limited_strategy() -> impl Strategy<Value = Instance> {
     (
-        1u64..=4,                                   // delta
-        prop::collection::vec(0u32..=3, 1..=4),     // bound exponents per color
+        1u64..=4,                                            // delta
+        prop::collection::vec(0u32..=3, 1..=4),              // bound exponents per color
         prop::collection::vec((0u64..=7, 0u64..=8), 0..=24), // (block, jobs) picks
     )
         .prop_map(|(delta, exps, picks)| {
@@ -158,7 +158,7 @@ proptest! {
 fn tiny_strategy() -> impl Strategy<Value = Instance> {
     (
         1u64..=3,
-        prop::collection::vec(0u32..=2, 1..=2),          // 1-2 colors, bounds 1..4
+        prop::collection::vec(0u32..=2, 1..=2), // 1-2 colors, bounds 1..4
         prop::collection::vec((0u64..=2, 0u64..=3), 0..=6),
     )
         .prop_map(|(delta, exps, picks)| {

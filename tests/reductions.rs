@@ -19,8 +19,7 @@ fn distribute_is_identity_on_rate_limited_input_with_round0_colors() {
         };
         let inst = rate_limited_instance(&cfg, seed);
         let direct = Simulator::new(&inst, 8).run(&mut DeltaLruEdf::new());
-        let wrapped =
-            Simulator::new(&inst, 8).run(&mut Distribute::new(DeltaLruEdf::new()));
+        let wrapped = Simulator::new(&inst, 8).run(&mut Distribute::new(DeltaLruEdf::new()));
         assert_eq!(direct.total_cost(), wrapped.total_cost(), "seed {seed}");
         assert_eq!(direct.executed, wrapped.executed, "seed {seed}");
     }
@@ -50,10 +49,7 @@ fn full_stack_runs_every_input_class() {
         rate_limited_instance(&RateLimitedConfig::default(), 1),
         batched_instance(&BatchedConfig::default(), 2),
         general_instance(&GeneralConfig::default(), 3),
-        general_instance(
-            &GeneralConfig { bounds: vec![3, 5, 7, 12], ..Default::default() },
-            4,
-        ),
+        general_instance(&GeneralConfig { bounds: vec![3, 5, 7, 12], ..Default::default() }, 4),
     ];
     for (i, inst) in configs.iter().enumerate() {
         let out = Simulator::new(inst, 8).run(&mut full_algorithm());

@@ -21,11 +21,9 @@ fn lemma_4_2_wrapper_never_costs_more_than_materialized_run() {
         let inst = batched_instance(&cfg, seed);
         let (vinst, _) = distribute_instance(&inst);
 
-        let wrapper = Simulator::new(&inst, 8)
-            .run(&mut Distribute::new(DeltaLruEdf::new()))
-            .total_cost();
-        let materialized =
-            Simulator::new(&vinst, 8).run(&mut DeltaLruEdf::new()).total_cost();
+        let wrapper =
+            Simulator::new(&inst, 8).run(&mut Distribute::new(DeltaLruEdf::new())).total_cost();
+        let materialized = Simulator::new(&vinst, 8).run(&mut DeltaLruEdf::new()).total_cost();
         assert!(
             wrapper <= materialized,
             "seed {seed}: wrapper {wrapper} > materialized {materialized}"
@@ -51,8 +49,7 @@ fn varbatch_wrapper_matches_materialized_reconfig_cost_exactly() {
 
         let wrapper =
             Simulator::new(&inst, 8).run(&mut VarBatch::new(Distribute::new(DeltaLruEdf::new())));
-        let materialized =
-            Simulator::new(&vinst, 8).run(&mut Distribute::new(DeltaLruEdf::new()));
+        let materialized = Simulator::new(&vinst, 8).run(&mut Distribute::new(DeltaLruEdf::new()));
         assert_eq!(
             wrapper.cost.reconfigs, materialized.cost.reconfigs,
             "seed {seed}: reconfiguration counts must match exactly"
@@ -153,8 +150,7 @@ fn distribute_transform_feeds_the_exact_opt_referee() {
     b.arrive(0, c, 6).arrive(0, d, 4).arrive(4, d, 5).arrive(8, c, 3);
     let inst = b.build();
     let opt = solve_opt(&inst, 1, OptConfig::default()).unwrap().cost;
-    let online = Simulator::new(&inst, 8)
-        .run(&mut Distribute::new(DeltaLruEdf::new()))
-        .total_cost();
+    let online =
+        Simulator::new(&inst, 8).run(&mut Distribute::new(DeltaLruEdf::new())).total_cost();
     assert!(online as f64 <= 8.0 * opt as f64, "online {online} vs OPT {opt}");
 }
