@@ -3,7 +3,7 @@
 //! their exact numbers are pinned here. A change to any of these values
 //! means the algorithms' semantics changed — which must be deliberate.
 
-use rrs::analysis::experiments::{e1_lru_adversary, e2_edf_adversary};
+use rrs::analysis::experiments::{all_default, e1_lru_adversary, e2_edf_adversary, router_scenario};
 
 #[test]
 fn e1_exact_costs_are_stable() {
@@ -36,6 +36,33 @@ fn e2_exact_costs_are_stable() {
     assert_eq!(col(1, "edf"), 160);
     assert_eq!(col(2, "edf"), 240);
     assert_eq!(col(3, "edf"), 400);
+}
+
+/// The complete experiment suite (E1–E15) plus the router scenario,
+/// rendered to text and pinned byte-for-byte. Every number in every table
+/// is deterministic, so this snapshot guards all Outcome values at once —
+/// it is the acceptance gate for behavior-preserving refactors of the
+/// simulator hot path. Regenerate deliberately with
+/// `BLESS=1 cargo test -q --test golden suite_snapshot`.
+#[test]
+fn suite_snapshot_is_byte_identical_to_fixture() {
+    let mut text = String::new();
+    for table in all_default() {
+        text.push_str(&format!("{table}\n"));
+    }
+    text.push_str(&format!("{}\n", router_scenario(0)));
+
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/suite_snapshot.txt");
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(&path, &text).expect("write blessed snapshot");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).expect("suite snapshot fixture readable");
+    assert_eq!(
+        text, golden,
+        "experiment-suite output changed; if deliberate, re-bless the snapshot"
+    );
 }
 
 #[test]
