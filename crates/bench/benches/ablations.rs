@@ -1,5 +1,7 @@
 //! E12/E13: ablation benches for the design choices DESIGN.md calls out —
-//! the LRU/EDF capacity split and the Δ-counter eligibility gate.
+//! the LRU/EDF capacity split and the Δ-counter eligibility gate — plus the
+//! state-layout ablation of DESIGN.md §8 (dense `ColorMap` state vs the
+//! pre-refactor tree/hash-map layout).
 
 use std::sync::Once;
 
@@ -8,6 +10,9 @@ use rrs_analysis::experiments::{
     e12_split_ablation, e13_counter_gate_ablation, e14_replication_ablation,
 };
 use rrs_bench::print_once;
+use rrs_core::DeltaLruEdf;
+use rrs_engine::Simulator;
+use rrs_model::{Instance, InstanceBuilder};
 
 static E12_ONCE: Once = Once::new();
 static E13_ONCE: Once = Once::new();
@@ -43,5 +48,177 @@ fn bench_e14_replication(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_e12_split_ablation, bench_e13_counter_gate, bench_e14_replication);
+/// The retained pre-refactor state layout, kept bench-only as the baseline
+/// for the DESIGN.md §8 ablation: `BTreeSet` cache state, per-call `Vec`
+/// collects, and a `HashMap`-diffing stable assignment. Behaviorally
+/// identical to [`DeltaLruEdf`] (the bench asserts it) — only the memory
+/// layout and allocation pattern differ.
+mod map_state {
+    use std::collections::{BTreeSet, HashMap};
+
+    use rrs_core::ranking::{edf_key, sort_by_edf, sort_by_lru};
+    use rrs_core::ColorBook;
+    use rrs_engine::{Observation, Policy, Slot};
+    use rrs_model::ColorId;
+
+    /// The pre-refactor `stable_assign`: per-call `HashMap` plus sorted
+    /// leftover list.
+    fn stable_assign_map(old: &[Slot], desired: &[(ColorId, u64)]) -> Vec<Slot> {
+        let mut want: HashMap<ColorId, u64> = HashMap::new();
+        for &(c, k) in desired {
+            if k == 0 {
+                continue;
+            }
+            assert!(want.insert(c, k).is_none(), "color listed twice");
+        }
+        let mut out: Vec<Slot> = vec![None; old.len()];
+        for (i, &slot) in old.iter().enumerate() {
+            if let Some(c) = slot {
+                if let Some(k) = want.get_mut(&c) {
+                    if *k > 0 {
+                        *k -= 1;
+                        out[i] = Some(c);
+                    }
+                }
+            }
+        }
+        let mut rest: Vec<(ColorId, u64)> = want.into_iter().filter(|&(_, k)| k > 0).collect();
+        rest.sort_unstable_by_key(|&(c, _)| c);
+        let mut free = 0usize;
+        for (c, k) in rest {
+            for _ in 0..k {
+                while out[free].is_some() {
+                    free += 1;
+                }
+                out[free] = Some(c);
+            }
+        }
+        out
+    }
+
+    /// ΔLRU-EDF on the pre-refactor layout (paper configuration only:
+    /// half/half split, replication 2).
+    pub struct MapDeltaLruEdf {
+        book: Option<ColorBook>,
+        cached: BTreeSet<ColorId>,
+        lru_slots: usize,
+        edf_window: usize,
+        capacity: usize,
+    }
+
+    impl MapDeltaLruEdf {
+        pub fn new() -> Self {
+            Self { book: None, cached: BTreeSet::new(), lru_slots: 0, edf_window: 0, capacity: 0 }
+        }
+    }
+
+    impl Policy for MapDeltaLruEdf {
+        fn name(&self) -> &str {
+            "dlru-edf-map"
+        }
+
+        fn init(&mut self, delta: u64, n_locations: usize) {
+            assert!(n_locations >= 4 && n_locations.is_multiple_of(4));
+            self.capacity = n_locations / 2;
+            self.lru_slots = self.capacity / 2;
+            self.edf_window = self.capacity - self.lru_slots;
+            self.book = Some(
+                ColorBook::new(delta.max(1))
+                    .with_super_epoch_threshold((n_locations as u64 / 4).max(1)),
+            );
+            self.cached.clear();
+        }
+
+        fn reconfigure(&mut self, obs: &Observation<'_>, out: &mut Vec<Slot>) {
+            let book = self.book.as_mut().expect("init not called");
+            if obs.mini_round == 0 {
+                let cached = &self.cached;
+                book.begin_round(obs, |c| cached.contains(&c));
+            }
+
+            let mut eligible: Vec<ColorId> = book.eligible_colors().collect();
+            sort_by_lru(book, &mut eligible);
+            let lru_len = eligible.len().min(self.lru_slots);
+            let lru_set: BTreeSet<ColorId> = eligible[..lru_len].iter().copied().collect();
+
+            let mut nonlru: Vec<ColorId> = eligible[lru_len..].to_vec();
+            sort_by_edf(book, obs.pending, &mut nonlru);
+
+            let mut keep: Vec<ColorId> =
+                self.cached.iter().copied().filter(|c| !lru_set.contains(c)).collect();
+            for &c in nonlru.iter().take(self.edf_window) {
+                if !obs.pending.is_idle(c) && !self.cached.contains(&c) {
+                    keep.push(c);
+                }
+            }
+            let nonlru_capacity = self.capacity - lru_set.len();
+            if keep.len() > nonlru_capacity {
+                keep.sort_unstable_by_key(|&c| edf_key(book, obs.pending, c));
+                keep.truncate(nonlru_capacity);
+            }
+
+            self.cached = lru_set.iter().chain(keep.iter()).copied().collect();
+            let desired: Vec<(ColorId, u64)> = self.cached.iter().map(|&c| (c, 2)).collect();
+            *out = stable_assign_map(obs.slots, &desired);
+        }
+    }
+}
+
+/// A churny batched workload for the state-layout microbench: more eligible
+/// colors than distinct capacity, so every round re-ranks and reassigns.
+fn layout_instance() -> Instance {
+    let mut b = InstanceBuilder::new(2);
+    let shorts: Vec<_> = (0..6).map(|_| b.color(2)).collect();
+    let mids: Vec<_> = (0..4).map(|_| b.color(4)).collect();
+    let longs: Vec<_> = (0..2).map(|_| b.color(8)).collect();
+    for blk in 0..512u64 {
+        for (i, &c) in shorts.iter().enumerate() {
+            if blk % (i as u64 + 1) == 0 {
+                b.arrive(blk * 2, c, 2);
+            }
+        }
+    }
+    for blk in 0..256u64 {
+        for &c in &mids {
+            b.arrive(blk * 4, c, 3);
+        }
+    }
+    for blk in 0..128u64 {
+        for &c in &longs {
+            b.arrive(blk * 8, c, 8);
+        }
+    }
+    b.build()
+}
+
+fn bench_state_layout(c: &mut Criterion) {
+    let inst = layout_instance();
+    // The layouts must be behaviorally indistinguishable — this bench is an
+    // apples-to-apples timing of the same algorithm.
+    let dense = Simulator::new(&inst, 16).run(&mut DeltaLruEdf::new());
+    let map = Simulator::new(&inst, 16).run(&mut map_state::MapDeltaLruEdf::new());
+    assert_eq!(dense, map, "dense and map layouts diverged");
+
+    let mut g = c.benchmark_group("state_layout");
+    g.sample_size(10);
+    g.bench_function("dense_colormap", |b| {
+        b.iter(|| std::hint::black_box(Simulator::new(&inst, 16).run(&mut DeltaLruEdf::new())))
+    });
+    g.bench_function("map_baseline", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                Simulator::new(&inst, 16).run(&mut map_state::MapDeltaLruEdf::new()),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_e12_split_ablation,
+    bench_e13_counter_gate,
+    bench_e14_replication,
+    bench_state_layout
+);
 criterion_main!(benches);

@@ -19,10 +19,8 @@
 //! stated over: epochs, counter wraps, timestamp updates, super-epochs, and
 //! the eligible/ineligible split of drop costs.
 
-use std::collections::{BTreeMap, HashSet};
-
 use rrs_engine::Observation;
-use rrs_model::{ColorId, ColorTable};
+use rrs_model::{ColorId, ColorSet, ColorTable};
 
 use crate::metrics::AlgoMetrics;
 
@@ -77,11 +75,18 @@ pub struct ColorBook {
     states: Vec<ColorState>,
     /// Colors grouped by delay bound so block boundaries touch only the
     /// relevant buckets (there are at most 64 distinct power-of-two bounds).
-    by_bound: BTreeMap<u64, Vec<u32>>,
+    /// Kept sorted ascending by bound; within a bucket ids are ascending
+    /// because colors are minted in id order. A sorted vec rather than a
+    /// `BTreeMap`: the bucket count is tiny, iteration is the hot operation,
+    /// and inserts happen only when a brand-new bound appears.
+    by_bound: Vec<(u64, Vec<u32>)>,
     /// Super-epoch machinery (§3.4): once this many distinct colors have
     /// updated their timestamps, the super-epoch ends. `None` disables it.
     super_epoch_threshold: Option<u64>,
-    super_epoch_colors: HashSet<u32>,
+    super_epoch_colors: ColorSet,
+    /// Colors whose timestamps committed this round, in bound-bucket order;
+    /// a member buffer so `begin_round` allocates nothing once warm.
+    ts_updates: Vec<u32>,
     /// Accumulated lemma counters.
     pub metrics: AlgoMetrics,
 }
@@ -93,9 +98,10 @@ impl ColorBook {
         Self {
             delta,
             states: Vec::new(),
-            by_bound: BTreeMap::new(),
+            by_bound: Vec::new(),
             super_epoch_threshold: None,
-            super_epoch_colors: HashSet::new(),
+            super_epoch_colors: ColorSet::new(),
+            ts_updates: Vec::new(),
             metrics: AlgoMetrics::default(),
         }
     }
@@ -145,7 +151,10 @@ impl ColorBook {
             let id = self.states.len() as u32;
             let d = colors.delay_bound(ColorId(id));
             self.states.push(ColorState::new(d));
-            self.by_bound.entry(d).or_default().push(id);
+            match self.by_bound.binary_search_by_key(&d, |&(b, _)| b) {
+                Ok(i) => self.by_bound[i].1.push(id),
+                Err(i) => self.by_bound.insert(i, (d, vec![id])),
+            }
         }
     }
 
@@ -171,8 +180,8 @@ impl ColorBook {
 
         // Drop phase (§3.1): at each block boundary, commit the timestamp
         // and retire eligible-but-uncached colors.
-        let mut ts_updates: Vec<u32> = Vec::new();
-        for (&d, ids) in &self.by_bound {
+        self.ts_updates.clear();
+        for &(d, ref ids) in &self.by_bound {
             if !k.is_multiple_of(d) {
                 continue;
             }
@@ -184,7 +193,7 @@ impl ColorBook {
                     // committed timestamp.
                     if w < k && s.ts != Some(w) {
                         s.ts = Some(w);
-                        ts_updates.push(id);
+                        self.ts_updates.push(id);
                     }
                 }
                 if s.eligible && !in_cache(ColorId(id)) {
@@ -198,10 +207,10 @@ impl ColorBook {
                 }
             }
         }
-        self.metrics.timestamp_updates += ts_updates.len() as u64;
+        self.metrics.timestamp_updates += self.ts_updates.len() as u64;
         if let Some(t) = self.super_epoch_threshold {
-            for id in ts_updates {
-                self.super_epoch_colors.insert(id);
+            for &id in &self.ts_updates {
+                self.super_epoch_colors.insert(ColorId(id));
                 if self.super_epoch_colors.len() as u64 >= t {
                     self.metrics.super_epochs += 1;
                     self.super_epoch_colors.clear();
@@ -223,7 +232,7 @@ impl ColorBook {
                 self.metrics.active_epochs += 1;
             }
         }
-        for (&d, ids) in &self.by_bound {
+        for &(d, ref ids) in &self.by_bound {
             if !k.is_multiple_of(d) {
                 continue;
             }
@@ -447,7 +456,7 @@ mod bound_one_tests {
         assert_eq!(p.metrics().counter_wraps, 2);
         assert_eq!(p.metrics().completed_epochs, 0);
         assert_eq!(p.metrics().num_epochs(), 1);
-        assert!(p.cached_colors().contains(&c));
+        assert!(p.cached_colors().contains(c));
     }
 
     #[test]

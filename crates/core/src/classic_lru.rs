@@ -17,20 +17,20 @@
 //! per-job drop cost — the ablation experiment E13 measures exactly this
 //! gap.
 
-use std::collections::BTreeSet;
-
-use rrs_engine::{stable_assign, Observation, Policy, Slot};
-use rrs_model::ColorId;
+use rrs_engine::{stable_assign_into, AssignScratch, Observation, Policy, Slot};
+use rrs_model::{ColorId, ColorMap, ColorSet};
 
 /// Textbook LRU over colors: cache the `n/2` colors with the most recent
 /// arrival, each replicated at two locations.
 #[derive(Debug, Default)]
 pub struct ClassicLru {
     /// Per color: last round with a (nonempty) arrival.
-    last_arrival: Vec<Option<u64>>,
-    cached: BTreeSet<ColorId>,
+    last_arrival: ColorMap<Option<u64>>,
+    cached: ColorSet,
     capacity: usize,
     scratch: Vec<ColorId>,
+    desired: Vec<(ColorId, u64)>,
+    assign: AssignScratch,
 }
 
 impl ClassicLru {
@@ -40,7 +40,7 @@ impl ClassicLru {
     }
 
     /// The distinct colors currently cached.
-    pub fn cached_colors(&self) -> &BTreeSet<ColorId> {
+    pub fn cached_colors(&self) -> &ColorSet {
         &self.cached
     }
 }
@@ -56,32 +56,30 @@ impl Policy for ClassicLru {
             "classic LRU replicates each cached color at two locations; got {n_locations}"
         );
         self.capacity = n_locations / 2;
-        self.last_arrival.clear();
+        self.last_arrival = ColorMap::new();
         self.cached.clear();
     }
 
     fn reconfigure(&mut self, obs: &Observation<'_>, out: &mut Vec<Slot>) {
-        if self.last_arrival.len() < obs.colors.len() {
-            self.last_arrival.resize(obs.colors.len(), None);
-        }
+        self.last_arrival.grow_to(obs.colors.len());
         for &(c, n) in obs.arrivals {
             if n > 0 {
-                self.last_arrival[c.index()] = Some(obs.round);
+                self.last_arrival[c] = Some(obs.round);
             }
         }
 
         // Cache the most recently referenced colors.
         self.scratch.clear();
-        self.scratch.extend(
-            self.last_arrival.iter().enumerate().filter_map(|(i, t)| t.map(|_| ColorId(i as u32))),
-        );
+        self.scratch.extend(self.last_arrival.iter().filter_map(|(c, t)| t.map(|_| c)));
         let last = &self.last_arrival;
-        self.scratch.sort_unstable_by_key(|c| (std::cmp::Reverse(last[c.index()]), *c));
+        self.scratch.sort_unstable_by_key(|&c| (std::cmp::Reverse(last[c]), c));
         self.scratch.truncate(self.capacity);
 
-        self.cached = self.scratch.iter().copied().collect();
-        let desired: Vec<(ColorId, u64)> = self.scratch.iter().map(|&c| (c, 2)).collect();
-        *out = stable_assign(obs.slots, &desired);
+        self.cached.clear();
+        self.cached.extend(self.scratch.iter().copied());
+        self.desired.clear();
+        self.desired.extend(self.scratch.iter().map(|&c| (c, 2)));
+        stable_assign_into(obs.slots, &self.desired, out, &mut self.assign);
     }
 }
 
@@ -150,8 +148,8 @@ mod tests {
         Simulator::new(&inst, 4).run(&mut p);
         // Capacity 2: most recent (c2) plus the tie-break winner of round 0
         // (c0 < c1).
-        assert!(p.cached_colors().contains(&c2));
-        assert!(p.cached_colors().contains(&c0));
-        assert!(!p.cached_colors().contains(&c1));
+        assert!(p.cached_colors().contains(c2));
+        assert!(p.cached_colors().contains(c0));
+        assert!(!p.cached_colors().contains(c1));
     }
 }

@@ -19,7 +19,7 @@
 //! sub-colors).
 
 use rrs_engine::{Observation, PendingStore, Policy, Slot};
-use rrs_model::{ColorId, ColorTable};
+use rrs_model::{ColorId, ColorMap, ColorTable};
 
 /// The Distribute wrapper around an inner policy.
 #[derive(Debug)]
@@ -29,14 +29,17 @@ pub struct Distribute<P> {
     vpending: PendingStore,
     vslots: Vec<Slot>,
     vnext: Vec<Slot>,
-    /// physical color index → ids of its minted sub-colors (index `j` is
+    /// physical color → ids of its minted sub-colors (index `j` is
     /// sub-color `(ℓ, j)`).
-    subs: Vec<Vec<ColorId>>,
+    subs: ColorMap<Vec<ColorId>>,
     /// virtual color index → physical color.
     to_phys: Vec<ColorId>,
     varrivals: Vec<(ColorId, u64)>,
     vdropped: Vec<(ColorId, u64)>,
-    exec_counts: Vec<(ColorId, u64)>,
+    /// Execution-phase grouping over the virtual assignment: dense counts
+    /// plus the virtual colors touched this mini-round.
+    exec_counts: ColorMap<u64>,
+    exec_touched: Vec<ColorId>,
 }
 
 impl<P: Policy> Distribute<P> {
@@ -48,11 +51,12 @@ impl<P: Policy> Distribute<P> {
             vpending: PendingStore::new(),
             vslots: Vec::new(),
             vnext: Vec::new(),
-            subs: Vec::new(),
+            subs: ColorMap::new(),
             to_phys: Vec::new(),
             varrivals: Vec::new(),
             vdropped: Vec::new(),
-            exec_counts: Vec::new(),
+            exec_counts: ColorMap::new(),
+            exec_touched: Vec::new(),
         }
     }
 
@@ -68,32 +72,35 @@ impl<P: Policy> Distribute<P> {
 
     /// The sub-colors minted for a physical color, in `j` order.
     pub fn sub_colors(&self, phys: ColorId) -> &[ColorId] {
-        self.subs.get(phys.index()).map(Vec::as_slice).unwrap_or(&[])
+        self.subs.get(phys).map(Vec::as_slice).unwrap_or(&[])
     }
 
     fn sub_color(&mut self, phys: ColorId, j: usize, bound: u64) -> ColorId {
-        while self.subs.len() <= phys.index() {
-            self.subs.push(Vec::new());
-        }
-        while self.subs[phys.index()].len() <= j {
+        let subs = self.subs.entry(phys);
+        while subs.len() <= j {
             let vc = self.vcolors.push(bound);
-            self.subs[phys.index()].push(vc);
+            subs.push(vc);
             self.to_phys.push(phys);
         }
-        self.subs[phys.index()][j]
+        subs[j]
     }
 
     fn run_virtual_execution(&mut self) {
-        self.exec_counts.clear();
+        // Per-sub-color queues are independent, so execution order across
+        // colors cannot affect state; dense counting keeps it deterministic
+        // and allocation-free once the virtual universe stops growing.
+        self.exec_touched.clear();
         for &s in &self.vslots {
             if let Some(c) = s {
-                match self.exec_counts.iter_mut().find(|(cc, _)| *cc == c) {
-                    Some((_, k)) => *k += 1,
-                    None => self.exec_counts.push((c, 1)),
+                let k = self.exec_counts.entry(c);
+                if *k == 0 {
+                    self.exec_touched.push(c);
                 }
+                *k += 1;
             }
         }
-        for &(c, q) in &self.exec_counts {
+        for &c in &self.exec_touched {
+            let q = std::mem::take(&mut self.exec_counts[c]);
             self.vpending.execute(c, q);
         }
     }
@@ -108,7 +115,7 @@ impl<P: Policy> Policy for Distribute<P> {
         self.vcolors = ColorTable::new();
         self.vpending = PendingStore::new();
         self.vslots = vec![None; n_locations];
-        self.subs.clear();
+        self.subs = ColorMap::new();
         self.to_phys.clear();
         self.inner.init(delta, n_locations);
     }

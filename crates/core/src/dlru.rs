@@ -8,10 +8,8 @@
 //! could be cleared with a single reconfiguration. The experiment suite
 //! regenerates this failure (experiment E1).
 
-use std::collections::BTreeSet;
-
-use rrs_engine::{stable_assign, Observation, Policy, Slot};
-use rrs_model::ColorId;
+use rrs_engine::{stable_assign_into, AssignScratch, Observation, Policy, Slot};
+use rrs_model::{ColorId, ColorSet};
 
 use crate::book::ColorBook;
 use crate::metrics::AlgoMetrics;
@@ -23,9 +21,11 @@ use crate::ranking::sort_by_lru;
 #[derive(Debug, Default)]
 pub struct DeltaLru {
     book: Option<ColorBook>,
-    cached: BTreeSet<ColorId>,
+    cached: ColorSet,
     capacity: usize,
     scratch: Vec<ColorId>,
+    desired: Vec<(ColorId, u64)>,
+    assign: AssignScratch,
 }
 
 impl DeltaLru {
@@ -40,7 +40,7 @@ impl DeltaLru {
     }
 
     /// The distinct colors currently cached.
-    pub fn cached_colors(&self) -> &BTreeSet<ColorId> {
+    pub fn cached_colors(&self) -> &ColorSet {
         &self.cached
     }
 
@@ -70,7 +70,7 @@ impl Policy for DeltaLru {
         let book = self.book.as_mut().expect("init not called");
         if obs.mini_round == 0 {
             let cached = &self.cached;
-            book.begin_round(obs, |c| cached.contains(&c));
+            book.begin_round(obs, |c| cached.contains(c));
         }
 
         // Keep the `capacity` eligible colors with the most recent
@@ -80,9 +80,11 @@ impl Policy for DeltaLru {
         sort_by_lru(book, &mut self.scratch);
         self.scratch.truncate(self.capacity);
 
-        self.cached = self.scratch.iter().copied().collect();
-        let desired: Vec<(ColorId, u64)> = self.scratch.iter().map(|&c| (c, 2)).collect();
-        *out = stable_assign(obs.slots, &desired);
+        self.cached.clear();
+        self.cached.extend(self.scratch.iter().copied());
+        self.desired.clear();
+        self.desired.extend(self.scratch.iter().map(|&c| (c, 2)));
+        stable_assign_into(obs.slots, &self.desired, out, &mut self.assign);
     }
 }
 
@@ -142,8 +144,8 @@ mod tests {
         Simulator::new(&inst, 2).run(&mut p);
         // After both have committed timestamps, fresh's is newer; stale was
         // evicted (or never entered) and retired.
-        assert!(p.cached_colors().contains(&fresh));
-        assert!(!p.cached_colors().contains(&stale));
+        assert!(p.cached_colors().contains(fresh));
+        assert!(!p.cached_colors().contains(stale));
     }
 
     #[test]
@@ -167,7 +169,7 @@ mod tests {
         let mut p = DeltaLru::new();
         Simulator::new(&inst, 2).run(&mut p);
         // Capacity 1 distinct; identical timestamps -> lower id wins.
-        assert!(p.cached_colors().contains(&c0));
-        assert!(!p.cached_colors().contains(&c1));
+        assert!(p.cached_colors().contains(c0));
+        assert!(!p.cached_colors().contains(c1));
     }
 }

@@ -18,10 +18,8 @@
 //! any offline schedule on `m` resources, on rate-limited
 //! `[Δ|1|D_ℓ|D_ℓ]` instances with power-of-two bounds.
 
-use std::collections::BTreeSet;
-
-use rrs_engine::{stable_assign, Observation, Policy, Slot};
-use rrs_model::ColorId;
+use rrs_engine::{stable_assign_into, AssignScratch, Observation, Policy, Slot};
+use rrs_model::{ColorId, ColorSet};
 
 use crate::book::ColorBook;
 use crate::metrics::AlgoMetrics;
@@ -31,8 +29,8 @@ use crate::ranking::{edf_key, sort_by_edf, sort_by_lru};
 #[derive(Debug)]
 pub struct DeltaLruEdf {
     book: Option<ColorBook>,
-    cached: BTreeSet<ColorId>,
-    lru_set: BTreeSet<ColorId>,
+    cached: ColorSet,
+    lru_set: ColorSet,
     /// Fraction of the distinct capacity governed by the LRU scheme
     /// (the paper uses 1/2: an LRU quarter and an EDF quarter of `n`).
     lru_share: f64,
@@ -48,6 +46,8 @@ pub struct DeltaLruEdf {
     scratch: Vec<ColorId>,
     nonlru: Vec<ColorId>,
     keep: Vec<ColorId>,
+    desired: Vec<(ColorId, u64)>,
+    assign: AssignScratch,
 }
 
 impl Default for DeltaLruEdf {
@@ -63,8 +63,8 @@ impl DeltaLruEdf {
     pub fn new() -> Self {
         Self {
             book: None,
-            cached: BTreeSet::new(),
-            lru_set: BTreeSet::new(),
+            cached: ColorSet::new(),
+            lru_set: ColorSet::new(),
             lru_share: 0.5,
             replication: 2,
             lru_slots: 0,
@@ -73,6 +73,8 @@ impl DeltaLruEdf {
             scratch: Vec::new(),
             nonlru: Vec::new(),
             keep: Vec::new(),
+            desired: Vec::new(),
+            assign: AssignScratch::new(),
         }
     }
 
@@ -101,12 +103,12 @@ impl DeltaLruEdf {
     }
 
     /// The distinct colors currently cached.
-    pub fn cached_colors(&self) -> &BTreeSet<ColorId> {
+    pub fn cached_colors(&self) -> &ColorSet {
         &self.cached
     }
 
     /// The current LRU quarter (always a subset of the cache).
-    pub fn lru_colors(&self) -> &BTreeSet<ColorId> {
+    pub fn lru_colors(&self) -> &ColorSet {
         &self.lru_set
     }
 
@@ -154,7 +156,7 @@ impl Policy for DeltaLruEdf {
         let book = self.book.as_mut().expect("init not called");
         if obs.mini_round == 0 {
             let cached = &self.cached;
-            book.begin_round(obs, |c| cached.contains(&c));
+            book.begin_round(obs, |c| cached.contains(c));
         }
 
         // Scheme 1 (ΔLRU): the n/4 eligible colors with the most recent
@@ -163,7 +165,8 @@ impl Policy for DeltaLruEdf {
         self.scratch.extend(book.eligible_colors());
         sort_by_lru(book, &mut self.scratch);
         let lru_len = self.scratch.len().min(self.lru_slots);
-        self.lru_set = self.scratch[..lru_len].iter().copied().collect();
+        self.lru_set.clear();
+        self.lru_set.extend(self.scratch[..lru_len].iter().copied());
 
         // Scheme 2 (EDF over non-LRU colors): rank the eligible non-LRU
         // colors; X = nonidle colors in the top n/4 ranks not already
@@ -174,9 +177,9 @@ impl Policy for DeltaLruEdf {
 
         self.keep.clear();
         // Cached non-LRU colors stay unless evicted for space.
-        self.keep.extend(self.cached.iter().copied().filter(|c| !self.lru_set.contains(c)));
+        self.keep.extend(self.cached.iter().filter(|&c| !self.lru_set.contains(c)));
         for &c in self.nonlru.iter().take(self.edf_window) {
-            if !obs.pending.is_idle(c) && !self.cached.contains(&c) {
+            if !obs.pending.is_idle(c) && !self.cached.contains(c) {
                 self.keep.push(c);
             }
         }
@@ -186,11 +189,13 @@ impl Policy for DeltaLruEdf {
             self.keep.truncate(nonlru_capacity);
         }
 
-        self.cached = self.lru_set.iter().chain(self.keep.iter()).copied().collect();
+        self.cached.clear();
+        self.cached.extend(self.lru_set.iter());
+        self.cached.extend(self.keep.iter().copied());
         debug_assert!(self.cached.len() <= self.capacity);
-        let desired: Vec<(ColorId, u64)> =
-            self.cached.iter().map(|&c| (c, self.replication)).collect();
-        *out = stable_assign(obs.slots, &desired);
+        self.desired.clear();
+        self.desired.extend(self.cached.iter().map(|c| (c, self.replication)));
+        stable_assign_into(obs.slots, &self.desired, out, &mut self.assign);
     }
 }
 
@@ -237,7 +242,7 @@ mod tests {
         // steady: cached once by the EDF quarter (2 reconfigs). No
         // thrashing.
         assert_eq!(out.cost.reconfigs, 4);
-        assert!(p.cached_colors().contains(&bursty));
+        assert!(p.cached_colors().contains(bursty));
     }
 
     #[test]

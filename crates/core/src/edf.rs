@@ -12,10 +12,8 @@
 //! replication); running it on a speed-2 [`rrs_engine::Simulator`] yields
 //! **DS-Seq-EDF**.
 
-use std::collections::BTreeSet;
-
-use rrs_engine::{stable_assign, Observation, Policy, Slot};
-use rrs_model::ColorId;
+use rrs_engine::{stable_assign_into, AssignScratch, Observation, Policy, Slot};
+use rrs_model::{ColorId, ColorSet};
 
 use crate::book::ColorBook;
 use crate::metrics::AlgoMetrics;
@@ -26,10 +24,13 @@ use crate::ranking::{edf_key, sort_by_edf};
 #[derive(Debug)]
 pub struct Edf {
     book: Option<ColorBook>,
-    cached: BTreeSet<ColorId>,
+    cached: ColorSet,
     replication: u64,
     capacity: usize,
     scratch: Vec<ColorId>,
+    union: Vec<ColorId>,
+    desired: Vec<(ColorId, u64)>,
+    assign: AssignScratch,
 }
 
 impl Default for Edf {
@@ -44,10 +45,13 @@ impl Edf {
     pub fn new() -> Self {
         Self {
             book: None,
-            cached: BTreeSet::new(),
+            cached: ColorSet::new(),
             replication: 2,
             capacity: 0,
             scratch: Vec::new(),
+            union: Vec::new(),
+            desired: Vec::new(),
+            assign: AssignScratch::new(),
         }
     }
 
@@ -62,7 +66,7 @@ impl Edf {
     }
 
     /// The distinct colors currently cached.
-    pub fn cached_colors(&self) -> &BTreeSet<ColorId> {
+    pub fn cached_colors(&self) -> &ColorSet {
         &self.cached
     }
 
@@ -97,7 +101,7 @@ impl Policy for Edf {
         let book = self.book.as_mut().expect("init not called");
         if obs.mini_round == 0 {
             let cached = &self.cached;
-            book.begin_round(obs, |c| cached.contains(&c));
+            book.begin_round(obs, |c| cached.contains(c));
         }
 
         // Rank all eligible colors; any nonidle color in the top
@@ -108,20 +112,23 @@ impl Policy for Edf {
         sort_by_edf(book, obs.pending, &mut self.scratch);
 
         let top = &self.scratch[..self.scratch.len().min(self.capacity)];
-        let mut union: Vec<ColorId> = self.cached.iter().copied().collect();
+        self.union.clear();
+        self.union.extend(self.cached.iter());
         for &c in top {
-            if !obs.pending.is_idle(c) && !self.cached.contains(&c) {
-                union.push(c);
+            if !obs.pending.is_idle(c) && !self.cached.contains(c) {
+                self.union.push(c);
             }
         }
-        if union.len() > self.capacity {
-            union.sort_unstable_by_key(|&c| edf_key(book, obs.pending, c));
-            union.truncate(self.capacity);
+        if self.union.len() > self.capacity {
+            self.union.sort_unstable_by_key(|&c| edf_key(book, obs.pending, c));
+            self.union.truncate(self.capacity);
         }
 
-        self.cached = union.iter().copied().collect();
-        let desired: Vec<(ColorId, u64)> = union.iter().map(|&c| (c, self.replication)).collect();
-        *out = stable_assign(obs.slots, &desired);
+        self.cached.clear();
+        self.cached.extend(self.union.iter().copied());
+        self.desired.clear();
+        self.desired.extend(self.union.iter().map(|&c| (c, self.replication)));
+        stable_assign_into(obs.slots, &self.desired, out, &mut self.assign);
     }
 }
 

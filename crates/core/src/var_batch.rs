@@ -20,7 +20,7 @@
 //! factor. Bounds of 1 need no batching and pass through unchanged.
 
 use rrs_engine::{Observation, PendingStore, Policy, Slot};
-use rrs_model::{ColorId, ColorTable};
+use rrs_model::{ColorId, ColorMap, ColorTable};
 
 /// The VarBatch wrapper around an inner policy for the batched problem.
 #[derive(Debug)]
@@ -30,15 +30,18 @@ pub struct VarBatch<P> {
     /// `q_ℓ` (half of the rounded-down physical bound).
     vcolors: ColorTable,
     /// Per color: the virtual (half-block) bound `q_ℓ`, cached.
-    q: Vec<u64>,
+    q: ColorMap<u64>,
     /// Per color: jobs buffered in the current half-block.
-    buffered: Vec<u64>,
+    buffered: ColorMap<u64>,
     vpending: PendingStore,
     vslots: Vec<Slot>,
     vnext: Vec<Slot>,
     varrivals: Vec<(ColorId, u64)>,
     vdropped: Vec<(ColorId, u64)>,
-    exec_counts: Vec<(ColorId, u64)>,
+    /// Execution-phase grouping over the virtual assignment: dense counts
+    /// plus the virtual colors touched this mini-round.
+    exec_counts: ColorMap<u64>,
+    exec_touched: Vec<ColorId>,
 }
 
 /// Largest power of two `≤ p` (`p ≥ 1`).
@@ -69,14 +72,15 @@ impl<P: Policy> VarBatch<P> {
         Self {
             inner,
             vcolors: ColorTable::new(),
-            q: Vec::new(),
-            buffered: Vec::new(),
+            q: ColorMap::new(),
+            buffered: ColorMap::new(),
             vpending: PendingStore::new(),
             vslots: Vec::new(),
             vnext: Vec::new(),
             varrivals: Vec::new(),
             vdropped: Vec::new(),
-            exec_counts: Vec::new(),
+            exec_counts: ColorMap::new(),
+            exec_touched: Vec::new(),
         }
     }
 
@@ -91,22 +95,27 @@ impl<P: Policy> VarBatch<P> {
             let p = colors.delay_bound(id);
             let q = virtual_bound(p);
             self.vcolors.push(q);
-            self.q.push(q);
-            self.buffered.push(0);
+            *self.q.entry(id) = q;
+            self.buffered.entry(id);
         }
     }
 
     fn run_virtual_execution(&mut self) {
-        self.exec_counts.clear();
+        // Per-color queues are independent, so execution order across colors
+        // cannot affect state; dense counting keeps it deterministic and
+        // allocation-free once the color universe stops growing.
+        self.exec_touched.clear();
         for &s in &self.vslots {
             if let Some(c) = s {
-                match self.exec_counts.iter_mut().find(|(cc, _)| *cc == c) {
-                    Some((_, k)) => *k += 1,
-                    None => self.exec_counts.push((c, 1)),
+                let k = self.exec_counts.entry(c);
+                if *k == 0 {
+                    self.exec_touched.push(c);
                 }
+                *k += 1;
             }
         }
-        for &(c, q) in &self.exec_counts {
+        for &c in &self.exec_touched {
+            let q = std::mem::take(&mut self.exec_counts[c]);
             self.vpending.execute(c, q);
         }
     }
@@ -119,8 +128,8 @@ impl<P: Policy> Policy for VarBatch<P> {
 
     fn init(&mut self, delta: u64, n_locations: usize) {
         self.vcolors = ColorTable::new();
-        self.q.clear();
-        self.buffered.clear();
+        self.q = ColorMap::new();
+        self.buffered = ColorMap::new();
         self.vpending = PendingStore::new();
         self.vslots = vec![None; n_locations];
         self.inner.init(delta, n_locations);
@@ -138,11 +147,9 @@ impl<P: Policy> Policy for VarBatch<P> {
             // Release phase: at each half-block boundary, the jobs buffered
             // during the previous half-block arrive virtually with bound q.
             self.varrivals.clear();
-            for i in 0..self.q.len() {
-                let q = self.q[i];
-                if k.is_multiple_of(q) && self.buffered[i] > 0 {
-                    let c = ColorId(i as u32);
-                    let n = std::mem::take(&mut self.buffered[i]);
+            for (c, &q) in self.q.iter() {
+                if k.is_multiple_of(q) && self.buffered.value(c) > 0 {
+                    let n = std::mem::take(&mut self.buffered[c]);
                     self.varrivals.push((c, n));
                     self.vpending.arrive(c, k + q, n);
                 }
@@ -157,7 +164,7 @@ impl<P: Policy> Policy for VarBatch<P> {
                     self.varrivals.push((c, n));
                     self.vpending.arrive(c, k + 1, n);
                 } else {
-                    self.buffered[c.index()] += n;
+                    self.buffered[c] += n;
                 }
             }
             self.varrivals.sort_unstable_by_key(|&(c, _)| c);

@@ -33,11 +33,11 @@ impl Policy for Watch {
         self.inner.reconfigure(obs, out);
         let book = self.inner.book().expect("initialized");
         // Invariant 1: cached => eligible.
-        for &c in self.inner.cached_colors() {
+        for c in self.inner.cached_colors().iter() {
             assert!(book.is_eligible(c), "round {}: cached {c} is ineligible", obs.round);
         }
         // Invariant 2: LRU set ⊆ cache.
-        for c in self.inner.lru_colors() {
+        for c in self.inner.lru_colors().iter() {
             assert!(
                 self.inner.cached_colors().contains(c),
                 "round {}: LRU color {c} not cached",
@@ -51,7 +51,7 @@ impl Policy for Watch {
             *counts.entry(*s).or_insert(0u32) += 1;
         }
         for (&c, &k) in &counts {
-            assert!(self.inner.cached_colors().contains(&c), "stray color {c}");
+            assert!(self.inner.cached_colors().contains(c), "stray color {c}");
             assert_eq!(k, 2, "color {c} cached at {k} locations");
         }
         self.eligible_before = book.eligible_colors().collect();

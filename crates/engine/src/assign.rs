@@ -1,9 +1,12 @@
 //! Assignment utilities: reconfiguration counting and stable (movement-
 //! minimizing) placement of a desired color multiset onto locations.
+//!
+//! The diffing state is a dense [`ColorMap`] of per-color copy counts, so
+//! placement is deterministic *by construction* — there is no hash-map
+//! iteration order to sort away — and the reusable [`AssignScratch`] makes
+//! the in-place variant [`stable_assign_into`] allocation-free once warm.
 
-use std::collections::HashMap;
-
-use rrs_model::ColorId;
+use rrs_model::{ColorId, ColorMap};
 
 use crate::policy::Slot;
 
@@ -19,37 +22,66 @@ pub fn recolor_reconfigs(old: &[Slot], new: &[Slot]) -> u64 {
     old.iter().zip(new).filter(|(o, n)| o != n && n.is_some()).count() as u64
 }
 
+/// Reusable workspace for [`stable_assign_into`]: dense per-color copy
+/// counts plus the list of colors touched by the current call. Both buffers
+/// are restored to empty/zero before the call returns, so one scratch can
+/// serve every reconfiguration of a run without clearing costs.
+#[derive(Debug, Default)]
+pub struct AssignScratch {
+    /// Unplaced copies wanted per color (dense; zero = not wanted).
+    want: ColorMap<u64>,
+    /// Colors with a nonzero entry in `want`, in input order until sorted.
+    touched: Vec<ColorId>,
+}
+
+impl AssignScratch {
+    /// A fresh workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Place a desired multiset of colors onto locations while keeping as many
-/// locations unchanged as possible.
+/// locations unchanged as possible, writing the result into `out`.
 ///
 /// `desired` lists `(color, copies)` pairs; the total number of copies must
 /// not exceed `old.len()`. The result keeps a location's color wherever that
 /// color still has unplaced copies, fills remaining copies into the other
-/// locations (lowest index first), and parks leftover locations at black.
+/// locations (lowest index first) in consistent color order, and parks
+/// leftover locations at black.
 ///
 /// Policies use this so that "keep color ℓ cached" never pays a spurious
-/// reconfiguration for moving ℓ between locations.
+/// reconfiguration for moving ℓ between locations. With a warm `scratch`
+/// (and `out` at capacity) the call performs no allocations.
 ///
 /// # Panics
 /// Panics if the desired copies exceed the number of locations or if a
 /// color is listed twice.
-pub fn stable_assign(old: &[Slot], desired: &[(ColorId, u64)]) -> Vec<Slot> {
+pub fn stable_assign_into(
+    old: &[Slot],
+    desired: &[(ColorId, u64)],
+    out: &mut Vec<Slot>,
+    scratch: &mut AssignScratch,
+) {
     let total: u64 = desired.iter().map(|&(_, k)| k).sum();
     assert!(total <= old.len() as u64, "desired {total} copies exceed {} locations", old.len());
-    let mut want: HashMap<ColorId, u64> = HashMap::with_capacity(desired.len());
+    debug_assert!(scratch.touched.is_empty(), "scratch not restored by previous call");
     for &(c, k) in desired {
         if k == 0 {
             continue;
         }
-        let prev = want.insert(c, k);
-        assert!(prev.is_none(), "color {c} listed twice in desired assignment");
+        let w = scratch.want.entry(c);
+        assert!(*w == 0, "color {c} listed twice in desired assignment");
+        *w = k;
+        scratch.touched.push(c);
     }
 
-    let mut out: Vec<Slot> = vec![None; old.len()];
+    out.clear();
+    out.resize(old.len(), None);
     // Pass 1: keep locations whose current color is still wanted.
     for (i, &slot) in old.iter().enumerate() {
         if let Some(c) = slot {
-            if let Some(k) = want.get_mut(&c) {
+            if let Some(k) = scratch.want.get_mut(c) {
                 if *k > 0 {
                     *k -= 1;
                     out[i] = Some(c);
@@ -58,18 +90,28 @@ pub fn stable_assign(old: &[Slot], desired: &[(ColorId, u64)]) -> Vec<Slot> {
         }
     }
     // Pass 2: place remaining copies into free locations, in consistent
-    // color order for determinism.
-    let mut rest: Vec<(ColorId, u64)> = want.into_iter().filter(|&(_, k)| k > 0).collect();
-    rest.sort_unstable_by_key(|&(c, _)| c);
-    let free: Vec<usize> =
-        out.iter().enumerate().filter_map(|(i, s)| s.is_none().then_some(i)).collect();
-    let mut free = free.into_iter();
-    for (c, k) in rest {
+    // color order for determinism. A single forward cursor suffices because
+    // both the colors and the free locations are consumed in ascending
+    // order. Restore the scratch counts to zero as we go.
+    scratch.touched.sort_unstable();
+    let mut free = 0usize;
+    for &c in &scratch.touched {
+        let k = std::mem::take(&mut scratch.want[c]);
         for _ in 0..k {
-            let i = free.next().expect("capacity checked above");
-            out[i] = Some(c);
+            while out[free].is_some() {
+                free += 1;
+            }
+            out[free] = Some(c);
         }
     }
+    scratch.touched.clear();
+}
+
+/// Allocating convenience wrapper around [`stable_assign_into`] for cold
+/// paths (the offline solver, tests).
+pub fn stable_assign(old: &[Slot], desired: &[(ColorId, u64)]) -> Vec<Slot> {
+    let mut out = Vec::with_capacity(old.len());
+    stable_assign_into(old, desired, &mut out, &mut AssignScratch::new());
     out
 }
 
@@ -158,5 +200,18 @@ mod tests {
     fn stable_assign_zero_copies_ignored() {
         let new = stable_assign(&[A], &[(ColorId(1), 0)]);
         assert_eq!(new, vec![None]);
+    }
+
+    #[test]
+    fn scratch_is_restored_and_reusable() {
+        let mut scratch = AssignScratch::new();
+        let mut out = Vec::new();
+        stable_assign_into(&[A, None], &[(ColorId(1), 1)], &mut out, &mut scratch);
+        assert_eq!(out, vec![None, B]);
+        // Second call through the same scratch sees clean counts.
+        stable_assign_into(&[B, B], &[(ColorId(1), 2)], &mut out, &mut scratch);
+        assert_eq!(out, vec![B, B]);
+        assert!(scratch.touched.is_empty());
+        assert!(scratch.want.iter().all(|(_, &k)| k == 0));
     }
 }

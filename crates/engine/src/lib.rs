@@ -48,11 +48,12 @@ pub mod par;
 pub mod pending;
 pub mod policy;
 pub mod replay;
+pub mod scratch;
 pub mod sim;
 pub mod sink;
 pub mod trace;
 
-pub use assign::{recolor_reconfigs, stable_assign};
+pub use assign::{recolor_reconfigs, stable_assign, stable_assign_into, AssignScratch};
 pub use par::{
     jobs, par_map_sweep, par_map_sweep_stats, set_jobs, take_sweep_telemetry, SweepTelemetry,
     WorkerStats,
@@ -60,6 +61,7 @@ pub use par::{
 pub use pending::PendingStore;
 pub use policy::{Observation, Policy, Slot};
 pub use replay::{FixedSchedule, ReplayPolicy};
+pub use scratch::Scratch;
 pub use sim::{Outcome, Simulator};
 pub use sink::{
     event_to_json, parse_trace, parse_trace_line, JsonlRingSink, JsonlSink, ParsedTrace,
@@ -71,7 +73,7 @@ pub use trace::{
 
 /// Convenient re-exports for downstream crates.
 pub mod prelude {
-    pub use crate::assign::{recolor_reconfigs, stable_assign};
+    pub use crate::assign::{recolor_reconfigs, stable_assign, stable_assign_into, AssignScratch};
     pub use crate::par::{
         jobs, par_map_sweep, par_map_sweep_stats, set_jobs, take_sweep_telemetry, SweepTelemetry,
         WorkerStats,
@@ -79,6 +81,7 @@ pub mod prelude {
     pub use crate::pending::PendingStore;
     pub use crate::policy::{Observation, Policy, Slot};
     pub use crate::replay::{FixedSchedule, ReplayPolicy};
+    pub use crate::scratch::Scratch;
     pub use crate::sim::{Outcome, Simulator};
     pub use crate::sink::{
         parse_trace, JsonlRingSink, JsonlSink, ParsedTrace, PhaseTimer, TraceMeta,

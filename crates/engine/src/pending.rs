@@ -8,20 +8,29 @@
 
 use std::collections::VecDeque;
 
-use rrs_model::ColorId;
+use rrs_model::{ColorId, ColorMap};
 
 /// Pending unit jobs, bucketed by color and deadline.
+///
+/// Both per-color tables are dense [`ColorMap`]s, so lookups are flat
+/// indexing and the store allocates only when the color universe (or a
+/// queue's high-water mark) grows — never in a steady-state round.
 #[derive(Clone, Debug)]
 pub struct PendingStore {
-    queues: Vec<VecDeque<(u64, u64)>>, // per color: (deadline, count), ascending
-    counts: Vec<u64>,                  // per color total
+    queues: ColorMap<VecDeque<(u64, u64)>>, // per color: (deadline, count), ascending
+    counts: ColorMap<u64>,                  // per color total
     total: u64,
     min_due: u64, // lower bound on the earliest pending deadline
 }
 
 impl Default for PendingStore {
     fn default() -> Self {
-        PendingStore { queues: Vec::new(), counts: Vec::new(), total: 0, min_due: u64::MAX }
+        PendingStore {
+            queues: ColorMap::new(),
+            counts: ColorMap::new(),
+            total: 0,
+            min_due: u64::MAX,
+        }
     }
 }
 
@@ -33,10 +42,8 @@ impl PendingStore {
 
     /// Grow the store to know about colors `0..n`.
     pub fn ensure_colors(&mut self, n: usize) {
-        if self.queues.len() < n {
-            self.queues.resize_with(n, VecDeque::new);
-            self.counts.resize(n, 0);
-        }
+        self.queues.grow_to(n);
+        self.counts.grow_to(n);
     }
 
     /// Number of colors the store knows about.
@@ -55,7 +62,7 @@ impl PendingStore {
             return;
         }
         self.ensure_colors(color.index() + 1);
-        let q = &mut self.queues[color.index()];
+        let q = &mut self.queues[color];
         match q.back_mut() {
             Some((d, n)) if *d == deadline => *n += count,
             Some((d, _)) => {
@@ -64,7 +71,7 @@ impl PendingStore {
             }
             None => q.push_back((deadline, count)),
         }
-        self.counts[color.index()] += count;
+        self.counts[color] += count;
         self.total += count;
         self.min_due = self.min_due.min(deadline);
     }
@@ -82,7 +89,7 @@ impl PendingStore {
         }
         let mut total = 0;
         let mut next_due = u64::MAX;
-        for (i, q) in self.queues.iter_mut().enumerate() {
+        for (c, q) in self.queues.iter_mut() {
             let mut dropped = 0;
             while let Some(&(d, n)) = q.front() {
                 if d > round {
@@ -95,9 +102,9 @@ impl PendingStore {
                 next_due = next_due.min(d);
             }
             if dropped > 0 {
-                self.counts[i] -= dropped;
+                self.counts[c] -= dropped;
                 total += dropped;
-                out.push((ColorId(i as u32), dropped));
+                out.push((c, dropped));
             }
         }
         self.total -= total;
@@ -108,7 +115,7 @@ impl PendingStore {
     /// Execute up to `slots` earliest-deadline pending jobs of `color`;
     /// returns how many were executed.
     pub fn execute(&mut self, color: ColorId, slots: u64) -> u64 {
-        let Some(q) = self.queues.get_mut(color.index()) else {
+        let Some(q) = self.queues.get_mut(color) else {
             return 0;
         };
         let mut remaining = slots;
@@ -123,7 +130,7 @@ impl PendingStore {
         }
         let executed = slots - remaining;
         if executed > 0 {
-            self.counts[color.index()] -= executed;
+            self.counts[color] -= executed;
             self.total -= executed;
         }
         executed
@@ -132,7 +139,7 @@ impl PendingStore {
     /// Number of pending jobs of `color`.
     #[inline]
     pub fn count(&self, color: ColorId) -> u64 {
-        self.counts.get(color.index()).copied().unwrap_or(0)
+        self.counts.value(color)
     }
 
     /// Whether `color` has no pending jobs (the paper's *idle*).
@@ -144,7 +151,7 @@ impl PendingStore {
     /// Earliest deadline among pending jobs of `color`.
     #[inline]
     pub fn earliest_deadline(&self, color: ColorId) -> Option<u64> {
-        self.queues.get(color.index()).and_then(|q| q.front().map(|&(d, _)| d))
+        self.queues.get(color).and_then(|q| q.front().map(|&(d, _)| d))
     }
 
     /// Total pending jobs over all colors.
@@ -155,13 +162,13 @@ impl PendingStore {
 
     /// Colors with at least one pending job, in consistent order.
     pub fn nonidle_colors(&self) -> impl Iterator<Item = ColorId> + '_ {
-        self.counts.iter().enumerate().filter(|&(_, &n)| n > 0).map(|(i, _)| ColorId(i as u32))
+        self.counts.iter().filter(|&(_, &n)| n > 0).map(|(c, _)| c)
     }
 
     /// The deadline profile of a color (ascending `(deadline, count)`),
     /// used by the exact offline solver to canonicalize states.
     pub fn profile(&self, color: ColorId) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.queues.get(color.index()).into_iter().flat_map(|q| q.iter().copied())
+        self.queues.get(color).into_iter().flat_map(|q| q.iter().copied())
     }
 }
 

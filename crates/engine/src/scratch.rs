@@ -1,0 +1,49 @@
+//! The engine-owned per-run workspace for the round loop.
+//!
+//! Every buffer the simulator's drop/arrival/reconfiguration/execution
+//! cycle needs lives here, so a steady-state round (no new colors, no
+//! queue-capacity growth) performs **zero heap allocations** — the
+//! discipline `tests/alloc_discipline.rs` enforces with a counting global
+//! allocator. [`crate::Simulator::run_traced_with`] threads one `Scratch`
+//! through the whole run; the round's drop summary handed to policies via
+//! [`crate::Observation::dropped`] borrows the workspace's buffer.
+//!
+//! A `Scratch` may be reused across runs (e.g. one per sweep worker): the
+//! simulator re-initializes it at the start of every run, and no state
+//! leaks between runs — outcomes are bit-identical either way.
+
+use rrs_model::{ColorId, ColorMap};
+
+use crate::policy::Slot;
+
+/// Reusable buffers for one simulation run (see the module docs).
+#[derive(Debug, Default)]
+pub struct Scratch {
+    /// This round's drop summary, `(color, count)` in consistent order;
+    /// exposed to policies as [`crate::Observation::dropped`].
+    pub(crate) dropped: Vec<(ColorId, u64)>,
+    /// Execution-phase grouping: configured locations per color (dense).
+    pub(crate) exec_count: ColorMap<u64>,
+    /// Colors with a nonzero `exec_count` this mini-round.
+    pub(crate) touched: Vec<ColorId>,
+    /// The assignment the policy writes into each mini-round.
+    pub(crate) next: Vec<Slot>,
+}
+
+impl Scratch {
+    /// A fresh workspace; buffers grow to steady-state capacity during the
+    /// first rounds of a run.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reset for a new run over `n_colors` declared colors. Keeps every
+    /// allocation; only logical state is cleared.
+    pub(crate) fn begin_run(&mut self, n_colors: usize) {
+        self.dropped.clear();
+        self.exec_count.grow_to(n_colors);
+        self.exec_count.reset();
+        self.touched.clear();
+        self.next.clear();
+    }
+}

@@ -1,10 +1,11 @@
 //! The simulator: drives a [`Policy`] through an [`Instance`] and accounts
 //! all costs.
 
-use rrs_model::{ColorId, CostLedger, Instance};
+use rrs_model::{CostLedger, Instance};
 
 use crate::pending::PendingStore;
 use crate::policy::{Observation, Policy, Slot};
+use crate::scratch::Scratch;
 use crate::trace::{NullRecorder, Phase, Recorder};
 
 /// The result of a simulation run.
@@ -79,23 +80,37 @@ impl<'a> Simulator<'a> {
         self.run_traced(policy, &mut NullRecorder)
     }
 
-    /// Run a policy, emitting every event to `recorder`.
+    /// Run a policy, emitting every event to `recorder`, with a private
+    /// [`Scratch`] workspace.
     pub fn run_traced<P: Policy, R: Recorder>(&self, policy: &mut P, recorder: &mut R) -> Outcome {
+        self.run_traced_with(policy, recorder, &mut Scratch::new())
+    }
+
+    /// Run a policy, emitting every event to `recorder`, reusing the caller's
+    /// [`Scratch`] workspace. Sweeps that run many simulations can keep one
+    /// workspace per worker so the round loop never re-grows its buffers;
+    /// outcomes are identical to [`Simulator::run_traced`].
+    pub fn run_traced_with<P: Policy, R: Recorder>(
+        &self,
+        policy: &mut P,
+        recorder: &mut R,
+        scratch: &mut Scratch,
+    ) -> Outcome {
         debug_assert!(self.inst.check_colors(), "instance references unknown colors");
         let mut pending = PendingStore::new();
         pending.ensure_colors(self.inst.colors.len());
         let mut slots: Vec<Slot> = vec![None; self.n_locations];
-        let mut next: Vec<Slot> = slots.clone();
         let mut ledger = CostLedger::new(self.inst.delta);
         let mut arrived = 0u64;
         let mut executed = 0u64;
         let mut dropped_total = 0u64;
-        let mut dropped_buf: Vec<(ColorId, u64)> = Vec::new();
-        // Execution-phase scratch, reused across mini-rounds: a dense
-        // per-color slot count plus the list of colors touched this mini,
-        // so grouping is O(locations) instead of O(locations · colors).
-        let mut exec_count_by_color: Vec<u64> = vec![0; self.inst.colors.len()];
-        let mut touched: Vec<ColorId> = Vec::new();
+        scratch.begin_run(self.inst.colors.len());
+        // Split the workspace into its independent buffers: the drop summary
+        // (lent to observations), the policy's output assignment, and the
+        // execution-phase grouping state (a dense per-color slot count plus
+        // the list of colors touched this mini, so grouping is
+        // O(locations) instead of O(locations · colors)).
+        let Scratch { dropped: dropped_buf, exec_count, touched, next } = scratch;
 
         policy.init(self.inst.delta, self.n_locations);
 
@@ -105,10 +120,10 @@ impl<'a> Simulator<'a> {
             // Phase 1: drop.
             recorder.on_phase_start(round, 0, Phase::Drop);
             dropped_buf.clear();
-            let d = pending.drop_due(round, &mut dropped_buf);
+            let d = pending.drop_due(round, dropped_buf);
             dropped_total += d;
             ledger.add_drops(d);
-            for &(c, n) in &dropped_buf {
+            for &(c, n) in dropped_buf.iter() {
                 recorder.on_drop(round, c, n);
             }
 
@@ -126,7 +141,7 @@ impl<'a> Simulator<'a> {
                 // Phase 3: reconfiguration.
                 recorder.on_phase_start(round, mini, Phase::Reconfig);
                 let (arr, drp): (&crate::policy::ColorCounts, &crate::policy::ColorCounts) =
-                    if mini == 0 { (request.pairs(), &dropped_buf) } else { (&[], &[]) };
+                    if mini == 0 { (request.pairs(), dropped_buf.as_slice()) } else { (&[], &[]) };
                 next.clone_from(&slots);
                 let obs = Observation {
                     round,
@@ -139,7 +154,7 @@ impl<'a> Simulator<'a> {
                     pending: &pending,
                     slots: &slots,
                 };
-                policy.reconfigure(&obs, &mut next);
+                policy.reconfigure(&obs, next);
                 assert_eq!(
                     next.len(),
                     self.n_locations,
@@ -147,7 +162,7 @@ impl<'a> Simulator<'a> {
                     policy.name()
                 );
                 let mut reconfigs = 0;
-                for (i, (o, n)) in slots.iter().zip(&next).enumerate() {
+                for (i, (o, n)) in slots.iter().zip(next.iter()).enumerate() {
                     if o != n {
                         recorder.on_reconfig(round, mini, i, *o, *n);
                         if n.is_some() {
@@ -156,7 +171,7 @@ impl<'a> Simulator<'a> {
                     }
                 }
                 ledger.add_reconfigs(reconfigs);
-                std::mem::swap(&mut slots, &mut next);
+                std::mem::swap(&mut slots, next);
 
                 // Phase 4: execution. Group locations by color, then execute
                 // earliest-deadline jobs of each configured color.
@@ -164,12 +179,10 @@ impl<'a> Simulator<'a> {
                 touched.clear();
                 for &s in &slots {
                     if let Some(c) = s {
-                        if c.index() >= exec_count_by_color.len() {
-                            // Policies may configure colors the instance
-                            // never requests; they execute nothing.
-                            exec_count_by_color.resize(c.index() + 1, 0);
-                        }
-                        let k = &mut exec_count_by_color[c.index()];
+                        // `entry` grows the dense counts if a policy
+                        // configures a color the instance never requests
+                        // (it executes nothing).
+                        let k = exec_count.entry(c);
                         if *k == 0 {
                             touched.push(c);
                         }
@@ -177,8 +190,8 @@ impl<'a> Simulator<'a> {
                     }
                 }
                 touched.sort_unstable();
-                for &c in &touched {
-                    let q = std::mem::take(&mut exec_count_by_color[c.index()]);
+                for &c in touched.iter() {
+                    let q = std::mem::take(&mut exec_count[c]);
                     let e = pending.execute(c, q);
                     if e > 0 {
                         executed += e;
@@ -206,7 +219,7 @@ mod tests {
     use super::*;
     use crate::policy::{DoNothing, PinColor};
     use crate::trace::{SummaryRecorder, TraceRecorder};
-    use rrs_model::InstanceBuilder;
+    use rrs_model::{ColorId, InstanceBuilder};
 
     fn one_color_instance() -> (Instance, ColorId) {
         let mut b = InstanceBuilder::new(3);
@@ -316,6 +329,24 @@ mod tests {
         assert_eq!(out.rounds, 1);
         assert_eq!(out.total_cost(), 0);
         assert!(out.conserved());
+    }
+
+    #[test]
+    fn reused_scratch_gives_identical_outcomes() {
+        let (inst, c) = one_color_instance();
+        let mut scratch = Scratch::new();
+        let a = Simulator::new(&inst, 1).run_traced_with(
+            &mut PinColor(c),
+            &mut NullRecorder,
+            &mut scratch,
+        );
+        let b = Simulator::new(&inst, 2).run_traced_with(
+            &mut DoNothing,
+            &mut NullRecorder,
+            &mut scratch,
+        );
+        assert_eq!(a, Simulator::new(&inst, 1).run(&mut PinColor(c)));
+        assert_eq!(b, Simulator::new(&inst, 2).run(&mut DoNothing));
     }
 
     #[test]

@@ -1,0 +1,338 @@
+//! Dense, `ColorId`-indexed containers for hot-path color state.
+//!
+//! Colors are small dense integers by construction: [`crate::ColorTable`]
+//! mints them with `push`, and the reduction wrappers (*Distribute*,
+//! *VarBatch*) mint sub-colors the same way. Every per-color map in the
+//! simulator's round loop can therefore be a flat vector indexed by
+//! [`ColorId`] instead of a tree or a hash table — O(1) access, no
+//! per-entry allocation, and iteration in the paper's *consistent order of
+//! colors* (ascending id) for free.
+//!
+//! * [`ColorMap<T>`] — a default-growing `Vec<T>` keyed by `ColorId`.
+//!   Absent colors read as `T::default()`; writes grow the backing store.
+//! * [`ColorSet`] — a dense membership set with O(1) insert/remove/contains
+//!   and ascending-id iteration, the flat replacement for
+//!   `BTreeSet<ColorId>` in policy cache state.
+//!
+//! Both containers only ever allocate when the color universe grows, so a
+//! steady-state round (no new colors) performs no allocations at all —
+//! the discipline `tests/alloc_discipline.rs` enforces.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use crate::color::ColorId;
+
+/// A dense map from [`ColorId`] to `T`, backed by a flat vector.
+///
+/// Reads of colors beyond the backing store see [`Default::default`];
+/// [`ColorMap::entry`] grows the store on demand. Iteration visits colors
+/// in consistent (ascending id) order.
+#[derive(Clone, PartialEq, Eq)]
+pub struct ColorMap<T> {
+    items: Vec<T>,
+}
+
+impl<T> Default for ColorMap<T> {
+    fn default() -> Self {
+        Self { items: Vec::new() }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for ColorMap<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map()
+            .entries(self.items.iter().enumerate().map(|(i, v)| (ColorId(i as u32), v)))
+            .finish()
+    }
+}
+
+impl<T> ColorMap<T> {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of colors the backing store covers (ids `0..len`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the backing store is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The value for `c`, if the backing store covers it.
+    #[inline]
+    pub fn get(&self, c: ColorId) -> Option<&T> {
+        self.items.get(c.index())
+    }
+
+    /// Mutable access to the value for `c`, if the backing store covers it.
+    #[inline]
+    pub fn get_mut(&mut self, c: ColorId) -> Option<&mut T> {
+        self.items.get_mut(c.index())
+    }
+
+    /// Iterate over `(color, value)` pairs in consistent order.
+    pub fn iter(&self) -> impl Iterator<Item = (ColorId, &T)> + '_ {
+        self.items.iter().enumerate().map(|(i, v)| (ColorId(i as u32), v))
+    }
+
+    /// Iterate mutably over `(color, value)` pairs in consistent order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (ColorId, &mut T)> + '_ {
+        self.items.iter_mut().enumerate().map(|(i, v)| (ColorId(i as u32), v))
+    }
+
+    /// The raw backing slice (index = color id).
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.items
+    }
+}
+
+impl<T: Default> ColorMap<T> {
+    /// Grow the backing store to cover colors `0..n`, filling new entries
+    /// with `T::default()`. Never shrinks.
+    pub fn grow_to(&mut self, n: usize) {
+        if self.items.len() < n {
+            self.items.resize_with(n, T::default);
+        }
+    }
+
+    /// Mutable access to the value for `c`, growing the backing store with
+    /// defaults as needed.
+    #[inline]
+    pub fn entry(&mut self, c: ColorId) -> &mut T {
+        self.grow_to(c.index() + 1);
+        &mut self.items[c.index()]
+    }
+
+    /// Reset every covered entry to `T::default()`, keeping the backing
+    /// store (and its allocation).
+    pub fn reset(&mut self) {
+        for v in &mut self.items {
+            *v = T::default();
+        }
+    }
+}
+
+impl<T: Copy + Default> ColorMap<T> {
+    /// The value for `c` by copy; colors beyond the store read as default.
+    #[inline]
+    pub fn value(&self, c: ColorId) -> T {
+        self.items.get(c.index()).copied().unwrap_or_default()
+    }
+}
+
+impl<T> Index<ColorId> for ColorMap<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, c: ColorId) -> &T {
+        &self.items[c.index()]
+    }
+}
+
+impl<T> IndexMut<ColorId> for ColorMap<T> {
+    #[inline]
+    fn index_mut(&mut self, c: ColorId) -> &mut T {
+        &mut self.items[c.index()]
+    }
+}
+
+/// A dense set of colors: O(1) membership, ascending-id iteration, and no
+/// allocation except when the color universe grows.
+///
+/// The flat replacement for `BTreeSet<ColorId>` in policy cache state —
+/// iteration order (ascending id) matches the tree set's, so tie-breaking
+/// by the consistent order of colors is preserved.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct ColorSet {
+    member: Vec<bool>,
+    len: usize,
+}
+
+impl fmt::Debug for ColorSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl ColorSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of members.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set has no members.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `c` is a member.
+    #[inline]
+    pub fn contains(&self, c: ColorId) -> bool {
+        self.member.get(c.index()).copied().unwrap_or(false)
+    }
+
+    /// Insert `c`; returns whether it was newly inserted. Grows the backing
+    /// store as needed (the only allocating operation).
+    pub fn insert(&mut self, c: ColorId) -> bool {
+        if self.member.len() <= c.index() {
+            self.member.resize(c.index() + 1, false);
+        }
+        let slot = &mut self.member[c.index()];
+        let fresh = !*slot;
+        *slot = true;
+        self.len += fresh as usize;
+        fresh
+    }
+
+    /// Remove `c`; returns whether it was a member.
+    pub fn remove(&mut self, c: ColorId) -> bool {
+        match self.member.get_mut(c.index()) {
+            Some(slot) if *slot => {
+                *slot = false;
+                self.len -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Remove all members, keeping the backing store.
+    pub fn clear(&mut self) {
+        self.member.fill(false);
+        self.len = 0;
+    }
+
+    /// Iterate over members in consistent (ascending id) order.
+    pub fn iter(&self) -> impl Iterator<Item = ColorId> + '_ {
+        self.member.iter().enumerate().filter(|&(_, &m)| m).map(|(i, _)| ColorId(i as u32))
+    }
+}
+
+impl<'a> IntoIterator for &'a ColorSet {
+    type Item = ColorId;
+    type IntoIter = Box<dyn Iterator<Item = ColorId> + 'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+impl FromIterator<ColorId> for ColorSet {
+    fn from_iter<I: IntoIterator<Item = ColorId>>(iter: I) -> Self {
+        let mut s = Self::new();
+        for c in iter {
+            s.insert(c);
+        }
+        s
+    }
+}
+
+impl Extend<ColorId> for ColorSet {
+    fn extend<I: IntoIterator<Item = ColorId>>(&mut self, iter: I) {
+        for c in iter {
+            self.insert(c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: ColorId = ColorId(0);
+    const B: ColorId = ColorId(1);
+    const Z: ColorId = ColorId(9);
+
+    #[test]
+    fn map_reads_absent_colors_as_default() {
+        let m: ColorMap<u64> = ColorMap::new();
+        assert_eq!(m.value(Z), 0);
+        assert!(m.get(Z).is_none());
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn map_entry_grows_with_defaults() {
+        let mut m: ColorMap<u64> = ColorMap::new();
+        *m.entry(Z) += 3;
+        assert_eq!(m.len(), 10);
+        assert_eq!(m.value(Z), 3);
+        assert_eq!(m.value(A), 0);
+        assert_eq!(m[Z], 3);
+    }
+
+    #[test]
+    fn map_iterates_in_consistent_order() {
+        let mut m: ColorMap<u32> = ColorMap::new();
+        *m.entry(B) = 2;
+        *m.entry(A) = 1;
+        let pairs: Vec<_> = m.iter().map(|(c, &v)| (c, v)).collect();
+        assert_eq!(pairs, vec![(A, 1), (B, 2)]);
+    }
+
+    #[test]
+    fn map_reset_keeps_capacity() {
+        let mut m: ColorMap<u64> = ColorMap::new();
+        *m.entry(Z) = 7;
+        m.reset();
+        assert_eq!(m.len(), 10, "reset keeps coverage");
+        assert_eq!(m.value(Z), 0);
+    }
+
+    #[test]
+    fn set_insert_remove_contains() {
+        let mut s = ColorSet::new();
+        assert!(s.insert(B));
+        assert!(!s.insert(B), "second insert is a no-op");
+        assert!(s.contains(B));
+        assert!(!s.contains(A));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(B));
+        assert!(!s.remove(B));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn set_iterates_ascending_like_btreeset() {
+        let mut s = ColorSet::new();
+        s.insert(Z);
+        s.insert(A);
+        s.insert(B);
+        let v: Vec<_> = s.iter().collect();
+        assert_eq!(v, vec![A, B, Z]);
+        let tree: std::collections::BTreeSet<ColorId> = [Z, A, B].into_iter().collect();
+        assert!(tree.iter().copied().eq(s.iter()), "iteration order matches BTreeSet");
+    }
+
+    #[test]
+    fn set_clear_keeps_backing_store() {
+        let mut s = ColorSet::new();
+        s.insert(Z);
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(Z));
+        s.insert(A); // no growth needed for low ids after clear
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![A]);
+    }
+
+    #[test]
+    fn set_from_and_extend() {
+        let mut s: ColorSet = [B, A].into_iter().collect();
+        s.extend([Z]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![A, B, Z]);
+    }
+}

@@ -14,6 +14,9 @@
 //!   `Δ`, the color table, and the request sequence.
 //! * [`CostLedger`] — the cost accounting used uniformly by the simulator,
 //!   the offline solvers and the analysis harness.
+//! * [`ColorMap`] / [`ColorSet`] — dense `ColorId`-indexed containers; the
+//!   flat state layout every hot-path per-color map in the workspace uses
+//!   (see DESIGN.md §8).
 //! * [`classify`] — instance validators for the paper's problem classes in
 //!   the `[reconfig | drop | delay | batch]` notation: batched arrivals,
 //!   rate-limited batches, power-of-two delay bounds.
@@ -24,6 +27,7 @@
 pub mod classify;
 pub mod color;
 pub mod cost;
+pub mod dense;
 pub mod instance;
 pub mod request;
 pub mod textio;
@@ -31,6 +35,7 @@ pub mod textio;
 pub use classify::{InstanceClass, ValidationError};
 pub use color::{ColorId, ColorTable, BLACK};
 pub use cost::CostLedger;
+pub use dense::{ColorMap, ColorSet};
 pub use instance::{Instance, InstanceBuilder};
 pub use request::{Request, RequestSeq};
 pub use textio::{from_text, to_text, ParseError};

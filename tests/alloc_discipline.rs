@@ -1,0 +1,155 @@
+//! Memory discipline of the round loop (DESIGN.md §8).
+//!
+//! A counting global allocator measures heap allocations per simulated
+//! round. After a warm-up prefix (buffers growing to their high-water
+//! marks, colors becoming eligible), a steady-state round must perform
+//! **zero** allocations for ΔLRU-EDF at speed 1, and only boundedly many
+//! for the full reduction stack `VarBatch<Distribute<ΔLRU-EDF>>` (whose
+//! virtual universe may still grow while batches are being split).
+//!
+//! Everything lives in ONE test function: the counter is process-global,
+//! so concurrent tests in the same binary would pollute each other's
+//! per-round deltas.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rrs::prelude::*;
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to `System`, only adding a relaxed
+// counter bump on the allocating entry points.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Recorder measuring allocator calls per round. All storage is
+/// preallocated so the probe itself never allocates mid-run.
+struct AllocProbe {
+    per_round: Vec<(u64, u64)>,
+    at_round_start: u64,
+}
+
+impl AllocProbe {
+    fn with_capacity(rounds: usize) -> Self {
+        Self { per_round: Vec::with_capacity(rounds + 16), at_round_start: 0 }
+    }
+}
+
+impl Recorder for AllocProbe {
+    fn on_round_start(&mut self, _round: u64) {
+        self.at_round_start = ALLOC_CALLS.load(Ordering::Relaxed);
+    }
+
+    fn on_round_end(&mut self, round: u64) {
+        let now = ALLOC_CALLS.load(Ordering::Relaxed);
+        assert!(self.per_round.len() < self.per_round.capacity(), "probe undersized");
+        self.per_round.push((round, now - self.at_round_start));
+    }
+}
+
+/// A batched `[Δ|1|D_ℓ|D_ℓ]` workload: five colors over three bounds with
+/// periodic batches, long enough to reach a steady state.
+fn batched_instance(blocks: u64) -> rrs_model::Instance {
+    let mut b = rrs_model::InstanceBuilder::new(3);
+    let c2a = b.color(2);
+    let c2b = b.color(2);
+    let c4a = b.color(4);
+    let c4b = b.color(4);
+    let c8 = b.color(8);
+    for blk in 0..blocks {
+        b.arrive(blk * 2, c2a, 2);
+        if blk % 2 == 0 {
+            b.arrive(blk * 2, c2b, 1);
+        }
+    }
+    for blk in 0..blocks / 2 {
+        b.arrive(blk * 4, c4a, 4).arrive(blk * 4, c4b, 3);
+    }
+    for blk in 0..blocks / 4 {
+        b.arrive(blk * 8, c8, 8);
+    }
+    b.build()
+}
+
+/// A general (off-boundary, oversized-batch) workload for the reduction
+/// stack.
+fn general_instance(rounds: u64) -> rrs_model::Instance {
+    let mut b = rrs_model::InstanceBuilder::new(2);
+    let c4 = b.color(4);
+    let c6 = b.color(6);
+    let c16 = b.color(16);
+    for r in 0..rounds {
+        b.arrive(r, c4, 1);
+        if r % 3 == 1 {
+            b.arrive(r, c6, 2);
+        }
+        if r % 16 == 5 {
+            b.arrive(r, c16, 20); // oversized: Distribute must split it
+        }
+    }
+    b.build()
+}
+
+fn run_with_probe<P: Policy>(inst: &rrs_model::Instance, n: usize, policy: &mut P) -> AllocProbe {
+    let sim = Simulator::new(inst, n);
+    let mut probe = AllocProbe::with_capacity(inst.horizon() as usize + 1);
+    let mut scratch = Scratch::new();
+    sim.run_traced_with(policy, &mut probe, &mut scratch);
+    probe
+}
+
+#[test]
+fn steady_state_rounds_do_not_allocate() {
+    // Part 1: ΔLRU-EDF at speed 1 — zero allocations per steady round.
+    let inst = batched_instance(128);
+    let warmup = 64;
+    let probe = run_with_probe(&inst, 8, &mut rrs_core::DeltaLruEdf::new());
+    assert!(probe.per_round.last().unwrap().0 >= 200, "instance too short to be meaningful");
+    for &(round, allocs) in &probe.per_round {
+        if round >= warmup {
+            assert_eq!(
+                allocs, 0,
+                "dlru-edf round {round} performed {allocs} heap allocations; \
+                 the steady-state round loop must be allocation-free"
+            );
+        }
+    }
+
+    // Part 2: the full stack VarBatch<Distribute<ΔLRU-EDF>> — bounded
+    // allocations per steady round (the virtual universe may grow while
+    // oversized batches mint sub-colors, but it must plateau).
+    let inst = general_instance(192);
+    let warmup = 96;
+    let probe = run_with_probe(&inst, 8, &mut rrs_core::full_algorithm());
+    let max_after: u64 =
+        probe.per_round.iter().filter(|&&(r, _)| r >= warmup).map(|&(_, a)| a).max().unwrap();
+    assert!(
+        max_after <= 4,
+        "full stack allocated {max_after} times in a steady-state round; \
+         expected a small bounded number"
+    );
+}

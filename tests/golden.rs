@@ -3,7 +3,9 @@
 //! their exact numbers are pinned here. A change to any of these values
 //! means the algorithms' semantics changed — which must be deliberate.
 
-use rrs::analysis::experiments::{all_default, e1_lru_adversary, e2_edf_adversary, router_scenario};
+use rrs::analysis::experiments::{
+    all_default, e1_lru_adversary, e2_edf_adversary, router_scenario,
+};
 
 #[test]
 fn e1_exact_costs_are_stable() {
@@ -52,8 +54,8 @@ fn suite_snapshot_is_byte_identical_to_fixture() {
     }
     text.push_str(&format!("{}\n", router_scenario(0)));
 
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("tests/fixtures/suite_snapshot.txt");
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/suite_snapshot.txt");
     if std::env::var_os("BLESS").is_some() {
         std::fs::write(&path, &text).expect("write blessed snapshot");
         return;

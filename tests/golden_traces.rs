@@ -48,8 +48,7 @@ fn check_trace_fixture(instance_file: &str, mut policy: Box<dyn Policy>, trace_f
     assert_eq!(parsed.executed() + parsed.dropped(), out.arrived);
 
     assert_eq!(
-        bytes,
-        golden,
+        bytes, golden,
         "{trace_file}: regenerated trace differs from the golden fixture \
          (policy semantics or sink serialization changed)"
     );
