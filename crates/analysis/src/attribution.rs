@@ -36,7 +36,7 @@ impl ColorCosts {
 /// Run a policy and attribute every cost to a color.
 pub fn attribute_costs<P: Policy>(inst: &Instance, n: usize, policy: &mut P) -> Vec<ColorCosts> {
     let mut trace = TraceRecorder::new();
-    Simulator::new(inst, n).run_traced(policy, &mut trace);
+    crate::run::simulate(&Simulator::new(inst, n), policy, &mut trace);
     per_color_from_events(inst, trace.events.iter())
 }
 

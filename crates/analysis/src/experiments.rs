@@ -28,7 +28,10 @@ use rrs_workloads::{
 use crate::attribution::per_color_from_events;
 use crate::lemmas::check_lemmas;
 use crate::ratio::ratio;
-use crate::run::{collecting, observed_run, record_report, run_dlru_edf_labeled, RunReport};
+use crate::run::{
+    collecting, observed_run, record_report, run_dlru_edf_labeled, simulate, simulate_plain,
+    RunReport,
+};
 use crate::table::{fmt_ratio, Table};
 
 /// A named policy constructor, as swept by E8 and the router scenario.
@@ -53,9 +56,11 @@ pub fn e1_lru_adversary(n: usize, delta: u64, j_range: std::ops::RangeInclusive<
         let label = format!("e1 j={j}");
         let dlru = observed_run(&label, &adv.instance, n, &mut DeltaLru::new()).total_cost();
         let dlru_edf = observed_run(&label, &adv.instance, n, &mut DeltaLruEdf::new()).total_cost();
-        let off = Simulator::new(&adv.instance, adv.off_resources)
-            .run(&mut ReplayPolicy::new(adv.off_schedule.clone()))
-            .total_cost();
+        let off = simulate_plain(
+            &Simulator::new(&adv.instance, adv.off_resources),
+            &mut ReplayPolicy::new(adv.off_schedule.clone()),
+        )
+        .total_cost();
         debug_assert_eq!(off, adv.predicted_off_cost);
         let theory = (1u64 << (j + 1)) as f64 / (n as u64 * delta) as f64;
         vec![
@@ -94,9 +99,11 @@ pub fn e2_edf_adversary(
         let label = format!("e2 k={k}");
         let edf = observed_run(&label, &adv.instance, n, &mut Edf::new()).total_cost();
         let dlru_edf = observed_run(&label, &adv.instance, n, &mut DeltaLruEdf::new()).total_cost();
-        let off = Simulator::new(&adv.instance, adv.off_resources)
-            .run(&mut ReplayPolicy::new(adv.off_schedule.clone()))
-            .total_cost();
+        let off = simulate_plain(
+            &Simulator::new(&adv.instance, adv.off_resources),
+            &mut ReplayPolicy::new(adv.off_schedule.clone()),
+        )
+        .total_cost();
         debug_assert_eq!(off, adv.predicted_off_cost);
         let theory = (1u64 << (k - j - 1)) as f64 / (n as f64 / 2.0 + 1.0);
         vec![
@@ -393,12 +400,16 @@ pub fn e12_split_ablation() -> Table {
     let n = 8;
     let a = lru_killer(LruKillerParams { n, delta: 2, j: 7, k: 9 });
     let b = edf_killer(EdfKillerParams { n, delta: 10, j: 4, k: 9 });
-    let off_a = Simulator::new(&a.instance, a.off_resources)
-        .run(&mut ReplayPolicy::new(a.off_schedule.clone()))
-        .total_cost();
-    let off_b = Simulator::new(&b.instance, b.off_resources)
-        .run(&mut ReplayPolicy::new(b.off_schedule.clone()))
-        .total_cost();
+    let off_a = simulate_plain(
+        &Simulator::new(&a.instance, a.off_resources),
+        &mut ReplayPolicy::new(a.off_schedule.clone()),
+    )
+    .total_cost();
+    let off_b = simulate_plain(
+        &Simulator::new(&b.instance, b.off_resources),
+        &mut ReplayPolicy::new(b.off_schedule.clone()),
+    )
+    .total_cost();
     let mut t = Table::new(
         "E12 (ablation): LRU share of the cache vs both adversaries",
         &["lru_share", "ratio_appendix_a", "ratio_appendix_b", "worst"],
@@ -558,7 +569,7 @@ pub fn e15_punctuality(seeds: std::ops::Range<u64>) -> Table {
         let inst = general_instance(&cfg, seed);
         let mut trace = rrs_engine::TraceRecorder::new();
         let mut p = full_algorithm();
-        let out = Simulator::new(&inst, 8).run_traced(&mut p, &mut trace);
+        let out = simulate(&Simulator::new(&inst, 8), &mut p, &mut trace);
         if collecting() {
             // E15 already traces its physical run; fold the same events
             // into a report instead of running the policy a second time.
@@ -577,8 +588,11 @@ pub fn e15_punctuality(seeds: std::ops::Range<u64>) -> Table {
         // this), so tracing that run referees the per-job bonus saves.
         let vinst = rrs_core::varbatch_instance(&inst);
         let mut virt_trace = rrs_engine::TraceRecorder::new();
-        let virt = Simulator::new(&vinst, 8)
-            .run_traced(&mut rrs_core::Distribute::new(DeltaLruEdf::new()), &mut virt_trace);
+        let virt = simulate(
+            &Simulator::new(&vinst, 8),
+            &mut rrs_core::Distribute::new(DeltaLruEdf::new()),
+            &mut virt_trace,
+        );
         let bonus = crate::punctuality::bonus_saves(&trace, &virt_trace, inst.colors.len());
         let unattributed = crate::punctuality::unattributed_lates(&inst, &trace, &virt_trace);
         vec![

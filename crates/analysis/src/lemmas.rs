@@ -93,9 +93,23 @@ impl LemmaReport {
 /// the Section 3 lemmas.
 pub fn check_lemmas(inst: &Instance, n: usize) -> LemmaReport {
     let report = run_dlru_edf(inst, n);
+    // Under `validate`, also hold the run to the Lemma 3.3/3.4 bounds
+    // *incrementally*: `CheckedPolicy` re-evaluates both inequalities after
+    // every round, so a transient violation that happens to cancel by the
+    // horizon still fails. Sound here because `check_lemmas` is only
+    // defined for the rate-limited inputs the lemmas are stated over.
+    #[cfg(feature = "validate")]
+    crate::run::simulate_plain(
+        &Simulator::new(inst, n),
+        &mut rrs_check::CheckedPolicy::new(rrs_core::DeltaLruEdf::new()).with_lemma_monitors(),
+    );
     let m = (n / 8).max(1);
     let par = par_edf_drop_cost(inst, m);
-    let ds = Simulator::new(inst, (n / 4).max(1)).with_speed(2).run(&mut Edf::seq()).dropped;
+    let ds = crate::run::simulate_plain(
+        &Simulator::new(inst, (n / 4).max(1)).with_speed(2),
+        &mut Edf::seq(),
+    )
+    .dropped;
     LemmaReport {
         n,
         m,

@@ -182,9 +182,38 @@ pub fn take_reports() -> Vec<RunReport> {
     reports
 }
 
+/// Run a configured simulator through this crate's single simulation choke
+/// point. Every harness run — the one-call helpers below, the lemma
+/// checkers, the E1–E15 experiments, punctuality audits and timelines —
+/// goes through here, so building with `--features validate` supervises
+/// all of them with the shadow-model `InvariantWatcher` from `rrs-check`
+/// (DESIGN.md §9). Without the feature this is exactly
+/// `sim.run_traced(policy, recorder)`: the watcher hook monomorphizes to
+/// nothing.
+pub fn simulate<P: Policy, R: Recorder>(
+    sim: &Simulator<'_>,
+    policy: &mut P,
+    recorder: &mut R,
+) -> Outcome {
+    #[cfg(feature = "validate")]
+    {
+        let mut watcher = rrs_check::InvariantWatcher::new(sim.instance());
+        sim.run_watched(policy, recorder, &mut rrs_engine::Scratch::new(), &mut watcher)
+    }
+    #[cfg(not(feature = "validate"))]
+    {
+        sim.run_traced(policy, recorder)
+    }
+}
+
+/// [`simulate`] without a recorder.
+pub fn simulate_plain<P: Policy>(sim: &Simulator<'_>, policy: &mut P) -> Outcome {
+    simulate(sim, policy, &mut rrs_engine::NullRecorder)
+}
+
 /// Run any policy on `n` locations and return the outcome.
 pub fn run_policy<P: Policy>(inst: &Instance, n: usize, policy: &mut P) -> Outcome {
-    Simulator::new(inst, n).run(policy)
+    simulate_plain(&Simulator::new(inst, n), policy)
 }
 
 /// Run any policy and, when report collection is enabled, record a labeled
@@ -193,10 +222,10 @@ pub fn run_policy<P: Policy>(inst: &Instance, n: usize, policy: &mut P) -> Outco
 /// When collection is disabled this is exactly [`run_policy`].
 pub fn observed_run<P: Policy>(label: &str, inst: &Instance, n: usize, policy: &mut P) -> Outcome {
     if !collecting() {
-        return Simulator::new(inst, n).run(policy);
+        return simulate_plain(&Simulator::new(inst, n), policy);
     }
     let mut fold = ColorFold::new(inst);
-    let outcome = Simulator::new(inst, n).run_traced(policy, &mut fold);
+    let outcome = simulate(&Simulator::new(inst, n), policy, &mut fold);
     record_report(RunReport {
         label: label.to_string(),
         policy: policy.name().to_string(),
@@ -217,9 +246,23 @@ pub fn run_dlru_edf(inst: &Instance, n: usize) -> RunReport {
 /// [`run_dlru_edf`] with a caller-chosen label; when report collection is
 /// enabled the report is also pushed into the collector.
 pub fn run_dlru_edf_labeled(label: &str, inst: &Instance, n: usize) -> RunReport {
-    let mut p = DeltaLruEdf::new();
     let mut fold = ColorFold::new(inst);
-    let outcome = Simulator::new(inst, n).run_traced(&mut p, &mut fold);
+    // Under `validate`, the headline algorithm additionally runs inside
+    // `CheckedPolicy`, which verifies the ΔLRU timestamp laws after every
+    // decision (the watcher installed by `simulate` checks the engine
+    // side).
+    #[cfg(feature = "validate")]
+    let (outcome, p) = {
+        let mut checked = rrs_check::CheckedPolicy::new(DeltaLruEdf::new());
+        let outcome = simulate(&Simulator::new(inst, n), &mut checked, &mut fold);
+        (outcome, checked.into_inner())
+    };
+    #[cfg(not(feature = "validate"))]
+    let (outcome, p) = {
+        let mut p = DeltaLruEdf::new();
+        let outcome = simulate(&Simulator::new(inst, n), &mut p, &mut fold);
+        (outcome, p)
+    };
     let report = RunReport {
         label: label.to_string(),
         policy: p.name().to_string(),

@@ -35,7 +35,7 @@ impl Window {
 pub fn timeline<P: Policy>(inst: &Instance, n: usize, policy: &mut P, window: u64) -> Vec<Window> {
     assert!(window >= 1, "window must be positive");
     let mut rec = SummaryRecorder::new();
-    Simulator::new(inst, n).run_traced(policy, &mut rec);
+    crate::run::simulate(&Simulator::new(inst, n), policy, &mut rec);
     let mut out: Vec<Window> = Vec::new();
     for r in &rec.rounds {
         let idx = (r.round / window) as usize;

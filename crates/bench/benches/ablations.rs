@@ -53,6 +53,9 @@ fn bench_e14_replication(c: &mut Criterion) {
 /// collects, and a `HashMap`-diffing stable assignment. Behaviorally
 /// identical to [`DeltaLruEdf`] (the bench asserts it) — only the memory
 /// layout and allocation pattern differ.
+// Audited exception to the determinism wall (clippy.toml): the whole
+// point of this module is to keep the HashMap-based baseline raceable.
+#[allow(clippy::disallowed_types)]
 mod map_state {
     use std::collections::{BTreeSet, HashMap};
 

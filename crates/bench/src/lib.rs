@@ -15,6 +15,8 @@
 //! Each target prints its regenerated table once (the paper-shaped output)
 //! and then times the regeneration. Run with `cargo bench`.
 
+#![forbid(unsafe_code)]
+
 use std::sync::Once;
 
 /// Print a table exactly once per process (so Criterion's repeated timing

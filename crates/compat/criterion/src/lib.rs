@@ -14,6 +14,11 @@
 //! benchmark names, and a positional argument filters benchmarks by
 //! substring.
 
+#![forbid(unsafe_code)]
+// Audited exception to the determinism wall (clippy.toml): a bench
+// harness's entire job is reading the wall clock.
+#![allow(clippy::disallowed_methods)]
+
 use std::time::{Duration, Instant};
 
 /// Re-export matching `criterion::black_box`.

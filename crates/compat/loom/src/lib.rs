@@ -1,0 +1,447 @@
+//! Offline stand-in for the `loom` crate, so the workspace's concurrency
+//! model tests run with no registry access.
+//!
+//! Real loom exhaustively enumerates interleavings under the C11 memory
+//! model. This shim is a *randomized* model checker in the style of
+//! shuttle: [`model`] re-runs the test body under many seeded
+//! pseudo-random schedules, and a cooperative scheduler permits exactly
+//! one model thread to run at a time, context-switching at every
+//! instrumented operation (atomic access, spawn, join). That explores a
+//! large sample of interleavings — including ones a free-running `std`
+//! test would essentially never hit — while staying dependency-free and
+//! fully deterministic for a fixed seed set.
+//!
+//! The schedule count comes from `LOOM_SCHEDULES` (default
+//! [`DEFAULT_SCHEDULES`]). Every operation a model exercises must go
+//! through the `loom::` types ([`sync::atomic::AtomicUsize`],
+//! [`thread::spawn`], …), exactly as with real loom; plain `std` atomics
+//! would be invisible to the scheduler. Outside [`model`] the shim types
+//! degrade to their `std` counterparts, so helper code is reusable.
+//!
+//! Guarantees the shim keeps from real loom:
+//!
+//! * a panic on any model thread fails the test (it is re-raised from
+//!   [`model`], with sibling threads cut loose rather than joined);
+//! * a schedule where every live thread is blocked panics with a
+//!   "deadlock" diagnostic instead of hanging;
+//! * for a fixed `LOOM_SCHEDULES` the explored schedule set is identical
+//!   across runs — failures reproduce.
+
+#![forbid(unsafe_code)]
+
+use std::cell::RefCell;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Schedules explored per [`model`] call when `LOOM_SCHEDULES` is unset.
+pub const DEFAULT_SCHEDULES: u64 = 64;
+
+/// xorshift64* — tiny, seedable, deterministic schedule randomness.
+#[derive(Clone)]
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        // Avoid the all-zeros fixed point; mix the seed a little.
+        Rng(seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ThreadState {
+    /// Eligible to be scheduled.
+    Runnable,
+    /// Waiting for another thread to finish (see [`JoinHandle::join`]).
+    BlockedOnJoin(usize),
+    /// Returned (or unwound). Terminal.
+    Finished,
+}
+
+struct SchedState {
+    /// Thread currently allowed to run.
+    current: usize,
+    states: Vec<ThreadState>,
+    /// Whether the thread unwound rather than returned.
+    panicked: Vec<bool>,
+    rng: Rng,
+}
+
+/// The cooperative scheduler: exactly one registered thread runs between
+/// context-switch points; everyone else parks on the condvar.
+struct Scheduler {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+}
+
+/// Panic payloads don't implement `Debug`; locking must therefore survive
+/// poisoning or every schedule after a detected bug would die on
+/// `PoisonError` instead of the real diagnostic.
+fn lock(m: &Mutex<SchedState>) -> MutexGuard<'_, SchedState> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Scheduler {
+    fn new(seed: u64) -> Arc<Self> {
+        Arc::new(Scheduler {
+            state: Mutex::new(SchedState {
+                current: 0,
+                states: vec![ThreadState::Runnable],
+                panicked: vec![false],
+                rng: Rng::new(seed),
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Register a new model thread; returns its id.
+    fn register(&self) -> usize {
+        let mut st = lock(&self.state);
+        st.states.push(ThreadState::Runnable);
+        st.panicked.push(false);
+        st.states.len() - 1
+    }
+
+    /// Pick a runnable thread at random and make it current. Wakes join
+    /// waiters first so they are candidates. Panics on deadlock.
+    fn pick_next(&self, st: &mut SchedState) {
+        // Unblock joins on finished threads.
+        for i in 0..st.states.len() {
+            if let ThreadState::BlockedOnJoin(t) = st.states[i] {
+                if st.states[t] == ThreadState::Finished {
+                    st.states[i] = ThreadState::Runnable;
+                }
+            }
+        }
+        let runnable: Vec<usize> =
+            (0..st.states.len()).filter(|&i| st.states[i] == ThreadState::Runnable).collect();
+        if runnable.is_empty() {
+            if st.states.iter().all(|&s| s == ThreadState::Finished) {
+                // Schedule complete: wake `wait_all_finished` on the
+                // harness thread.
+                self.cv.notify_all();
+                return;
+            }
+            panic!("loom (shim): deadlock — no runnable thread (states: {:?})", st.states);
+        }
+        let choice = st.rng.below(runnable.len());
+        st.current = runnable[choice];
+        self.cv.notify_all();
+    }
+
+    /// A context-switch point for thread `me`: hand the token to a random
+    /// runnable thread (possibly `me` again) and wait for our turn.
+    fn switch(&self, me: usize) {
+        let mut st = lock(&self.state);
+        self.pick_next(&mut st);
+        while st.current != me {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Block `me` until `target` finishes, scheduling others meanwhile.
+    fn join_wait(&self, me: usize, target: usize) {
+        let mut st = lock(&self.state);
+        if st.states[target] != ThreadState::Finished {
+            st.states[me] = ThreadState::BlockedOnJoin(target);
+        }
+        self.pick_next(&mut st);
+        while st.current != me {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        debug_assert_eq!(st.states[target], ThreadState::Finished);
+    }
+
+    /// Mark `me` finished and pass the token on.
+    fn retire(&self, me: usize, panicked: bool) {
+        let mut st = lock(&self.state);
+        st.states[me] = ThreadState::Finished;
+        st.panicked[me] = panicked;
+        self.pick_next(&mut st);
+    }
+
+    /// Wait (from outside the model, on the real harness thread) until the
+    /// root model thread and everything it spawned have finished.
+    fn wait_all_finished(&self) -> bool {
+        let mut st = lock(&self.state);
+        while !st.states.iter().all(|&s| s == ThreadState::Finished) {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        st.panicked.iter().any(|&p| p)
+    }
+}
+
+thread_local! {
+    /// The ambient (scheduler, thread-id) pair, set while a model thread
+    /// runs. `None` means "not under `model`": shim types pass straight
+    /// through to `std`.
+    static CTX: RefCell<Option<(Arc<Scheduler>, usize)>> = const { RefCell::new(None) };
+}
+
+fn with_ctx<R>(f: impl FnOnce(Option<&(Arc<Scheduler>, usize)>) -> R) -> R {
+    CTX.with(|c| f(c.borrow().as_ref()))
+}
+
+/// Context-switch point used by every instrumented operation.
+fn switch_point() {
+    with_ctx(|ctx| {
+        if let Some((sched, me)) = ctx {
+            sched.switch(*me);
+        }
+    });
+}
+
+/// Run `f` under many seeded schedules (see the crate docs). Panics if any
+/// schedule panicked, re-raising the first schedule's payload.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let schedules = std::env::var("LOOM_SCHEDULES")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(DEFAULT_SCHEDULES);
+    let f = Arc::new(f);
+    for seed in 0..schedules {
+        let sched = Scheduler::new(seed);
+        let root = Arc::clone(&sched);
+        let body = Arc::clone(&f);
+        // The root model thread is id 0 (registered in `new`). It runs on
+        // its own OS thread so the harness thread can supervise.
+        let handle = std::thread::spawn(move || {
+            CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&root), 0)));
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body()));
+            let panicked = result.is_err();
+            root.retire(0, panicked);
+            CTX.with(|c| *c.borrow_mut() = None);
+            result
+        });
+        let any_panicked = sched.wait_all_finished();
+        let root_result = handle.join().expect("root model thread itself must not die");
+        if let Err(payload) = root_result {
+            std::panic::resume_unwind(payload);
+        }
+        if any_panicked {
+            panic!("loom (shim): a spawned model thread panicked under seed {seed}");
+        }
+    }
+}
+
+pub mod thread {
+    //! Model-aware `std::thread` subset.
+
+    use super::{switch_point, with_ctx, Arc, Scheduler, CTX};
+
+    /// Handle to a spawned model thread.
+    pub struct JoinHandle<T> {
+        inner: std::thread::JoinHandle<std::thread::Result<T>>,
+        /// `(scheduler, child-id)` when spawned inside a model.
+        model: Option<(Arc<Scheduler>, usize)>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Wait for the thread to finish, scheduling siblings meanwhile.
+        pub fn join(self) -> std::thread::Result<T> {
+            if let Some((sched, child)) = &self.model {
+                let me = with_ctx(|ctx| ctx.expect("join of a model thread outside its model").1);
+                sched.join_wait(me, *child);
+            }
+            self.inner.join().expect("model thread wrapper must not die")
+        }
+    }
+
+    /// Spawn a thread. Inside [`super::model`] the child participates in
+    /// the cooperative schedule; outside it is a plain `std` spawn.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let model = with_ctx(|ctx| ctx.map(|(s, _)| (Arc::clone(s), s.register())));
+        match model {
+            None => JoinHandle { inner: std::thread::spawn(move || Ok(f())), model: None },
+            Some((sched, id)) => {
+                let child_sched = Arc::clone(&sched);
+                let inner = std::thread::spawn(move || {
+                    CTX.with(|c| {
+                        *c.borrow_mut() = Some((Arc::clone(&child_sched), id));
+                    });
+                    // Wait for our first turn before touching anything.
+                    child_sched.switch(id);
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+                    child_sched.retire(id, result.is_err());
+                    CTX.with(|c| *c.borrow_mut() = None);
+                    result
+                });
+                // Spawning is itself a visible event: give the child (or
+                // anyone) a chance to run first.
+                switch_point();
+                JoinHandle { inner, model: Some((sched, id)) }
+            }
+        }
+    }
+}
+
+pub mod sync {
+    //! Model-aware `std::sync` subset.
+
+    pub use std::sync::Arc;
+
+    pub mod atomic {
+        //! Atomics that context-switch around every access.
+
+        use super::super::switch_point;
+        pub use std::sync::atomic::Ordering;
+
+        /// `std::sync::atomic::AtomicUsize`, instrumented: every access is
+        /// a scheduling point, so the model explores orderings around it.
+        /// All accesses are promoted to `SeqCst` — the shim checks
+        /// *interleavings*, not weak-memory reorderings (real loom covers
+        /// those; see DESIGN.md §9).
+        #[derive(Debug, Default)]
+        pub struct AtomicUsize(std::sync::atomic::AtomicUsize);
+
+        impl AtomicUsize {
+            /// A new atomic with the given value.
+            pub const fn new(v: usize) -> Self {
+                AtomicUsize(std::sync::atomic::AtomicUsize::new(v))
+            }
+
+            /// Instrumented `load`.
+            pub fn load(&self, _order: Ordering) -> usize {
+                switch_point();
+                let v = self.0.load(Ordering::SeqCst);
+                switch_point();
+                v
+            }
+
+            /// Instrumented `store`.
+            pub fn store(&self, v: usize, _order: Ordering) {
+                switch_point();
+                self.0.store(v, Ordering::SeqCst);
+                switch_point();
+            }
+
+            /// Instrumented `fetch_add`.
+            pub fn fetch_add(&self, v: usize, _order: Ordering) -> usize {
+                switch_point();
+                let out = self.0.fetch_add(v, Ordering::SeqCst);
+                switch_point();
+                out
+            }
+
+            /// Instrumented `compare_exchange`.
+            pub fn compare_exchange(
+                &self,
+                current: usize,
+                new: usize,
+                _success: Ordering,
+                _failure: Ordering,
+            ) -> Result<usize, usize> {
+                switch_point();
+                let out = self.0.compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst);
+                switch_point();
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::Arc;
+    use super::thread;
+    use std::sync::Mutex;
+
+    #[test]
+    fn counter_is_exact_under_every_schedule() {
+        super::model(|| {
+            let n = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let n = Arc::clone(&n);
+                    thread::spawn(move || {
+                        for _ in 0..4 {
+                            n.fetch_add(1, Ordering::Relaxed);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(n.load(Ordering::Relaxed), 12);
+        });
+    }
+
+    #[test]
+    fn schedules_explore_distinct_interleavings() {
+        // Two threads each append their id twice; across seeds the
+        // recorded event orders must differ — i.e. the scheduler really
+        // interleaves rather than running threads to completion.
+        let orders: Arc<Mutex<std::collections::BTreeSet<Vec<usize>>>> =
+            Arc::new(Mutex::new(std::collections::BTreeSet::new()));
+        let sink = Arc::clone(&orders);
+        super::model(move || {
+            let log = Arc::new(Mutex::new(Vec::new()));
+            let tick = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|id| {
+                    let log = Arc::clone(&log);
+                    let tick = Arc::clone(&tick);
+                    thread::spawn(move || {
+                        for _ in 0..2 {
+                            tick.fetch_add(1, Ordering::SeqCst);
+                            log.lock().unwrap().push(id);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            sink.lock().unwrap().insert(log.lock().unwrap().clone());
+        });
+        let seen = orders.lock().unwrap();
+        assert!(seen.len() > 1, "expected multiple distinct interleavings, saw only {:?}", *seen);
+    }
+
+    #[test]
+    fn join_returns_child_value() {
+        super::model(|| {
+            let h = thread::spawn(|| 41 + 1);
+            assert_eq!(h.join().unwrap(), 42);
+        });
+    }
+
+    #[test]
+    #[should_panic]
+    fn model_body_assertions_fail_the_test() {
+        super::model(|| {
+            let n = AtomicUsize::new(1);
+            assert_eq!(n.load(Ordering::SeqCst), 2, "deliberate");
+        });
+    }
+
+    #[test]
+    fn shim_types_work_outside_model() {
+        let n = AtomicUsize::new(5);
+        assert_eq!(n.fetch_add(2, Ordering::SeqCst), 5);
+        assert_eq!(n.load(Ordering::SeqCst), 7);
+        let h = thread::spawn(|| 7);
+        assert_eq!(h.join().unwrap(), 7);
+    }
+}

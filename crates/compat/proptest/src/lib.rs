@@ -9,6 +9,8 @@
 //! case is reported as generated) and a fixed per-test seed derived from
 //! the test's name, so failures reproduce exactly across runs.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::ops::{Range, RangeInclusive};
 

@@ -11,6 +11,8 @@
 //! generator, not a specific stream. EXPERIMENTS.md's measured tables were
 //! regenerated against these streams.
 
+#![forbid(unsafe_code)]
+
 /// A uniform random source. Only the methods this workspace calls.
 pub trait Rng {
     /// The next 64 uniformly random bits.

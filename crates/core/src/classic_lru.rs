@@ -45,6 +45,16 @@ impl ClassicLru {
     }
 }
 
+impl crate::Instrumented for ClassicLru {
+    /// Classic LRU is the timestamp-free baseline: no book, no counters.
+    fn book(&self) -> Option<&crate::ColorBook> {
+        None
+    }
+    fn metrics(&self) -> crate::AlgoMetrics {
+        crate::AlgoMetrics::default()
+    }
+}
+
 impl Policy for ClassicLru {
     fn name(&self) -> &str {
         "classic-lru"

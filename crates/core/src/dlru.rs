@@ -50,6 +50,15 @@ impl DeltaLru {
     }
 }
 
+impl crate::Instrumented for DeltaLru {
+    fn book(&self) -> Option<&ColorBook> {
+        DeltaLru::book(self)
+    }
+    fn metrics(&self) -> AlgoMetrics {
+        DeltaLru::metrics(self)
+    }
+}
+
 impl Policy for DeltaLru {
     fn name(&self) -> &str {
         "dlru"

@@ -118,6 +118,15 @@ impl DeltaLruEdf {
     }
 }
 
+impl crate::Instrumented for DeltaLruEdf {
+    fn book(&self) -> Option<&ColorBook> {
+        DeltaLruEdf::book(self)
+    }
+    fn metrics(&self) -> AlgoMetrics {
+        DeltaLruEdf::metrics(self)
+    }
+}
+
 impl Policy for DeltaLruEdf {
     fn name(&self) -> &str {
         "dlru-edf"

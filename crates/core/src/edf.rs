@@ -76,6 +76,15 @@ impl Edf {
     }
 }
 
+impl crate::Instrumented for Edf {
+    fn book(&self) -> Option<&ColorBook> {
+        Edf::book(self)
+    }
+    fn metrics(&self) -> AlgoMetrics {
+        Edf::metrics(self)
+    }
+}
+
 impl Policy for Edf {
     fn name(&self) -> &str {
         if self.replication == 1 {

@@ -47,6 +47,8 @@
 //! assert_eq!(policy.metrics().num_epochs(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod book;
 pub mod classic_lru;
 pub mod distribute;
@@ -68,6 +70,20 @@ pub use metrics::AlgoMetrics;
 pub use transform::{distribute_instance, varbatch_instance, SubColorMap};
 pub use var_batch::VarBatch;
 
+/// Uniform access to the §3 bookkeeping a policy maintains, so external
+/// checkers (the `rrs-check` crate's `CheckedPolicy`) can verify the
+/// timestamp laws and lemma bounds without knowing the concrete policy.
+///
+/// Implemented by the four cache policies; [`ClassicLru`] keeps no
+/// [`ColorBook`] (it is the timestamp-free baseline) and reports `None`
+/// with empty metrics.
+pub trait Instrumented {
+    /// The shared per-color bookkeeping, if the policy keeps one.
+    fn book(&self) -> Option<&ColorBook>;
+    /// Snapshot of the lemma counters accumulated so far.
+    fn metrics(&self) -> AlgoMetrics;
+}
+
 /// The end-to-end algorithm for the paper's main problem `[Δ|1|D_ℓ|1]`:
 /// `VarBatch ∘ Distribute ∘ ΔLRU-EDF` (Theorem 3).
 pub type FullAlgorithm = VarBatch<Distribute<DeltaLruEdf>>;
@@ -82,6 +98,6 @@ pub mod prelude {
     pub use crate::transform::{distribute_instance, varbatch_instance, SubColorMap};
     pub use crate::{
         full_algorithm, AlgoMetrics, ClassicLru, DeltaLru, DeltaLruEdf, Distribute, Edf,
-        FullAlgorithm, VarBatch,
+        FullAlgorithm, Instrumented, VarBatch,
     };
 }

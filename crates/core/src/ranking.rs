@@ -31,19 +31,46 @@ pub fn edf_key(book: &ColorBook, pending: &PendingStore, c: ColorId) -> EdfKey {
     EdfKey { idle: pending.is_idle(c), deadline: s.deadline, delay_bound: s.delay_bound, color: c }
 }
 
+/// A committed ΔLRU recency timestamp (§3.1.1): the latest counter-wrap
+/// round strictly before the current block, with the paper's "0 if no such
+/// round exists" convention for colors that never committed a wrap.
+///
+/// The newtype pins the *comparison contract* the recency scheme depends
+/// on: recency order is exactly the numeric order of committed wrap
+/// rounds, with "never wrapped" below every real wrap (a real wrap round
+/// can be 0 only when no wrap committed — wraps commit one block late, so
+/// the earliest committed round is ≥ 1). Comparing raw `Option<u64>`s at
+/// call sites would invite `None`-ordering drift; comparing anything but
+/// committed rounds (e.g. raw counters, which wrap at Δ) would not be an
+/// order at all. See `tests/wrap_timestamps.rs` for the oracle check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Recency(u64);
+
+impl Recency {
+    /// The recency of a committed timestamp (`None` = never wrapped = 0).
+    pub fn from_ts(ts: Option<u64>) -> Self {
+        Recency(ts.unwrap_or(0))
+    }
+
+    /// The paper's numeric timestamp value.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
 /// Total order implementing the ΔLRU ranking; smaller is better (most
 /// recent timestamp first).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub struct LruKey {
-    /// Negated-by-reversal timestamp: larger timestamps rank better.
-    pub ts_rev: std::cmp::Reverse<u64>,
+    /// Negated-by-reversal recency: more recent wraps rank better.
+    pub ts_rev: std::cmp::Reverse<Recency>,
     /// Consistent order of colors.
     pub color: ColorId,
 }
 
 /// The ΔLRU ranking key of an (eligible) color.
 pub fn lru_key(book: &ColorBook, c: ColorId) -> LruKey {
-    LruKey { ts_rev: std::cmp::Reverse(book.state(c).ts_value()), color: c }
+    LruKey { ts_rev: std::cmp::Reverse(Recency::from_ts(book.state(c).ts)), color: c }
 }
 
 /// Sort colors ascending by EDF key (best rank first).
@@ -80,15 +107,26 @@ mod tests {
 
     #[test]
     fn lru_key_prefers_recent_timestamps() {
-        let recent = LruKey { ts_rev: std::cmp::Reverse(100), color: ColorId(9) };
-        let stale = LruKey { ts_rev: std::cmp::Reverse(3), color: ColorId(0) };
+        let recent =
+            LruKey { ts_rev: std::cmp::Reverse(Recency::from_ts(Some(100))), color: ColorId(9) };
+        let stale =
+            LruKey { ts_rev: std::cmp::Reverse(Recency::from_ts(Some(3))), color: ColorId(0) };
         assert!(recent < stale);
     }
 
     #[test]
     fn lru_key_ties_break_by_color() {
-        let a = LruKey { ts_rev: std::cmp::Reverse(5), color: ColorId(0) };
-        let b = LruKey { ts_rev: std::cmp::Reverse(5), color: ColorId(1) };
+        let ts = std::cmp::Reverse(Recency::from_ts(Some(5)));
+        let a = LruKey { ts_rev: ts, color: ColorId(0) };
+        let b = LruKey { ts_rev: ts, color: ColorId(1) };
         assert!(a < b);
+    }
+
+    #[test]
+    fn never_wrapped_ranks_below_every_committed_wrap() {
+        let never = Recency::from_ts(None);
+        assert_eq!(never.value(), 0);
+        assert_eq!(never, Recency::from_ts(Some(0)));
+        assert!(never < Recency::from_ts(Some(1)));
     }
 }

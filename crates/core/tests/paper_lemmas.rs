@@ -46,7 +46,7 @@ impl Policy for Watch {
         }
         // Invariant 3: the assignment replicates each cached color exactly
         // twice and contains nothing else.
-        let mut counts = std::collections::HashMap::new();
+        let mut counts = std::collections::BTreeMap::new();
         for s in out.iter().flatten() {
             *counts.entry(*s).or_insert(0u32) += 1;
         }

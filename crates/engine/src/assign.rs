@@ -207,7 +207,9 @@ mod tests {
         let mut scratch = AssignScratch::new();
         let mut out = Vec::new();
         stable_assign_into(&[A, None], &[(ColorId(1), 1)], &mut out, &mut scratch);
-        assert_eq!(out, vec![None, B]);
+        // Fresh copies go to the lowest free index; A is not kept, so
+        // location 0 is free and B lands there.
+        assert_eq!(out, vec![B, None]);
         // Second call through the same scratch sees clean counts.
         stable_assign_into(&[B, B], &[(ColorId(1), 2)], &mut out, &mut scratch);
         assert_eq!(out, vec![B, B]);

@@ -43,6 +43,8 @@
 //! assert!(out.conserved());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod assign;
 pub mod par;
 pub mod pending;
@@ -52,6 +54,7 @@ pub mod scratch;
 pub mod sim;
 pub mod sink;
 pub mod trace;
+pub mod watch;
 
 pub use assign::{recolor_reconfigs, stable_assign, stable_assign_into, AssignScratch};
 pub use par::{
@@ -70,6 +73,7 @@ pub use sink::{
 pub use trace::{
     NullRecorder, Phase, Recorder, RoundSummary, SummaryRecorder, TraceEvent, TraceRecorder,
 };
+pub use watch::{NoWatcher, Watcher};
 
 /// Convenient re-exports for downstream crates.
 pub mod prelude {
@@ -89,4 +93,5 @@ pub mod prelude {
     pub use crate::trace::{
         NullRecorder, Phase, Recorder, SummaryRecorder, TraceEvent, TraceRecorder,
     };
+    pub use crate::watch::{NoWatcher, Watcher};
 }

@@ -7,6 +7,7 @@ use crate::pending::PendingStore;
 use crate::policy::{Observation, Policy, Slot};
 use crate::scratch::Scratch;
 use crate::trace::{NullRecorder, Phase, Recorder};
+use crate::watch::{NoWatcher, Watcher};
 
 /// The result of a simulation run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -75,6 +76,21 @@ impl<'a> Simulator<'a> {
         self.n_locations
     }
 
+    /// The instance being simulated.
+    pub fn instance(&self) -> &'a Instance {
+        self.inst
+    }
+
+    /// The schedule speed (mini-rounds per round).
+    pub fn speed(&self) -> u32 {
+        self.speed
+    }
+
+    /// The horizon the run will simulate to (inclusive).
+    pub fn horizon(&self) -> u64 {
+        self.horizon
+    }
+
     /// Run a policy with no tracing.
     pub fn run<P: Policy>(&self, policy: &mut P) -> Outcome {
         self.run_traced(policy, &mut NullRecorder)
@@ -96,6 +112,22 @@ impl<'a> Simulator<'a> {
         recorder: &mut R,
         scratch: &mut Scratch,
     ) -> Outcome {
+        self.run_watched(policy, recorder, scratch, &mut NoWatcher)
+    }
+
+    /// Run a policy with an invariant [`Watcher`] observing every phase
+    /// transition in addition to the `recorder`. With [`NoWatcher`] (what
+    /// every other `run*` method passes) the hooks monomorphize to nothing,
+    /// so the unwatched hot path is unchanged. Watchers observe but never
+    /// influence the run: outcomes and traces are byte-identical with any
+    /// watcher installed.
+    pub fn run_watched<P: Policy, R: Recorder, W: Watcher>(
+        &self,
+        policy: &mut P,
+        recorder: &mut R,
+        scratch: &mut Scratch,
+        watcher: &mut W,
+    ) -> Outcome {
         debug_assert!(self.inst.check_colors(), "instance references unknown colors");
         let mut pending = PendingStore::new();
         pending.ensure_colors(self.inst.colors.len());
@@ -113,6 +145,7 @@ impl<'a> Simulator<'a> {
         let Scratch { dropped: dropped_buf, exec_count, touched, next } = scratch;
 
         policy.init(self.inst.delta, self.n_locations);
+        watcher.begin_run(self.inst.delta, self.n_locations, self.speed, self.horizon);
 
         for round in 0..=self.horizon {
             recorder.on_round_start(round);
@@ -126,6 +159,7 @@ impl<'a> Simulator<'a> {
             for &(c, n) in dropped_buf.iter() {
                 recorder.on_drop(round, c, n);
             }
+            watcher.after_drop(round, dropped_buf, &pending);
 
             // Phase 2: arrival.
             recorder.on_phase_start(round, 0, Phase::Arrival);
@@ -136,6 +170,7 @@ impl<'a> Simulator<'a> {
                 arrived += n;
                 recorder.on_arrive(round, c, n);
             }
+            watcher.after_arrivals(round, request.pairs(), &pending);
 
             for mini in 0..self.speed {
                 // Phase 3: reconfiguration.
@@ -171,6 +206,7 @@ impl<'a> Simulator<'a> {
                     }
                 }
                 ledger.add_reconfigs(reconfigs);
+                watcher.after_reconfig(round, mini, &slots, next, reconfigs);
                 std::mem::swap(&mut slots, next);
 
                 // Phase 4: execution. Group locations by color, then execute
@@ -196,21 +232,25 @@ impl<'a> Simulator<'a> {
                     if e > 0 {
                         executed += e;
                         recorder.on_execute(round, mini, c, e);
+                        watcher.on_execute(round, mini, c, e, &slots);
                     }
                 }
+                watcher.after_execution(round, mini, &pending);
             }
             recorder.on_round_end(round);
         }
 
         debug_assert_eq!(pending.total(), 0, "jobs pending past the horizon");
-        Outcome {
+        let outcome = Outcome {
             cost: ledger,
             arrived,
             executed,
             dropped: dropped_total,
             rounds: self.horizon + 1,
             final_slots: slots,
-        }
+        };
+        watcher.end_run(&outcome);
+        outcome
     }
 }
 

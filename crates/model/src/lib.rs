@@ -24,6 +24,8 @@
 //! Everything here is deterministic and allocation-conscious; rounds, job
 //! counts and costs are `u64`, colors are a `u32` newtype.
 
+#![forbid(unsafe_code)]
+
 pub mod classify;
 pub mod color;
 pub mod cost;

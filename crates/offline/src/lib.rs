@@ -34,6 +34,8 @@
 //! assert!(combined_lower_bound(&inst, 1) <= opt.cost);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod bounds;
 pub mod brute;
 pub mod opt;

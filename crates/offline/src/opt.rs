@@ -16,7 +16,7 @@
 //! can also reconstruct a [`FixedSchedule`] whose engine replay reproduces
 //! the optimal cost — the property tests cross-validate this.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use rrs_engine::{stable_assign, FixedSchedule, Slot};
@@ -80,7 +80,7 @@ pub struct OptResult {
     pub states_explored: usize,
 }
 
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord)]
 struct State {
     /// Sorted cache multiset; `BLACK` for unconfigured slots.
     cache: Vec<u32>,
@@ -147,22 +147,26 @@ fn apply_execution(pending: &mut Vec<(u32, u64, u64)>, color: u32, q: u64) -> u6
 }
 
 /// Reconfiguration count for moving between cache multisets: copies added
-/// of each non-black color.
+/// of each non-black color. Both multisets are sorted, so a single merge
+/// walk counts the unmatched copies in `new` without allocating.
 fn reconfig_count(old: &[u32], new: &[u32]) -> u64 {
-    let mut counts: HashMap<u32, i64> = HashMap::new();
+    debug_assert!(old.is_sorted() && new.is_sorted(), "cache multisets are kept sorted");
+    let mut i = 0;
+    let mut added = 0;
     for &c in new {
-        if c != BLACK {
-            *counts.entry(c).or_default() += 1;
+        if c == BLACK {
+            continue;
+        }
+        while i < old.len() && old[i] < c {
+            i += 1;
+        }
+        if i < old.len() && old[i] == c {
+            i += 1;
+        } else {
+            added += 1;
         }
     }
-    for &c in old {
-        if c != BLACK {
-            if let Some(e) = counts.get_mut(&c) {
-                *e -= 1;
-            }
-        }
-    }
-    counts.into_values().map(|v| v.max(0) as u64).sum()
+    added
 }
 
 /// Enumerate all sorted multisets of size `m` over `candidates` (sorted).
@@ -191,7 +195,10 @@ pub fn solve_opt(inst: &Instance, m: usize, config: OptConfig) -> Result<OptResu
     let delta = inst.delta;
 
     let init = State { cache: vec![BLACK; m], pending: Vec::new() };
-    let mut layer: HashMap<State, Best> = HashMap::new();
+    // A `BTreeMap` keyed on the canonical state: deterministic iteration
+    // order makes the whole DP — including which of two equal-cost optima
+    // wins — a pure function of the instance (DESIGN.md §9).
+    let mut layer: BTreeMap<State, Best> = BTreeMap::new();
     layer.insert(init, Best { cost: 0, reconfigs: 0, drops: 0, trail: None });
     let mut states_explored = 1usize;
 
@@ -202,8 +209,8 @@ pub fn solve_opt(inst: &Instance, m: usize, config: OptConfig) -> Result<OptResu
             arrivals_buf.push((c.0, round + inst.colors.delay_bound(c), n));
         }
 
-        let mut next: HashMap<State, Best> = HashMap::with_capacity(layer.len());
-        for (state, best) in layer.drain() {
+        let mut next: BTreeMap<State, Best> = BTreeMap::new();
+        for (state, best) in std::mem::take(&mut layer) {
             // Deterministic phases: drop, then arrivals.
             let mut pending = state.pending.clone();
             let dropped = apply_drops(&mut pending, round);

@@ -24,6 +24,8 @@
 //! assert_eq!(adv.off_resources, 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod adversary;
 pub mod bursty;
 pub mod random;

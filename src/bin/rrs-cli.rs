@@ -34,6 +34,22 @@ use std::process::ExitCode;
 use rrs::analysis::experiments;
 use rrs::prelude::*;
 
+/// The binary's single simulation choke point. Under `--features
+/// validate` every run — `run`, traced runs, and the `report` replay
+/// cross-check — is supervised by the shadow-model `InvariantWatcher`
+/// (DESIGN.md §9); otherwise it is a plain traced run.
+fn simulate(sim: &Simulator<'_>, policy: &mut dyn Policy, rec: &mut dyn Recorder) -> Outcome {
+    #[cfg(feature = "validate")]
+    {
+        let mut watcher = rrs::check::InvariantWatcher::new(sim.instance());
+        sim.run_watched(&mut &mut *policy, &mut &mut *rec, &mut Scratch::new(), &mut watcher)
+    }
+    #[cfg(not(feature = "validate"))]
+    {
+        sim.run_traced(&mut &mut *policy, &mut &mut *rec)
+    }
+}
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  rrs-cli generate <kind> [--seed N] [--out FILE]\n  \
@@ -127,28 +143,28 @@ fn run_traced_with_metrics(
     policy_name: &str,
     inst: &Instance,
     n: usize,
-    mut rec: &mut dyn Recorder,
+    rec: &mut dyn Recorder,
 ) -> Result<(String, Outcome, AlgoMetrics), String> {
     let sim = Simulator::new(inst, n);
     Ok(match policy_name {
         "dlru" => {
             let mut p = DeltaLru::new();
-            let out = sim.run_traced(&mut p, &mut rec);
+            let out = simulate(&sim, &mut p, rec);
             (p.name().to_string(), out, p.metrics())
         }
         "edf" => {
             let mut p = Edf::new();
-            let out = sim.run_traced(&mut p, &mut rec);
+            let out = simulate(&sim, &mut p, rec);
             (p.name().to_string(), out, p.metrics())
         }
         "dlru-edf" => {
             let mut p = DeltaLruEdf::new();
-            let out = sim.run_traced(&mut p, &mut rec);
+            let out = simulate(&sim, &mut p, rec);
             (p.name().to_string(), out, p.metrics())
         }
         other => {
             let mut p = make_policy(other)?;
-            let out = sim.run_traced(&mut p, &mut rec);
+            let out = simulate(&sim, &mut p.as_mut(), rec);
             (p.name().to_string(), out, AlgoMetrics::default())
         }
     })
@@ -175,7 +191,7 @@ fn cmd_run(mut args: Vec<String>) -> Result<(), String> {
 
     if trace_out.is_none() && metrics_out.is_none() {
         let mut policy = make_policy(&policy_name)?;
-        let out = Simulator::new(&inst, n).run(&mut policy);
+        let out = simulate(&Simulator::new(&inst, n), &mut policy.as_mut(), &mut NullRecorder);
         print_run(policy.name(), n, &inst, &out);
         return Ok(());
     }
@@ -301,7 +317,11 @@ fn report_saved(mut args: Vec<String>) -> Result<(), String> {
                     sched.set_location(round, location, to);
                 }
             }
-            let replayed = Simulator::new(&inst, meta.locations).run(&mut ReplayPolicy::new(sched));
+            let replayed = simulate(
+                &Simulator::new(&inst, meta.locations),
+                &mut ReplayPolicy::new(sched),
+                &mut NullRecorder,
+            );
             let ok = replayed.arrived == arrived
                 && replayed.executed == executed
                 && replayed.dropped == dropped

@@ -10,6 +10,10 @@
 //! (items, steals, busy time) of each phase, and fails loudly if the two
 //! tables are not byte-identical.
 
+// Audited exception to the determinism wall (clippy.toml): this binary
+// exists to measure wall-clock throughput; it produces no results.
+#![allow(clippy::disallowed_methods)]
+
 use std::time::Instant;
 
 use rrs::analysis::experiments::e3_vs_opt;

@@ -43,7 +43,11 @@
 //! );
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use rrs_analysis as analysis;
+#[cfg(feature = "validate")]
+pub use rrs_check as check;
 pub use rrs_core as core;
 pub use rrs_engine as engine;
 pub use rrs_model as model;

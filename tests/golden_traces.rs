@@ -31,7 +31,17 @@ fn check_trace_fixture(instance_file: &str, mut policy: Box<dyn Policy>, trace_f
     let meta =
         TraceMeta { policy: policy.name().to_string(), delta: inst.delta, locations: n, speed: 1 };
     let mut sink = JsonlSink::with_meta(Vec::new(), &meta);
-    let out = Simulator::new(&inst, n).run_traced(&mut policy, &mut sink);
+    let sim = Simulator::new(&inst, n);
+    // Under `--features validate` the same run is supervised by the
+    // shadow-model invariant watcher; it only observes, so the emitted
+    // bytes are identical either way.
+    #[cfg(feature = "validate")]
+    let out = {
+        let mut watcher = rrs::check::InvariantWatcher::new(&inst);
+        sim.run_watched(&mut policy, &mut sink, &mut Scratch::new(), &mut watcher)
+    };
+    #[cfg(not(feature = "validate"))]
+    let out = sim.run_traced(&mut policy, &mut sink);
     let bytes = sink.finish().expect("Vec<u8> sink cannot fail");
 
     let path = fixture_path(trace_file);
@@ -50,7 +60,10 @@ fn check_trace_fixture(instance_file: &str, mut policy: Box<dyn Policy>, trace_f
     assert_eq!(
         bytes, golden,
         "{trace_file}: regenerated trace differs from the golden fixture \
-         (policy semantics or sink serialization changed)"
+         (policy semantics or sink serialization changed). If — and only if \
+         — the change is an intended semantic change, regenerate with:\n    \
+         BLESS=1 cargo test -q --test golden_traces\nthen review the fixture \
+         diff before committing."
     );
 }
 
