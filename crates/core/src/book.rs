@@ -19,8 +19,11 @@
 //! stated over: epochs, counter wraps, timestamp updates, super-epochs, and
 //! the eligible/ineligible split of drop costs.
 
+use rrs_engine::checkpoint::{
+    get_bool, get_color_set, get_opt_u64, put_bool, put_color_set, put_opt_u64,
+};
 use rrs_engine::Observation;
-use rrs_model::{ColorId, ColorSet, ColorTable};
+use rrs_model::{ColorId, ColorSet, ColorTable, SnapError, SnapReader, SnapWriter};
 
 use crate::metrics::AlgoMetrics;
 
@@ -249,6 +252,101 @@ impl ColorBook {
                 }
             }
         }
+    }
+
+    /// Serialize the book's mutable state for a checkpoint (DESIGN.md §10).
+    ///
+    /// Δ and the super-epoch threshold are configuration, not state: they
+    /// are written only so [`ColorBook::load_state`] can verify the resumed
+    /// book was constructed identically. `by_bound` is derived from the
+    /// states and rebuilt on load; the `ts_updates` scratch buffer is dead
+    /// between rounds and excluded.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.put_u64(self.delta);
+        put_opt_u64(w, self.super_epoch_threshold);
+        w.put_u64(self.states.len() as u64);
+        for s in &self.states {
+            w.put_u64(s.delay_bound);
+            w.put_u64(s.cnt);
+            w.put_u64(s.deadline);
+            put_bool(w, s.eligible);
+            put_opt_u64(w, s.ts);
+            put_opt_u64(w, s.last_wrap);
+            put_bool(w, s.epoch_active);
+        }
+        put_color_set(w, &self.super_epoch_colors);
+        let m = &self.metrics;
+        w.put_u64(m.counter_wraps);
+        w.put_u64(m.timestamp_updates);
+        w.put_u64(m.completed_epochs);
+        w.put_u64(m.active_epochs);
+        w.put_u64(m.eligible_drops);
+        w.put_u64(m.ineligible_drops);
+        w.put_u64(m.super_epochs);
+    }
+
+    /// Restore the book's mutable state from a checkpoint, mirroring
+    /// [`ColorBook::save_state`]. The book must have been constructed with
+    /// the same Δ and super-epoch threshold as the checkpointing run.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let delta = r.get_u64("book delta")?;
+        if delta != self.delta {
+            return Err(SnapError::Invalid(format!(
+                "book was checkpointed with delta {delta}, constructed with {}",
+                self.delta
+            )));
+        }
+        let threshold = get_opt_u64(r, "super-epoch threshold")?;
+        if threshold != self.super_epoch_threshold {
+            return Err(SnapError::Invalid(format!(
+                "book was checkpointed with super-epoch threshold {threshold:?}, \
+                 constructed with {:?}",
+                self.super_epoch_threshold
+            )));
+        }
+        let n = r.get_u64("book color count")?;
+        let n = usize::try_from(n)
+            .map_err(|_| SnapError::Invalid(format!("book color count {n} too large")))?;
+        self.states.clear();
+        self.by_bound.clear();
+        for i in 0..n {
+            let delay_bound = r.get_u64("color delay bound")?;
+            if delay_bound == 0 {
+                return Err(SnapError::Invalid(format!("color {i} has zero delay bound")));
+            }
+            let cnt = r.get_u64("color counter")?;
+            let deadline = r.get_u64("color deadline")?;
+            let eligible = get_bool(r, "color eligibility")?;
+            let ts = get_opt_u64(r, "color timestamp")?;
+            let last_wrap = get_opt_u64(r, "color last wrap")?;
+            let epoch_active = get_bool(r, "color epoch flag")?;
+            self.states.push(ColorState {
+                delay_bound,
+                cnt,
+                deadline,
+                eligible,
+                ts,
+                last_wrap,
+                epoch_active,
+            });
+            let id = i as u32;
+            match self.by_bound.binary_search_by_key(&delay_bound, |&(b, _)| b) {
+                Ok(j) => self.by_bound[j].1.push(id),
+                Err(j) => self.by_bound.insert(j, (delay_bound, vec![id])),
+            }
+        }
+        self.super_epoch_colors = get_color_set(r, "super-epoch colors")?;
+        self.metrics = AlgoMetrics {
+            counter_wraps: r.get_u64("counter wraps")?,
+            timestamp_updates: r.get_u64("timestamp updates")?,
+            completed_epochs: r.get_u64("completed epochs")?,
+            active_epochs: r.get_u64("active epochs")?,
+            eligible_drops: r.get_u64("eligible drops")?,
+            ineligible_drops: r.get_u64("ineligible drops")?,
+            super_epochs: r.get_u64("super epochs")?,
+        };
+        self.ts_updates.clear();
+        Ok(())
     }
 }
 

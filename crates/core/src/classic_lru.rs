@@ -17,8 +17,9 @@
 //! per-job drop cost — the ablation experiment E13 measures exactly this
 //! gap.
 
-use rrs_engine::{stable_assign_into, AssignScratch, Observation, Policy, Slot};
-use rrs_model::{ColorId, ColorMap, ColorSet};
+use rrs_engine::checkpoint::{get_color_set, get_opt_u64, put_color_set, put_opt_u64};
+use rrs_engine::{stable_assign_into, AssignScratch, Observation, Policy, Slot, Snapshot};
+use rrs_model::{ColorId, ColorMap, ColorSet, SnapError, SnapReader, SnapWriter};
 
 /// Textbook LRU over colors: cache the `n/2` colors with the most recent
 /// arrival, each replicated at two locations.
@@ -90,6 +91,28 @@ impl Policy for ClassicLru {
         self.desired.clear();
         self.desired.extend(self.scratch.iter().map(|&c| (c, 2)));
         stable_assign_into(obs.slots, &self.desired, out, &mut self.assign);
+    }
+}
+
+impl Snapshot for ClassicLru {
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.put_u64(self.last_arrival.len() as u64);
+        for (_, &t) in self.last_arrival.iter() {
+            put_opt_u64(w, t);
+        }
+        put_color_set(w, &self.cached);
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n = usize::try_from(r.get_u64("recency map size")?)
+            .map_err(|_| SnapError::Invalid("recency map size overflows usize".into()))?;
+        self.last_arrival = ColorMap::new();
+        self.last_arrival.grow_to(n);
+        for i in 0..n {
+            self.last_arrival[ColorId(i as u32)] = get_opt_u64(r, "last arrival round")?;
+        }
+        self.cached = get_color_set(r, "cached colors")?;
+        Ok(())
     }
 }
 

@@ -18,8 +18,9 @@
 //! physically feasible (physical pending of `ℓ` is the sum over its
 //! sub-colors).
 
-use rrs_engine::{Observation, PendingStore, Policy, Slot};
-use rrs_model::{ColorId, ColorMap, ColorTable};
+use rrs_engine::checkpoint::{get_color_table, get_slots, put_color_table, put_slots};
+use rrs_engine::{Observation, PendingStore, Policy, Slot, Snapshot};
+use rrs_model::{ColorId, ColorMap, ColorTable, SnapError, SnapReader, SnapWriter};
 
 /// The Distribute wrapper around an inner policy.
 #[derive(Debug)]
@@ -177,6 +178,95 @@ impl<P: Policy> Policy for Distribute<P> {
         for (o, &v) in out.iter_mut().zip(&self.vslots) {
             *o = v.map(|vc| self.to_phys[vc.index()]);
         }
+    }
+}
+
+impl<P: Snapshot> Snapshot for Distribute<P> {
+    // Mutable state: the minted virtual universe (vcolors, subs, to_phys),
+    // the virtual pending store and assignment, then the inner policy.
+    // The arrival/drop/execution buffers are per-round scratch.
+    fn save_state(&self, w: &mut SnapWriter) {
+        put_color_table(w, &self.vcolors);
+        self.vpending.save_state(w);
+        put_slots(w, &self.vslots);
+        w.put_u64(self.subs.len() as u64);
+        for (_, subs) in self.subs.iter() {
+            w.put_u64(subs.len() as u64);
+            for &vc in subs {
+                w.put_u32(vc.0);
+            }
+        }
+        w.put_u64(self.to_phys.len() as u64);
+        for &phys in &self.to_phys {
+            w.put_u32(phys.0);
+        }
+        w.put_str(self.inner.name());
+        self.inner.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let vcolors = get_color_table(r, "virtual color table")?;
+        let vpending = PendingStore::load_state(r)?;
+        let vslots = get_slots(r, "virtual slots")?;
+        if vslots.len() != self.vslots.len() {
+            return Err(SnapError::Invalid(format!(
+                "virtual slot count {} does not match {} locations",
+                vslots.len(),
+                self.vslots.len()
+            )));
+        }
+        for vc in vslots.iter().flatten() {
+            if !vcolors.contains(*vc) {
+                return Err(SnapError::Invalid(format!("virtual slot holds unknown color {vc}")));
+            }
+        }
+        let n_phys = usize::try_from(r.get_u64("sub-color map size")?)
+            .map_err(|_| SnapError::Invalid("sub-color map size overflows usize".into()))?;
+        let mut subs: ColorMap<Vec<ColorId>> = ColorMap::new();
+        let mut minted = 0u64;
+        for i in 0..n_phys {
+            let len = r.get_u64("sub-color list length")?;
+            let list = subs.entry(ColorId(i as u32));
+            for _ in 0..len {
+                let vc = ColorId(r.get_u32("sub-color id")?);
+                if !vcolors.contains(vc) {
+                    return Err(SnapError::Invalid(format!("sub-color {vc} out of range")));
+                }
+                list.push(vc);
+                minted += 1;
+            }
+        }
+        if minted != vcolors.len() as u64 {
+            return Err(SnapError::Invalid(format!(
+                "{minted} sub-colors listed but {} virtual colors minted",
+                vcolors.len()
+            )));
+        }
+        let n_virt = r.get_u64("projection table size")?;
+        if n_virt != vcolors.len() as u64 {
+            return Err(SnapError::Invalid(format!(
+                "projection table covers {n_virt} colors but {} were minted",
+                vcolors.len()
+            )));
+        }
+        let mut to_phys = Vec::with_capacity(vcolors.len());
+        for _ in 0..n_virt {
+            to_phys.push(ColorId(r.get_u32("projected physical color")?));
+        }
+        let inner_name = r.get_str("inner policy name")?;
+        if inner_name != self.inner.name() {
+            return Err(SnapError::Invalid(format!(
+                "snapshot wraps inner policy {inner_name:?} but this wrapper holds {:?}",
+                self.inner.name()
+            )));
+        }
+        self.inner.load_state(r)?;
+        self.vcolors = vcolors;
+        self.vpending = vpending;
+        self.vslots = vslots;
+        self.subs = subs;
+        self.to_phys = to_phys;
+        Ok(())
     }
 }
 

@@ -8,8 +8,9 @@
 //! could be cleared with a single reconfiguration. The experiment suite
 //! regenerates this failure (experiment E1).
 
-use rrs_engine::{stable_assign_into, AssignScratch, Observation, Policy, Slot};
-use rrs_model::{ColorId, ColorSet};
+use rrs_engine::checkpoint::{get_color_set, put_color_set};
+use rrs_engine::{stable_assign_into, AssignScratch, Observation, Policy, Slot, Snapshot};
+use rrs_model::{ColorId, ColorSet, SnapError, SnapReader, SnapWriter};
 
 use crate::book::ColorBook;
 use crate::metrics::AlgoMetrics;
@@ -94,6 +95,23 @@ impl Policy for DeltaLru {
         self.desired.clear();
         self.desired.extend(self.scratch.iter().map(|&c| (c, 2)));
         stable_assign_into(obs.slots, &self.desired, out, &mut self.assign);
+    }
+}
+
+impl Snapshot for DeltaLru {
+    fn save_state(&self, w: &mut SnapWriter) {
+        self.book.as_ref().expect("init not called").save_state(w);
+        put_color_set(w, &self.cached);
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let book = self
+            .book
+            .as_mut()
+            .ok_or_else(|| SnapError::Invalid("policy not initialized before restore".into()))?;
+        book.load_state(r)?;
+        self.cached = get_color_set(r, "cached colors")?;
+        Ok(())
     }
 }
 

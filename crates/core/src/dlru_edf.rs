@@ -18,8 +18,9 @@
 //! any offline schedule on `m` resources, on rate-limited
 //! `[Δ|1|D_ℓ|D_ℓ]` instances with power-of-two bounds.
 
-use rrs_engine::{stable_assign_into, AssignScratch, Observation, Policy, Slot};
-use rrs_model::{ColorId, ColorSet};
+use rrs_engine::checkpoint::{get_color_set, put_color_set};
+use rrs_engine::{stable_assign_into, AssignScratch, Observation, Policy, Slot, Snapshot};
+use rrs_model::{ColorId, ColorSet, SnapError, SnapReader, SnapWriter};
 
 use crate::book::ColorBook;
 use crate::metrics::AlgoMetrics;
@@ -205,6 +206,28 @@ impl Policy for DeltaLruEdf {
         self.desired.clear();
         self.desired.extend(self.cached.iter().map(|c| (c, self.replication)));
         stable_assign_into(obs.slots, &self.desired, out, &mut self.assign);
+    }
+}
+
+impl Snapshot for DeltaLruEdf {
+    // Mutable state: the book plus the cached and LRU sets. Capacities,
+    // shares and replication are construction/init parameters; the ranking
+    // buffers are per-round scratch.
+    fn save_state(&self, w: &mut SnapWriter) {
+        self.book.as_ref().expect("init not called").save_state(w);
+        put_color_set(w, &self.cached);
+        put_color_set(w, &self.lru_set);
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let book = self
+            .book
+            .as_mut()
+            .ok_or_else(|| SnapError::Invalid("policy not initialized before restore".into()))?;
+        book.load_state(r)?;
+        self.cached = get_color_set(r, "cached colors")?;
+        self.lru_set = get_color_set(r, "lru colors")?;
+        Ok(())
     }
 }
 

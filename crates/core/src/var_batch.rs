@@ -19,8 +19,9 @@
 //! for the true instance, and the tightening costs at most a constant
 //! factor. Bounds of 1 need no batching and pass through unchanged.
 
-use rrs_engine::{Observation, PendingStore, Policy, Slot};
-use rrs_model::{ColorId, ColorMap, ColorTable};
+use rrs_engine::checkpoint::{get_color_table, get_slots, put_color_table, put_slots};
+use rrs_engine::{Observation, PendingStore, Policy, Slot, Snapshot};
+use rrs_model::{ColorId, ColorMap, ColorTable, SnapError, SnapReader, SnapWriter};
 
 /// The VarBatch wrapper around an inner policy for the batched problem.
 #[derive(Debug)]
@@ -194,6 +195,72 @@ impl<P: Policy> Policy for VarBatch<P> {
 
         // Physical projection is the identity on colors.
         out.copy_from_slice(&self.vslots);
+    }
+}
+
+impl<P: Snapshot> Snapshot for VarBatch<P> {
+    // Mutable state: the virtual color table (the q map is its mirror and is
+    // rebuilt on load), the half-block buffers, the virtual pending store
+    // and assignment, then the inner policy.
+    fn save_state(&self, w: &mut SnapWriter) {
+        put_color_table(w, &self.vcolors);
+        w.put_u64(self.buffered.len() as u64);
+        for (_, &n) in self.buffered.iter() {
+            w.put_u64(n);
+        }
+        self.vpending.save_state(w);
+        put_slots(w, &self.vslots);
+        w.put_str(self.inner.name());
+        self.inner.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let vcolors = get_color_table(r, "virtual color table")?;
+        let n_buf = r.get_u64("buffer map size")?;
+        if n_buf != vcolors.len() as u64 {
+            return Err(SnapError::Invalid(format!(
+                "buffer map covers {n_buf} colors but the virtual table has {}",
+                vcolors.len()
+            )));
+        }
+        let mut buffered: ColorMap<u64> = ColorMap::new();
+        buffered.grow_to(vcolors.len());
+        for i in 0..vcolors.len() {
+            buffered[ColorId(i as u32)] = r.get_u64("buffered job count")?;
+        }
+        let vpending = PendingStore::load_state(r)?;
+        let vslots = get_slots(r, "virtual slots")?;
+        if vslots.len() != self.vslots.len() {
+            return Err(SnapError::Invalid(format!(
+                "virtual slot count {} does not match {} locations",
+                vslots.len(),
+                self.vslots.len()
+            )));
+        }
+        for vc in vslots.iter().flatten() {
+            if !vcolors.contains(*vc) {
+                return Err(SnapError::Invalid(format!("virtual slot holds unknown color {vc}")));
+            }
+        }
+        let inner_name = r.get_str("inner policy name")?;
+        if inner_name != self.inner.name() {
+            return Err(SnapError::Invalid(format!(
+                "snapshot wraps inner policy {inner_name:?} but this wrapper holds {:?}",
+                self.inner.name()
+            )));
+        }
+        self.inner.load_state(r)?;
+        let mut q: ColorMap<u64> = ColorMap::new();
+        q.grow_to(vcolors.len());
+        for (c, bound) in vcolors.iter() {
+            q[c] = bound;
+        }
+        self.vcolors = vcolors;
+        self.q = q;
+        self.buffered = buffered;
+        self.vpending = vpending;
+        self.vslots = vslots;
+        Ok(())
     }
 }
 

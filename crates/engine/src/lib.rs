@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 
 pub mod assign;
+pub mod checkpoint;
 pub mod par;
 pub mod pending;
 pub mod policy;
@@ -57,6 +58,10 @@ pub mod trace;
 pub mod watch;
 
 pub use assign::{recolor_reconfigs, stable_assign, stable_assign_into, AssignScratch};
+pub use checkpoint::{
+    encode_snapshot, CheckpointPolicy, EngineState, SessionError, SessionResult, Snapshot,
+    SnapshotFile, SnapshotSink,
+};
 pub use par::{
     jobs, par_map_sweep, par_map_sweep_stats, set_jobs, take_sweep_telemetry, SweepTelemetry,
     WorkerStats,
@@ -65,7 +70,7 @@ pub use pending::PendingStore;
 pub use policy::{Observation, Policy, Slot};
 pub use replay::{FixedSchedule, ReplayPolicy};
 pub use scratch::Scratch;
-pub use sim::{Outcome, Simulator};
+pub use sim::{run_stream_session, Outcome, Simulator, StreamOptions};
 pub use sink::{
     event_to_json, parse_trace, parse_trace_line, JsonlRingSink, JsonlSink, ParsedTrace,
     PhaseTimer, TraceLine, TraceMeta, TraceParseError, TRACE_SCHEMA_VERSION,
@@ -78,6 +83,10 @@ pub use watch::{NoWatcher, Watcher};
 /// Convenient re-exports for downstream crates.
 pub mod prelude {
     pub use crate::assign::{recolor_reconfigs, stable_assign, stable_assign_into, AssignScratch};
+    pub use crate::checkpoint::{
+        encode_snapshot, CheckpointPolicy, EngineState, SessionError, SessionResult, Snapshot,
+        SnapshotFile, SnapshotSink,
+    };
     pub use crate::par::{
         jobs, par_map_sweep, par_map_sweep_stats, set_jobs, take_sweep_telemetry, SweepTelemetry,
         WorkerStats,
@@ -86,7 +95,7 @@ pub mod prelude {
     pub use crate::policy::{Observation, Policy, Slot};
     pub use crate::replay::{FixedSchedule, ReplayPolicy};
     pub use crate::scratch::Scratch;
-    pub use crate::sim::{Outcome, Simulator};
+    pub use crate::sim::{run_stream_session, Outcome, Simulator, StreamOptions};
     pub use crate::sink::{
         parse_trace, JsonlRingSink, JsonlSink, ParsedTrace, PhaseTimer, TraceMeta,
     };

@@ -8,14 +8,14 @@
 
 use std::collections::VecDeque;
 
-use rrs_model::{ColorId, ColorMap};
+use rrs_model::{ColorId, ColorMap, SnapError, SnapReader, SnapWriter};
 
 /// Pending unit jobs, bucketed by color and deadline.
 ///
 /// Both per-color tables are dense [`ColorMap`]s, so lookups are flat
 /// indexing and the store allocates only when the color universe (or a
 /// queue's high-water mark) grows — never in a steady-state round.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PendingStore {
     queues: ColorMap<VecDeque<(u64, u64)>>, // per color: (deadline, count), ascending
     counts: ColorMap<u64>,                  // per color total
@@ -170,6 +170,79 @@ impl PendingStore {
     pub fn profile(&self, color: ColorId) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.queues.get(color).into_iter().flat_map(|q| q.iter().copied())
     }
+
+    /// Serialize the store into a snapshot writer (DESIGN.md §10).
+    ///
+    /// Layout: color count, then per color the queue length followed by its
+    /// `(deadline, count)` pairs, then the `min_due` bound. `counts` and
+    /// `total` are derived on load, so they cannot drift from the queues.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.put_u64(self.queues.len() as u64);
+        for (_, q) in self.queues.iter() {
+            w.put_u64(q.len() as u64);
+            for &(deadline, count) in q {
+                w.put_u64(deadline);
+                w.put_u64(count);
+            }
+        }
+        w.put_u64(self.min_due);
+    }
+
+    /// Decode a store previously written by [`PendingStore::save_state`].
+    ///
+    /// Validates structural invariants (strictly ascending deadlines per
+    /// color, nonzero counts, a `min_due` that really bounds every pending
+    /// deadline) so a corrupted-but-CRC-valid snapshot cannot smuggle in an
+    /// impossible state.
+    pub fn load_state(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let n_colors = r.get_u64("pending color count")?;
+        let n_colors = usize::try_from(n_colors)
+            .map_err(|_| SnapError::Invalid(format!("pending color count {n_colors} too large")))?;
+        let mut store = PendingStore::new();
+        store.ensure_colors(n_colors);
+        let mut total = 0u64;
+        let mut true_min = u64::MAX;
+        for i in 0..n_colors {
+            let color = ColorId(i as u32);
+            let q_len = r.get_u64("pending queue length")?;
+            let mut count_for_color = 0u64;
+            let mut last_deadline: Option<u64> = None;
+            for _ in 0..q_len {
+                let deadline = r.get_u64("pending deadline")?;
+                let count = r.get_u64("pending count")?;
+                if count == 0 {
+                    return Err(SnapError::Invalid(format!(
+                        "pending queue for color {i} has a zero-count entry"
+                    )));
+                }
+                if let Some(prev) = last_deadline {
+                    if deadline <= prev {
+                        return Err(SnapError::Invalid(format!(
+                            "pending queue for color {i} has non-ascending deadlines \
+                             ({prev} then {deadline})"
+                        )));
+                    }
+                }
+                last_deadline = Some(deadline);
+                store.queues[color].push_back((deadline, count));
+                count_for_color += count;
+            }
+            if let Some(&(front, _)) = store.queues[color].front() {
+                true_min = true_min.min(front);
+            }
+            store.counts[color] = count_for_color;
+            total += count_for_color;
+        }
+        store.total = total;
+        store.min_due = r.get_u64("pending min_due")?;
+        if store.min_due > true_min {
+            return Err(SnapError::Invalid(format!(
+                "pending min_due {} is above an actual pending deadline {}",
+                store.min_due, true_min
+            )));
+        }
+        Ok(store)
+    }
 }
 
 #[cfg(test)]
@@ -264,5 +337,91 @@ mod tests {
         p.arrive(A, 4, 0);
         assert_eq!(p.total(), 0);
         assert_eq!(p.num_colors(), 0);
+    }
+
+    fn round_trip(p: &PendingStore) -> PendingStore {
+        let mut w = SnapWriter::new();
+        p.save_state(&mut w);
+        let bytes = w.finish();
+        let mut r = SnapReader::new(&bytes).unwrap();
+        let restored = PendingStore::load_state(&mut r).unwrap();
+        r.expect_end("pending").unwrap();
+        restored
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_everything() {
+        let mut p = PendingStore::new();
+        p.ensure_colors(4);
+        p.arrive(A, 4, 2);
+        p.arrive(A, 9, 1);
+        p.arrive(ColorId(3), 5, 7);
+        let q = round_trip(&p);
+        assert_eq!(q.total(), p.total());
+        for c in [A, B, ColorId(2), ColorId(3)] {
+            assert_eq!(q.count(c), p.count(c));
+            assert_eq!(q.profile(c).collect::<Vec<_>>(), p.profile(c).collect::<Vec<_>>());
+            assert_eq!(q.earliest_deadline(c), p.earliest_deadline(c));
+        }
+        assert_eq!(q.num_colors(), p.num_colors());
+        // The restored min_due bound must behave identically: dropping at a
+        // round below every deadline is still a fast-path no-op.
+        let mut out = Vec::new();
+        let mut q2 = q.clone();
+        assert_eq!(q2.drop_due(3, &mut out), 0);
+        assert_eq!(q2.drop_due(4, &mut out), 2);
+    }
+
+    #[test]
+    fn snapshot_round_trip_after_partial_execution() {
+        let mut p = PendingStore::new();
+        p.arrive(A, 4, 3);
+        p.arrive(A, 7, 2);
+        p.arrive(B, 6, 1);
+        p.execute(A, 3); // clears the deadline-4 bucket; min_due stays a lower bound
+        let q = round_trip(&p);
+        assert_eq!(q.profile(A).collect::<Vec<_>>(), vec![(7, 2)]);
+        assert_eq!(q.total(), 3);
+    }
+
+    #[test]
+    fn snapshot_rejects_non_ascending_deadlines() {
+        let mut w = SnapWriter::new();
+        w.put_u64(1); // one color
+        w.put_u64(2); // two queue entries
+        w.put_u64(9);
+        w.put_u64(1);
+        w.put_u64(4); // deadline goes backwards
+        w.put_u64(1);
+        w.put_u64(4); // min_due
+        let bytes = w.finish();
+        let mut r = SnapReader::new(&bytes).unwrap();
+        assert!(matches!(PendingStore::load_state(&mut r), Err(SnapError::Invalid(_))));
+    }
+
+    #[test]
+    fn snapshot_rejects_zero_count_entry() {
+        let mut w = SnapWriter::new();
+        w.put_u64(1);
+        w.put_u64(1);
+        w.put_u64(5);
+        w.put_u64(0); // zero jobs in a bucket is impossible
+        w.put_u64(5);
+        let bytes = w.finish();
+        let mut r = SnapReader::new(&bytes).unwrap();
+        assert!(matches!(PendingStore::load_state(&mut r), Err(SnapError::Invalid(_))));
+    }
+
+    #[test]
+    fn snapshot_rejects_min_due_above_a_deadline() {
+        let mut w = SnapWriter::new();
+        w.put_u64(1);
+        w.put_u64(1);
+        w.put_u64(5);
+        w.put_u64(2);
+        w.put_u64(9); // claims nothing is due before round 9, but a job dies at 5
+        let bytes = w.finish();
+        let mut r = SnapReader::new(&bytes).unwrap();
+        assert!(matches!(PendingStore::load_state(&mut r), Err(SnapError::Invalid(_))));
     }
 }

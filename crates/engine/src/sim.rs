@@ -1,8 +1,20 @@
 //! The simulator: drives a [`Policy`] through an [`Instance`] and accounts
 //! all costs.
+//!
+//! All run variants — plain, traced, watched, checkpointed, resumed, and
+//! streamed — share one private round loop, `drive_session`, generic over
+//! the instance source and a round-boundary hook. The plain paths use the
+//! no-op hook (which monomorphizes to nothing, keeping them free of any
+//! [`Snapshot`] bound); the checkpoint paths install a hook that captures
+//! state at the top of a round, before any of the round's events, so a
+//! resumed run re-emits the identical trace suffix.
 
-use rrs_model::{CostLedger, Instance};
+use rrs_model::{CostLedger, Instance, InstanceSource, MaterializedSource, SnapError};
 
+use crate::checkpoint::{
+    CheckpointHook, CheckpointPolicy, EngineState, EngineView, HookVerdict, NoHook, SessionError,
+    SessionHook, SessionResult, Snapshot, SnapshotFile, SnapshotSink,
+};
 use crate::pending::PendingStore;
 use crate::policy::{Observation, Policy, Slot};
 use crate::scratch::Scratch;
@@ -129,129 +141,504 @@ impl<'a> Simulator<'a> {
         watcher: &mut W,
     ) -> Outcome {
         debug_assert!(self.inst.check_colors(), "instance references unknown colors");
-        let mut pending = PendingStore::new();
-        pending.ensure_colors(self.inst.colors.len());
-        let mut slots: Vec<Slot> = vec![None; self.n_locations];
-        let mut ledger = CostLedger::new(self.inst.delta);
-        let mut arrived = 0u64;
-        let mut executed = 0u64;
-        let mut dropped_total = 0u64;
-        scratch.begin_run(self.inst.colors.len());
-        // Split the workspace into its independent buffers: the drop summary
-        // (lent to observations), the policy's output assignment, and the
-        // execution-phase grouping state (a dense per-color slot count plus
-        // the list of colors touched this mini, so grouping is
-        // O(locations) instead of O(locations · colors)).
-        let Scratch { dropped: dropped_buf, exec_count, touched, next } = scratch;
-
         policy.init(self.inst.delta, self.n_locations);
-        watcher.begin_run(self.inst.delta, self.n_locations, self.speed, self.horizon);
-
-        for round in 0..=self.horizon {
-            recorder.on_round_start(round);
-
-            // Phase 1: drop.
-            recorder.on_phase_start(round, 0, Phase::Drop);
-            dropped_buf.clear();
-            let d = pending.drop_due(round, dropped_buf);
-            dropped_total += d;
-            ledger.add_drops(d);
-            for &(c, n) in dropped_buf.iter() {
-                recorder.on_drop(round, c, n);
+        let mut source = MaterializedSource::new(self.inst);
+        let seed = SessionSeed::fresh(self.inst.delta, self.n_locations);
+        match drive_session(
+            &mut source,
+            self.speed,
+            self.n_locations,
+            Some(self.horizon),
+            seed,
+            policy,
+            recorder,
+            scratch,
+            watcher,
+            &mut NoHook,
+        ) {
+            Ok(SessionResult::Completed(out)) => out,
+            Ok(SessionResult::Suspended { .. }) | Err(_) => {
+                unreachable!("a hook-free materialized run can neither suspend nor fail")
             }
-            watcher.after_drop(round, dropped_buf, &pending);
-
-            // Phase 2: arrival.
-            recorder.on_phase_start(round, 0, Phase::Arrival);
-            let request = self.inst.requests.at(round);
-            for &(c, n) in request.pairs() {
-                let deadline = round + self.inst.colors.delay_bound(c);
-                pending.arrive(c, deadline, n);
-                arrived += n;
-                recorder.on_arrive(round, c, n);
-            }
-            watcher.after_arrivals(round, request.pairs(), &pending);
-
-            for mini in 0..self.speed {
-                // Phase 3: reconfiguration.
-                recorder.on_phase_start(round, mini, Phase::Reconfig);
-                let (arr, drp): (&crate::policy::ColorCounts, &crate::policy::ColorCounts) =
-                    if mini == 0 { (request.pairs(), dropped_buf.as_slice()) } else { (&[], &[]) };
-                next.clone_from(&slots);
-                let obs = Observation {
-                    round,
-                    mini_round: mini,
-                    speed: self.speed,
-                    delta: self.inst.delta,
-                    colors: &self.inst.colors,
-                    arrivals: arr,
-                    dropped: drp,
-                    pending: &pending,
-                    slots: &slots,
-                };
-                policy.reconfigure(&obs, next);
-                assert_eq!(
-                    next.len(),
-                    self.n_locations,
-                    "policy {} changed the number of locations",
-                    policy.name()
-                );
-                let mut reconfigs = 0;
-                for (i, (o, n)) in slots.iter().zip(next.iter()).enumerate() {
-                    if o != n {
-                        recorder.on_reconfig(round, mini, i, *o, *n);
-                        if n.is_some() {
-                            reconfigs += 1;
-                        }
-                    }
-                }
-                ledger.add_reconfigs(reconfigs);
-                watcher.after_reconfig(round, mini, &slots, next, reconfigs);
-                std::mem::swap(&mut slots, next);
-
-                // Phase 4: execution. Group locations by color, then execute
-                // earliest-deadline jobs of each configured color.
-                recorder.on_phase_start(round, mini, Phase::Execution);
-                touched.clear();
-                for &s in &slots {
-                    if let Some(c) = s {
-                        // `entry` grows the dense counts if a policy
-                        // configures a color the instance never requests
-                        // (it executes nothing).
-                        let k = exec_count.entry(c);
-                        if *k == 0 {
-                            touched.push(c);
-                        }
-                        *k += 1;
-                    }
-                }
-                touched.sort_unstable();
-                for &c in touched.iter() {
-                    let q = std::mem::take(&mut exec_count[c]);
-                    let e = pending.execute(c, q);
-                    if e > 0 {
-                        executed += e;
-                        recorder.on_execute(round, mini, c, e);
-                        watcher.on_execute(round, mini, c, e, &slots);
-                    }
-                }
-                watcher.after_execution(round, mini, &pending);
-            }
-            recorder.on_round_end(round);
         }
+    }
 
-        debug_assert_eq!(pending.total(), 0, "jobs pending past the horizon");
-        let outcome = Outcome {
-            cost: ledger,
+    /// Run from round 0 and suspend at the top of `at_round`, returning the
+    /// snapshot that resumes it (events of rounds `0..at_round` go to
+    /// `recorder`). If `at_round` is past the horizon the run completes
+    /// instead.
+    pub fn checkpoint<P, R, W>(
+        &self,
+        policy: &mut P,
+        recorder: &mut R,
+        scratch: &mut Scratch,
+        watcher: &mut W,
+        at_round: u64,
+    ) -> SessionResult
+    where
+        P: Snapshot + ?Sized,
+        R: Recorder,
+        W: Watcher,
+    {
+        debug_assert!(self.inst.check_colors(), "instance references unknown colors");
+        policy.init(self.inst.delta, self.n_locations);
+        let mut source = MaterializedSource::new(self.inst);
+        let seed = SessionSeed::fresh(self.inst.delta, self.n_locations);
+        let mut hook = CheckpointHook {
+            plan: &CheckpointPolicy::Never,
+            sink: None,
+            stop_before: Some(at_round),
+        };
+        match drive_session(
+            &mut source,
+            self.speed,
+            self.n_locations,
+            Some(self.horizon),
+            seed,
+            policy,
+            recorder,
+            scratch,
+            watcher,
+            &mut hook,
+        ) {
+            Ok(res) => res,
+            Err(_) => unreachable!("a materialized run cannot fail"),
+        }
+    }
+
+    /// Run to completion, emitting a snapshot to `sink` at the top of every
+    /// round `plan` marks due.
+    pub fn run_checkpointed<P, R, W>(
+        &self,
+        policy: &mut P,
+        recorder: &mut R,
+        scratch: &mut Scratch,
+        watcher: &mut W,
+        plan: &CheckpointPolicy,
+        sink: &mut dyn FnMut(u64, &[u8]),
+    ) -> Outcome
+    where
+        P: Snapshot + ?Sized,
+        R: Recorder,
+        W: Watcher,
+    {
+        debug_assert!(self.inst.check_colors(), "instance references unknown colors");
+        policy.init(self.inst.delta, self.n_locations);
+        let mut source = MaterializedSource::new(self.inst);
+        let seed = SessionSeed::fresh(self.inst.delta, self.n_locations);
+        let mut hook = CheckpointHook { plan, sink: Some(sink), stop_before: None };
+        match drive_session(
+            &mut source,
+            self.speed,
+            self.n_locations,
+            Some(self.horizon),
+            seed,
+            policy,
+            recorder,
+            scratch,
+            watcher,
+            &mut hook,
+        ) {
+            Ok(SessionResult::Completed(out)) => out,
+            Ok(SessionResult::Suspended { .. }) | Err(_) => {
+                unreachable!("a run without stop_before can neither suspend nor fail")
+            }
+        }
+    }
+
+    /// Resume a run from a snapshot taken by [`Simulator::checkpoint`] (or
+    /// a due-round emission of [`Simulator::run_checkpointed`]) over the
+    /// same instance and configuration. `policy` must be constructed
+    /// exactly as for the checkpointing run; its state is restored from the
+    /// snapshot after [`Policy::init`]. The `recorder` receives exactly the
+    /// events of rounds `k..`, so prefix + suffix is byte-identical to the
+    /// uninterrupted trace.
+    pub fn resume<P, R, W>(
+        &self,
+        policy: &mut P,
+        recorder: &mut R,
+        scratch: &mut Scratch,
+        watcher: &mut W,
+        snapshot: &[u8],
+    ) -> Result<Outcome, SnapError>
+    where
+        P: Snapshot + ?Sized,
+        R: Recorder,
+        W: Watcher,
+    {
+        debug_assert!(self.inst.check_colors(), "instance references unknown colors");
+        let file = SnapshotFile::parse(snapshot)?;
+        let state = &file.state;
+        if state.n_locations != self.n_locations {
+            return Err(SnapError::Invalid(format!(
+                "snapshot has {} locations, simulator has {}",
+                state.n_locations, self.n_locations
+            )));
+        }
+        if state.speed != self.speed {
+            return Err(SnapError::Invalid(format!(
+                "snapshot was taken at speed {}, simulator runs at speed {}",
+                state.speed, self.speed
+            )));
+        }
+        if state.ledger.delta != self.inst.delta {
+            return Err(SnapError::Invalid(format!(
+                "snapshot has delta {}, instance has delta {}",
+                state.ledger.delta, self.inst.delta
+            )));
+        }
+        if state.horizon_hint != self.horizon {
+            return Err(SnapError::Invalid(format!(
+                "snapshot was taken with horizon {}, simulator has horizon {} \
+                 (same instance and with_horizon required for byte-identical resume)",
+                state.horizon_hint, self.horizon
+            )));
+        }
+        policy.init(self.inst.delta, self.n_locations);
+        file.load_policy(policy)?;
+        let seed = SessionSeed::from_state(file.state);
+        let mut source = MaterializedSource::new(self.inst);
+        match drive_session(
+            &mut source,
+            self.speed,
+            self.n_locations,
+            Some(self.horizon),
+            seed,
+            policy,
+            recorder,
+            scratch,
+            watcher,
+            &mut NoHook,
+        ) {
+            Ok(SessionResult::Completed(out)) => Ok(out),
+            Ok(SessionResult::Suspended { .. }) | Err(_) => {
+                unreachable!("a hook-free materialized run can neither suspend nor fail")
+            }
+        }
+    }
+}
+
+/// Options for [`run_stream_session`]: the engine configuration plus the
+/// session's checkpoint behavior.
+#[derive(Debug, Default)]
+pub struct StreamOptions<'s> {
+    /// Number of locations the policy controls.
+    pub n_locations: usize,
+    /// Schedule speed (mini-rounds per round); 0 is rejected.
+    pub speed: u32,
+    /// Resume from this snapshot instead of starting at round 0.
+    pub resume_from: Option<&'s [u8]>,
+    /// Emit snapshots at the rounds this plan marks due.
+    pub plan: CheckpointPolicy,
+    /// Suspend at the top of this round and return its snapshot.
+    pub stop_before: Option<u64>,
+}
+
+/// Drive a policy over a streaming [`InstanceSource`] without ever
+/// materializing the full instance: the request sequence is consumed
+/// incrementally and memory stays bounded by the live state (pending jobs,
+/// policy state), not the horizon.
+///
+/// The horizon is discovered as the stream is read: the run continues while
+/// `round <= max(source.horizon(), snapshot horizon hint)`, which the
+/// source's look-ahead contract keeps from stopping short across arrival
+/// gaps. A streamed run over an instance's text encoding is byte-identical
+/// (trace and `Outcome`) to the materialized run of the same instance.
+pub fn run_stream_session<Src, P, R, W>(
+    source: &mut Src,
+    policy: &mut P,
+    recorder: &mut R,
+    scratch: &mut Scratch,
+    watcher: &mut W,
+    opts: StreamOptions<'_>,
+    sink: Option<SnapshotSink<'_>>,
+) -> Result<SessionResult, SessionError>
+where
+    Src: InstanceSource,
+    P: Snapshot + ?Sized,
+    R: Recorder,
+    W: Watcher,
+{
+    assert!(opts.speed >= 1, "speed must be at least 1");
+    let delta = source.delta();
+    let seed = match opts.resume_from {
+        None => {
+            policy.init(delta, opts.n_locations);
+            SessionSeed::fresh(delta, opts.n_locations)
+        }
+        Some(bytes) => {
+            let file = SnapshotFile::parse(bytes)?;
+            let state = &file.state;
+            if state.n_locations != opts.n_locations {
+                return Err(SnapError::Invalid(format!(
+                    "snapshot has {} locations, session has {}",
+                    state.n_locations, opts.n_locations
+                ))
+                .into());
+            }
+            if state.speed != opts.speed {
+                return Err(SnapError::Invalid(format!(
+                    "snapshot was taken at speed {}, session runs at speed {}",
+                    state.speed, opts.speed
+                ))
+                .into());
+            }
+            if state.ledger.delta != delta {
+                return Err(SnapError::Invalid(format!(
+                    "snapshot has delta {}, stream has delta {}",
+                    state.ledger.delta, delta
+                ))
+                .into());
+            }
+            policy.init(delta, opts.n_locations);
+            file.load_policy(policy)?;
+            // Fast-forward the stream past the prefix the checkpoint
+            // already accounts for; the requests themselves are discarded.
+            for r in 0..file.state.next_round {
+                source.advance(r)?;
+            }
+            SessionSeed::from_state(file.state)
+        }
+    };
+    let mut hook = CheckpointHook { plan: &opts.plan, sink, stop_before: opts.stop_before };
+    drive_session(
+        source,
+        opts.speed,
+        opts.n_locations,
+        None,
+        seed,
+        policy,
+        recorder,
+        scratch,
+        watcher,
+        &mut hook,
+    )
+}
+
+/// The carried-over state a session starts from: fresh, or decoded from a
+/// snapshot.
+struct SessionSeed {
+    start_round: u64,
+    horizon_hint: u64,
+    pending: PendingStore,
+    slots: Vec<Slot>,
+    ledger: CostLedger,
+    arrived: u64,
+    executed: u64,
+    dropped: u64,
+}
+
+impl SessionSeed {
+    fn fresh(delta: u64, n_locations: usize) -> Self {
+        SessionSeed {
+            start_round: 0,
+            horizon_hint: 0,
+            pending: PendingStore::new(),
+            slots: vec![None; n_locations],
+            ledger: CostLedger::new(delta),
+            arrived: 0,
+            executed: 0,
+            dropped: 0,
+        }
+    }
+
+    fn from_state(state: EngineState) -> Self {
+        SessionSeed {
+            start_round: state.next_round,
+            horizon_hint: state.horizon_hint,
+            pending: state.pending,
+            slots: state.slots,
+            ledger: state.ledger,
+            arrived: state.arrived,
+            executed: state.executed,
+            dropped: state.dropped,
+        }
+    }
+}
+
+/// The one round loop every run variant shares. `fixed_horizon` is `Some`
+/// for materialized runs (the `Simulator` knows its horizon up front) and
+/// `None` for streamed runs, where the loop re-reads the source's growing
+/// horizon each round (floored by the seed's hint so a resumed run never
+/// finishes earlier than the uninterrupted one).
+#[allow(clippy::too_many_arguments)] // one call site per run variant; a struct would just rename them
+fn drive_session<Src, P, R, W, H>(
+    source: &mut Src,
+    speed: u32,
+    n_locations: usize,
+    fixed_horizon: Option<u64>,
+    seed: SessionSeed,
+    policy: &mut P,
+    recorder: &mut R,
+    scratch: &mut Scratch,
+    watcher: &mut W,
+    hook: &mut H,
+) -> Result<SessionResult, SessionError>
+where
+    Src: InstanceSource,
+    P: Policy + ?Sized,
+    R: Recorder,
+    W: Watcher,
+    H: SessionHook<P>,
+{
+    let SessionSeed {
+        start_round,
+        horizon_hint,
+        mut pending,
+        mut slots,
+        mut ledger,
+        mut arrived,
+        mut executed,
+        dropped: mut dropped_total,
+    } = seed;
+    debug_assert_eq!(slots.len(), n_locations);
+    let delta = source.delta();
+    pending.ensure_colors(source.colors().len());
+    scratch.begin_run(source.colors().len());
+    // Split the workspace into its independent buffers: the drop summary
+    // (lent to observations), the policy's output assignment, and the
+    // execution-phase grouping state (a dense per-color slot count plus
+    // the list of colors touched this mini, so grouping is
+    // O(locations) instead of O(locations · colors)).
+    let Scratch { dropped: dropped_buf, exec_count, touched, next } = scratch;
+
+    let horizon_now = |src: &Src| fixed_horizon.unwrap_or_else(|| src.horizon().max(horizon_hint));
+    watcher.begin_run(delta, n_locations, speed, horizon_now(source));
+
+    let mut round = start_round;
+    loop {
+        let horizon = horizon_now(source);
+        if round > horizon {
+            break;
+        }
+        // Streams may declare colors between rounds; keep the dense maps
+        // sized (a no-op for materialized sources after the first round).
+        pending.ensure_colors(source.colors().len());
+        exec_count.grow_to(source.colors().len());
+
+        let view = EngineView {
+            speed,
+            n_locations,
+            horizon,
+            slots: &slots,
+            ledger: &ledger,
             arrived,
             executed,
             dropped: dropped_total,
-            rounds: self.horizon + 1,
-            final_slots: slots,
+            pending: &pending,
         };
-        watcher.end_run(&outcome);
-        outcome
+        match hook.on_round(round, &view, policy) {
+            HookVerdict::Continue => {}
+            HookVerdict::Suspend(snapshot) => {
+                return Ok(SessionResult::Suspended { round, snapshot })
+            }
+        }
+
+        recorder.on_round_start(round);
+
+        // Phase 1: drop.
+        recorder.on_phase_start(round, 0, Phase::Drop);
+        dropped_buf.clear();
+        let d = pending.drop_due(round, dropped_buf);
+        dropped_total += d;
+        ledger.add_drops(d);
+        for &(c, n) in dropped_buf.iter() {
+            recorder.on_drop(round, c, n);
+        }
+        watcher.after_drop(round, dropped_buf, &pending);
+
+        // Phase 2: arrival.
+        recorder.on_phase_start(round, 0, Phase::Arrival);
+        source.advance(round)?;
+        let request = source.current();
+        for &(c, n) in request.pairs() {
+            let deadline = round + source.colors().delay_bound(c);
+            pending.arrive(c, deadline, n);
+            arrived += n;
+            recorder.on_arrive(round, c, n);
+        }
+        watcher.after_arrivals(round, request.pairs(), &pending);
+
+        for mini in 0..speed {
+            // Phase 3: reconfiguration.
+            recorder.on_phase_start(round, mini, Phase::Reconfig);
+            let (arr, drp): (&crate::policy::ColorCounts, &crate::policy::ColorCounts) =
+                if mini == 0 { (request.pairs(), dropped_buf.as_slice()) } else { (&[], &[]) };
+            next.clone_from(&slots);
+            let obs = Observation {
+                round,
+                mini_round: mini,
+                speed,
+                delta,
+                colors: source.colors(),
+                arrivals: arr,
+                dropped: drp,
+                pending: &pending,
+                slots: &slots,
+            };
+            policy.reconfigure(&obs, next);
+            assert_eq!(
+                next.len(),
+                n_locations,
+                "policy {} changed the number of locations",
+                policy.name()
+            );
+            let mut reconfigs = 0;
+            for (i, (o, n)) in slots.iter().zip(next.iter()).enumerate() {
+                if o != n {
+                    recorder.on_reconfig(round, mini, i, *o, *n);
+                    if n.is_some() {
+                        reconfigs += 1;
+                    }
+                }
+            }
+            ledger.add_reconfigs(reconfigs);
+            watcher.after_reconfig(round, mini, &slots, next, reconfigs);
+            std::mem::swap(&mut slots, next);
+
+            // Phase 4: execution. Group locations by color, then execute
+            // earliest-deadline jobs of each configured color.
+            recorder.on_phase_start(round, mini, Phase::Execution);
+            touched.clear();
+            for &s in &slots {
+                if let Some(c) = s {
+                    // `entry` grows the dense counts if a policy
+                    // configures a color the instance never requests
+                    // (it executes nothing).
+                    let k = exec_count.entry(c);
+                    if *k == 0 {
+                        touched.push(c);
+                    }
+                    *k += 1;
+                }
+            }
+            touched.sort_unstable();
+            for &c in touched.iter() {
+                let q = std::mem::take(&mut exec_count[c]);
+                let e = pending.execute(c, q);
+                if e > 0 {
+                    executed += e;
+                    recorder.on_execute(round, mini, c, e);
+                    watcher.on_execute(round, mini, c, e, &slots);
+                }
+            }
+            watcher.after_execution(round, mini, &pending);
+        }
+        recorder.on_round_end(round);
+        round += 1;
     }
+
+    debug_assert_eq!(pending.total(), 0, "jobs pending past the horizon");
+    let outcome = Outcome {
+        cost: ledger,
+        arrived,
+        executed,
+        dropped: dropped_total,
+        rounds: round,
+        final_slots: slots,
+    };
+    watcher.end_run(&outcome);
+    Ok(SessionResult::Completed(outcome))
 }
 
 #[cfg(test)]

@@ -32,6 +32,8 @@ pub mod cost;
 pub mod dense;
 pub mod instance;
 pub mod request;
+pub mod snap;
+pub mod stream;
 pub mod textio;
 
 pub use classify::{InstanceClass, ValidationError};
@@ -40,4 +42,6 @@ pub use cost::CostLedger;
 pub use dense::{ColorMap, ColorSet};
 pub use instance::{Instance, InstanceBuilder};
 pub use request::{Request, RequestSeq};
+pub use snap::{crc32, SnapError, SnapReader, SnapWriter, SNAP_MAGIC, SNAP_VERSION};
+pub use stream::{InstanceSource, MaterializedSource, StreamError, TextStream};
 pub use textio::{from_text, to_text, ParseError};

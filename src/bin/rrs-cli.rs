@@ -5,6 +5,10 @@
 //! rrs-cli classify <FILE>                             report its problem class
 //! rrs-cli run <policy> <FILE> [--locations N]
 //!         [--trace-out T.jsonl] [--metrics-out M.json] run an online policy
+//!         [--stream] [--checkpoint-every N [--checkpoint-out PREFIX]]
+//! rrs-cli checkpoint <policy> <FILE> --at-round K [--locations N] [--out SNAP]
+//! rrs-cli resume <policy> <FILE> --from SNAP [--locations N] [--stream]
+//!         [--trace-out T.jsonl]
 //! rrs-cli attribute <policy> <FILE> [--locations N]   per-color cost table
 //! rrs-cli opt <FILE> [--resources M]                  exact offline optimum
 //! rrs-cli lemmas <FILE> [--locations N]               check Lemmas 3.2/3.3/3.4
@@ -16,6 +20,15 @@
 //! The global `--jobs N` flag (any subcommand; default: all cores) sets the
 //! worker count for parallel sweeps. Tables are bit-identical at any
 //! setting; `--jobs 1` is fully serial.
+//!
+//! `--stream` feeds the run through the incremental text-format reader
+//! instead of materializing the instance, so memory stays bounded by the
+//! live pending state; `--checkpoint-every N` writes a versioned snapshot
+//! `PREFIX-r<round>.snap` at the top of every Nth round, and `checkpoint` /
+//! `resume` suspend a run at an exact round and continue it later — the
+//! resumed trace suffix is byte-identical to the uninterrupted run
+//! (DESIGN.md §11). Under `--features validate` a resumed run is watched by
+//! the shadow model seeded from the snapshot.
 //!
 //! `--trace-out` streams the run as self-describing JSONL (one event per
 //! line, meta header first; schema in `DESIGN.md`); `report` re-derives the
@@ -54,7 +67,10 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  rrs-cli generate <kind> [--seed N] [--out FILE]\n  \
          rrs-cli classify <FILE>\n  \
-         rrs-cli run <policy> <FILE> [--locations N] [--trace-out T.jsonl] [--metrics-out M.json]\n  \
+         rrs-cli run <policy> <FILE> [--locations N] [--trace-out T.jsonl] [--metrics-out M.json]\n          \
+         [--stream] [--checkpoint-every N [--checkpoint-out PREFIX]]\n  \
+         rrs-cli checkpoint <policy> <FILE> --at-round K [--locations N] [--out SNAP]\n  \
+         rrs-cli resume <policy> <FILE> --from SNAP [--locations N] [--stream] [--trace-out T.jsonl]\n  \
          rrs-cli attribute <policy> <FILE> [--locations N]\n  \
          rrs-cli opt <FILE> [--resources M]\n  \
          rrs-cli lemmas <FILE> [--locations N]\n  \
@@ -78,6 +94,17 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
     let v = args.remove(i + 1);
     args.remove(i);
     Some(v)
+}
+
+/// Pull a value-less `--flag` out of the argument list.
+fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
 }
 
 fn parse_u64(s: Option<String>, default: u64, what: &str) -> Result<u64, String> {
@@ -125,6 +152,22 @@ fn cmd_generate(mut args: Vec<String>) -> Result<(), String> {
 }
 
 fn make_policy(name: &str) -> Result<Box<dyn Policy>, String> {
+    Ok(match name {
+        "dlru" => Box::new(DeltaLru::new()),
+        "edf" => Box::new(Edf::new()),
+        "classic-lru" => Box::new(ClassicLru::new()),
+        "dlru-edf" => Box::new(DeltaLruEdf::new()),
+        "distribute" => Box::new(Distribute::new(DeltaLruEdf::new())),
+        "full" => Box::new(full_algorithm()),
+        other => return Err(format!("unknown policy '{other}'")),
+    })
+}
+
+/// Same policies as [`make_policy`], as checkpointable trait objects for
+/// the `checkpoint`/`resume`/`--checkpoint-every`/`--stream` paths. (A
+/// `Box<dyn Snapshot>` cannot be upcast to `Box<dyn Policy>` on this
+/// toolchain, hence the parallel constructor.)
+fn make_snapshot_policy(name: &str) -> Result<Box<dyn Snapshot>, String> {
     Ok(match name {
         "dlru" => Box::new(DeltaLru::new()),
         "edf" => Box::new(Edf::new()),
@@ -185,8 +228,29 @@ fn cmd_run(mut args: Vec<String>) -> Result<(), String> {
     let n = parse_u64(take_flag(&mut args, "--locations"), 8, "--locations")? as usize;
     let trace_out = take_flag(&mut args, "--trace-out");
     let metrics_out = take_flag(&mut args, "--metrics-out");
+    let stream = take_switch(&mut args, "--stream");
+    let ckpt_every = take_flag(&mut args, "--checkpoint-every")
+        .map(|v| v.parse::<u64>().map_err(|e| format!("bad --checkpoint-every: {e}")))
+        .transpose()?;
+    let ckpt_out = take_flag(&mut args, "--checkpoint-out");
     let policy_name = args.first().ok_or("missing <policy>")?.clone();
     let path = args.get(1).ok_or("missing <FILE>")?.clone();
+
+    if stream || ckpt_every.is_some() {
+        if metrics_out.is_some() {
+            return Err("--metrics-out is not supported with --stream/--checkpoint-every".into());
+        }
+        let plan = match ckpt_every {
+            Some(0) => return Err("--checkpoint-every must be at least 1".into()),
+            Some(k) => CheckpointPolicy::EveryN(k),
+            None => CheckpointPolicy::Never,
+        };
+        let prefix = ckpt_out.unwrap_or_else(|| format!("{path}.ckpt"));
+        return run_session(&policy_name, &path, n, stream, &plan, &prefix, trace_out.as_deref());
+    }
+    if ckpt_out.is_some() {
+        return Err("--checkpoint-out requires --checkpoint-every".into());
+    }
     let inst = load(&path)?;
 
     if trace_out.is_none() && metrics_out.is_none() {
@@ -232,6 +296,391 @@ fn cmd_run(mut args: Vec<String>) -> Result<(), String> {
     Ok(())
 }
 
+/// A `run` with streaming ingestion and/or periodic checkpointing. The
+/// streamed path never materializes the instance (so the summary omits the
+/// lower bound, which needs the whole request sequence) — except under
+/// `--features validate`, where the shadow watcher inspects arrivals
+/// against the full instance by design.
+fn run_session(
+    policy_name: &str,
+    path: &str,
+    n: usize,
+    stream: bool,
+    plan: &CheckpointPolicy,
+    prefix: &str,
+    trace_out: Option<&str>,
+) -> Result<(), String> {
+    let mut policy = make_snapshot_policy(policy_name)?;
+    let display_name = policy.name().to_string();
+    let mut sink_err: Option<String> = None;
+    let mut emit = |round: u64, bytes: &[u8]| {
+        let p = format!("{prefix}-r{round}.snap");
+        match std::fs::write(&p, bytes) {
+            Ok(()) => eprintln!("wrote checkpoint {p} ({} bytes)", bytes.len()),
+            Err(e) => {
+                if sink_err.is_none() {
+                    sink_err = Some(format!("write {p}: {e}"));
+                }
+            }
+        }
+    };
+
+    let out = if stream {
+        #[cfg(feature = "validate")]
+        {
+            // The shadow watcher cross-checks arrivals against the full
+            // instance; validate builds trade the streaming footprint for
+            // that check.
+            let inst = load(path)?;
+            let mut watcher = rrs::check::InvariantWatcher::new(&inst);
+            let mut source = MaterializedSource::new(&inst);
+            drive_stream(
+                &mut source,
+                policy.as_mut(),
+                &display_name,
+                inst.delta,
+                n,
+                plan,
+                &mut watcher,
+                &mut emit,
+                trace_out,
+                None,
+            )?
+        }
+        #[cfg(not(feature = "validate"))]
+        {
+            let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+            let mut source = TextStream::new(std::io::BufReader::new(file))
+                .map_err(|e| format!("parse {path}: {e}"))?;
+            let delta = source.delta();
+            drive_stream(
+                &mut source,
+                policy.as_mut(),
+                &display_name,
+                delta,
+                n,
+                plan,
+                &mut NoWatcher,
+                &mut emit,
+                trace_out,
+                None,
+            )?
+        }
+    } else {
+        let inst = load(path)?;
+        let sim = Simulator::new(&inst, n);
+        let out = match trace_out {
+            Some(tpath) => {
+                let file =
+                    std::fs::File::create(tpath).map_err(|e| format!("create {tpath}: {e}"))?;
+                let meta = TraceMeta {
+                    policy: display_name.clone(),
+                    delta: inst.delta,
+                    locations: n,
+                    speed: 1,
+                };
+                let mut sink = JsonlSink::with_meta(BufWriter::new(file), &meta);
+                let out = simulate_checkpointed(&sim, policy.as_mut(), &mut sink, plan, &mut emit);
+                sink.finish().map_err(|e| format!("write {tpath}: {e}"))?;
+                eprintln!("wrote trace to {tpath}");
+                out
+            }
+            None => {
+                simulate_checkpointed(&sim, policy.as_mut(), &mut NullRecorder, plan, &mut emit)
+            }
+        };
+        if let Some(e) = sink_err {
+            return Err(e);
+        }
+        print_run(&display_name, n, &inst, &out);
+        return Ok(());
+    };
+    if let Some(e) = sink_err {
+        return Err(e);
+    }
+    print_stream_summary(&display_name, n, &out);
+    Ok(())
+}
+
+/// The streamed-run summary: the instance was never materialized, so the
+/// lower-bound line of [`print_run`] is unavailable.
+fn print_stream_summary(display_name: &str, n: usize, out: &Outcome) {
+    println!("policy:      {display_name}");
+    println!("locations:   {n}");
+    println!("rounds:      {}", out.rounds);
+    println!("arrived:     {}", out.arrived);
+    println!("executed:    {}", out.executed);
+    println!("dropped:     {}", out.dropped);
+    println!("reconfigs:   {} (cost {})", out.cost.reconfigs, out.cost.reconfig_cost());
+    println!("total cost:  {}", out.total_cost());
+}
+
+/// Drive a streaming session over any [`InstanceSource`], optionally
+/// recording the trace to JSONL.
+#[allow(clippy::too_many_arguments)]
+fn drive_stream<Src: InstanceSource, W: Watcher>(
+    source: &mut Src,
+    policy: &mut dyn Snapshot,
+    display_name: &str,
+    delta: u64,
+    n: usize,
+    plan: &CheckpointPolicy,
+    watcher: &mut W,
+    emit: &mut dyn FnMut(u64, &[u8]),
+    trace_out: Option<&str>,
+    resume_from: Option<&[u8]>,
+) -> Result<Outcome, String> {
+    let opts = StreamOptions {
+        n_locations: n,
+        speed: 1,
+        resume_from,
+        plan: plan.clone(),
+        stop_before: None,
+    };
+    match trace_out {
+        Some(tpath) => {
+            let file = std::fs::File::create(tpath).map_err(|e| format!("create {tpath}: {e}"))?;
+            let meta =
+                TraceMeta { policy: display_name.to_string(), delta, locations: n, speed: 1 };
+            let mut sink = JsonlSink::with_meta(BufWriter::new(file), &meta);
+            let result = run_stream_session(
+                source,
+                &mut &mut *policy,
+                &mut sink,
+                &mut Scratch::new(),
+                watcher,
+                opts,
+                Some(emit),
+            )
+            .map_err(|e| e.to_string())?;
+            sink.finish().map_err(|e| format!("write {tpath}: {e}"))?;
+            eprintln!("wrote trace to {tpath}");
+            Ok(result.into_outcome())
+        }
+        None => run_stream_session(
+            source,
+            &mut &mut *policy,
+            &mut NullRecorder,
+            &mut Scratch::new(),
+            watcher,
+            opts,
+            Some(emit),
+        )
+        .map(SessionResult::into_outcome)
+        .map_err(|e| e.to_string()),
+    }
+}
+
+/// [`Simulator::run_checkpointed`] behind the same validate gate as
+/// [`simulate`]: under `--features validate` the run is supervised by the
+/// shadow-model watcher.
+fn simulate_checkpointed(
+    sim: &Simulator<'_>,
+    policy: &mut dyn Snapshot,
+    rec: &mut dyn Recorder,
+    plan: &CheckpointPolicy,
+    emit: &mut dyn FnMut(u64, &[u8]),
+) -> Outcome {
+    #[cfg(feature = "validate")]
+    {
+        let mut watcher = rrs::check::InvariantWatcher::new(sim.instance());
+        sim.run_checkpointed(
+            &mut &mut *policy,
+            &mut &mut *rec,
+            &mut Scratch::new(),
+            &mut watcher,
+            plan,
+            emit,
+        )
+    }
+    #[cfg(not(feature = "validate"))]
+    {
+        sim.run_checkpointed(
+            &mut &mut *policy,
+            &mut &mut *rec,
+            &mut Scratch::new(),
+            &mut NoWatcher,
+            plan,
+            emit,
+        )
+    }
+}
+
+/// `checkpoint <policy> <FILE> --at-round K`: run rounds `0..K` and write
+/// the suspension snapshot (format in DESIGN.md §11).
+fn cmd_checkpoint(mut args: Vec<String>) -> Result<(), String> {
+    let n = parse_u64(take_flag(&mut args, "--locations"), 8, "--locations")? as usize;
+    let at = take_flag(&mut args, "--at-round")
+        .ok_or("missing --at-round K")?
+        .parse::<u64>()
+        .map_err(|e| format!("bad --at-round: {e}"))?;
+    let out_path = take_flag(&mut args, "--out");
+    let policy_name = args.first().ok_or("missing <policy>")?.clone();
+    let path = args.get(1).ok_or("missing <FILE>")?.clone();
+    let inst = load(&path)?;
+    let mut policy = make_snapshot_policy(&policy_name)?;
+    let sim = Simulator::new(&inst, n);
+    let result = {
+        #[cfg(feature = "validate")]
+        {
+            let mut watcher = rrs::check::InvariantWatcher::new(&inst);
+            sim.checkpoint(
+                policy.as_mut(),
+                &mut NullRecorder,
+                &mut Scratch::new(),
+                &mut watcher,
+                at,
+            )
+        }
+        #[cfg(not(feature = "validate"))]
+        {
+            sim.checkpoint(
+                policy.as_mut(),
+                &mut NullRecorder,
+                &mut Scratch::new(),
+                &mut NoWatcher,
+                at,
+            )
+        }
+    };
+    match result {
+        SessionResult::Suspended { round, snapshot } => {
+            let out_path = out_path.unwrap_or_else(|| format!("{path}.r{round}.snap"));
+            std::fs::write(&out_path, &snapshot).map_err(|e| format!("write {out_path}: {e}"))?;
+            println!("checkpoint:  {out_path}");
+            println!("policy:      {}", policy.name());
+            println!("round:       {round}");
+            println!("bytes:       {}", snapshot.len());
+            Ok(())
+        }
+        SessionResult::Completed(_) => Err(format!(
+            "--at-round {at} is past the run's horizon ({}); nothing left to checkpoint",
+            inst.horizon()
+        )),
+    }
+}
+
+/// `resume <policy> <FILE> --from SNAP`: continue a checkpointed run; the
+/// recorder sees exactly the rounds from the snapshot onward.
+fn cmd_resume(mut args: Vec<String>) -> Result<(), String> {
+    let n = parse_u64(take_flag(&mut args, "--locations"), 8, "--locations")? as usize;
+    let from = take_flag(&mut args, "--from").ok_or("missing --from SNAP")?;
+    let trace_out = take_flag(&mut args, "--trace-out");
+    let stream = take_switch(&mut args, "--stream");
+    let policy_name = args.first().ok_or("missing <policy>")?.clone();
+    let path = args.get(1).ok_or("missing <FILE>")?.clone();
+    let snapshot = std::fs::read(&from).map_err(|e| format!("read {from}: {e}"))?;
+    if stream {
+        return resume_stream(&policy_name, &path, n, &snapshot, trace_out.as_deref());
+    }
+    let inst = load(&path)?;
+    let mut policy = make_snapshot_policy(&policy_name)?;
+    let sim = Simulator::new(&inst, n);
+    let out = match &trace_out {
+        Some(tpath) => {
+            let file = std::fs::File::create(tpath).map_err(|e| format!("create {tpath}: {e}"))?;
+            let meta = TraceMeta {
+                policy: policy.name().to_string(),
+                delta: inst.delta,
+                locations: n,
+                speed: 1,
+            };
+            let mut sink = JsonlSink::with_meta(BufWriter::new(file), &meta);
+            let out = resume_watched(&sim, policy.as_mut(), &mut sink, &inst, &snapshot)?;
+            sink.finish().map_err(|e| format!("write {tpath}: {e}"))?;
+            eprintln!("wrote trace to {tpath}");
+            out
+        }
+        None => resume_watched(&sim, policy.as_mut(), &mut NullRecorder, &inst, &snapshot)?,
+    };
+    print_run(policy.name(), n, &inst, &out);
+    Ok(())
+}
+
+/// [`Simulator::resume`] behind the validate gate; the watcher's shadow is
+/// seeded from the snapshot so the stitched run passes the same checks as
+/// an uninterrupted one.
+fn resume_watched(
+    sim: &Simulator<'_>,
+    policy: &mut dyn Snapshot,
+    rec: &mut dyn Recorder,
+    inst: &Instance,
+    snapshot: &[u8],
+) -> Result<Outcome, String> {
+    #[cfg(feature = "validate")]
+    {
+        let file = SnapshotFile::parse(snapshot).map_err(|e| format!("snapshot: {e}"))?;
+        let mut watcher = rrs::check::InvariantWatcher::resume_from(inst, &file.state);
+        sim.resume(&mut &mut *policy, &mut &mut *rec, &mut Scratch::new(), &mut watcher, snapshot)
+            .map_err(|e| format!("snapshot: {e}"))
+    }
+    #[cfg(not(feature = "validate"))]
+    {
+        let _ = inst;
+        sim.resume(&mut &mut *policy, &mut &mut *rec, &mut Scratch::new(), &mut NoWatcher, snapshot)
+            .map_err(|e| format!("snapshot: {e}"))
+    }
+}
+
+/// `resume --stream`: continue a run from a snapshot through the streaming
+/// reader. Snapshots written by `run --stream --checkpoint-every` carry the
+/// horizon known *at suspension time*, so they resume here (where the
+/// horizon is re-discovered from the stream) rather than through the
+/// materialized [`Simulator::resume`], which demands an exact match.
+fn resume_stream(
+    policy_name: &str,
+    path: &str,
+    n: usize,
+    snapshot: &[u8],
+    trace_out: Option<&str>,
+) -> Result<(), String> {
+    let mut policy = make_snapshot_policy(policy_name)?;
+    let display_name = policy.name().to_string();
+    let mut emit = |_round: u64, _bytes: &[u8]| {};
+    let out = {
+        #[cfg(feature = "validate")]
+        {
+            let inst = load(path)?;
+            let file = SnapshotFile::parse(snapshot).map_err(|e| format!("snapshot: {e}"))?;
+            let mut watcher = rrs::check::InvariantWatcher::resume_from(&inst, &file.state);
+            let mut source = MaterializedSource::new(&inst);
+            drive_stream(
+                &mut source,
+                policy.as_mut(),
+                &display_name,
+                inst.delta,
+                n,
+                &CheckpointPolicy::Never,
+                &mut watcher,
+                &mut emit,
+                trace_out,
+                Some(snapshot),
+            )?
+        }
+        #[cfg(not(feature = "validate"))]
+        {
+            let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+            let mut source = TextStream::new(std::io::BufReader::new(file))
+                .map_err(|e| format!("parse {path}: {e}"))?;
+            let delta = source.delta();
+            drive_stream(
+                &mut source,
+                policy.as_mut(),
+                &display_name,
+                delta,
+                n,
+                &CheckpointPolicy::Never,
+                &mut NoWatcher,
+                &mut emit,
+                trace_out,
+                Some(snapshot),
+            )?
+        }
+    };
+    print_stream_summary(&display_name, n, &out);
+    Ok(())
+}
+
 fn pct(part: u64, total: u64) -> String {
     if total == 0 {
         "0.0%".into()
@@ -269,6 +718,12 @@ fn report_saved(mut args: Vec<String>) -> Result<(), String> {
         .meta
         .clone()
         .ok_or_else(|| format!("{path}: no meta header; cannot attribute costs without \u{394}"))?;
+    if parsed.rounds == 0 && parsed.events.is_empty() {
+        return Err(format!(
+            "{path}: trace contains no rounds (header-only file — was the run interrupted \
+             before its first round?)"
+        ));
+    }
     println!("trace:       {path}");
     println!("policy:      {}", meta.policy);
     println!("locations:   {}", meta.locations);
@@ -524,6 +979,8 @@ fn main() -> ExitCode {
         "generate" => cmd_generate(argv),
         "classify" => cmd_classify(argv),
         "run" => cmd_run(argv),
+        "checkpoint" => cmd_checkpoint(argv),
+        "resume" => cmd_resume(argv),
         "attribute" => cmd_attribute(argv),
         "opt" => cmd_opt(argv),
         "lemmas" => cmd_lemmas(argv),

@@ -61,7 +61,8 @@ pub mod prelude {
     pub use rrs_engine::prelude::*;
     pub use rrs_model::{
         classify, ColorId, ColorTable, CostLedger, Instance, InstanceBuilder, InstanceClass,
-        Request, RequestSeq, ValidationError, BLACK,
+        InstanceSource, MaterializedSource, Request, RequestSeq, SnapError, SnapReader, SnapWriter,
+        StreamError, TextStream, ValidationError, BLACK,
     };
     pub use rrs_offline::prelude::*;
     pub use rrs_workloads::prelude::*;

@@ -254,6 +254,161 @@ fn evaluate_metrics_out_is_deterministic_across_jobs() {
 }
 
 #[test]
+fn report_on_header_only_trace_gives_clean_diagnostic() {
+    // A trace holding only the meta header (a run interrupted before its
+    // first round) must fail with a targeted message, not a panic or a
+    // zero-filled report.
+    let inst = tmpfile("hdr-inst.rrs");
+    let trace = tmpfile("hdr-trace.jsonl");
+    let out = cli()
+        .args(["generate", "rate-limited", "--seed", "7", "--out"])
+        .arg(&inst)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out =
+        cli().args(["run", "dlru-edf"]).arg(&inst).arg("--trace-out").arg(&trace).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Keep only the header line.
+    let full = std::fs::read_to_string(&trace).unwrap();
+    let header = full.lines().next().unwrap();
+    std::fs::write(&trace, format!("{header}\n")).unwrap();
+
+    let out = cli().arg("report").arg(&trace).output().unwrap();
+    assert!(!out.status.success(), "header-only trace must be rejected");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("trace contains no rounds"), "{err}");
+
+    // A completely empty file gets the same treatment via the parse path.
+    std::fs::write(&trace, "").unwrap();
+    let out = cli().arg("report").arg(&trace).output().unwrap();
+    assert!(!out.status.success(), "empty trace must be rejected");
+
+    for f in [&inst, &trace] {
+        std::fs::remove_file(f).ok();
+    }
+}
+
+#[test]
+fn checkpoint_resume_round_trip_matches_run_totals() {
+    let inst = tmpfile("ckpt-inst.rrs");
+    let snap = tmpfile("ckpt.snap");
+    let out =
+        cli().args(["generate", "bursty", "--seed", "3", "--out"]).arg(&inst).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = cli().args(["run", "full"]).arg(&inst).output().unwrap();
+    assert!(out.status.success(), "run: {}", String::from_utf8_lossy(&out.stderr));
+    let run_text = String::from_utf8_lossy(&out.stdout).to_string();
+
+    let out = cli()
+        .args(["checkpoint", "full"])
+        .arg(&inst)
+        .args(["--at-round", "9", "--out"])
+        .arg(&snap)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "checkpoint: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("round:"), "checkpoint summary");
+    assert!(snap.exists(), "snapshot file written");
+
+    let out = cli().args(["resume", "full"]).arg(&inst).arg("--from").arg(&snap).output().unwrap();
+    assert!(out.status.success(), "resume: {}", String::from_utf8_lossy(&out.stderr));
+    let resume_text = String::from_utf8_lossy(&out.stdout).to_string();
+
+    // The stitched run lands on exactly the uninterrupted run's totals.
+    for label in ["arrived:", "executed:", "dropped:", "reconfigs:", "total cost:"] {
+        assert_eq!(field(&resume_text, label), field(&run_text, label), "{label}");
+    }
+
+    // Resuming with the wrong policy is a structured error, not a crash.
+    let out = cli().args(["resume", "dlru"]).arg(&inst).arg("--from").arg(&snap).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("snapshot"), "{err}");
+
+    for f in [&inst, &snap] {
+        std::fs::remove_file(f).ok();
+    }
+}
+
+#[test]
+fn checkpoint_every_and_stream_match_plain_run() {
+    let inst = tmpfile("every-inst.rrs");
+    let prefix = tmpfile("every-ck");
+    let out = cli()
+        .args(["generate", "rate-limited", "--seed", "13", "--out"])
+        .arg(&inst)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = cli().args(["run", "dlru-edf"]).arg(&inst).output().unwrap();
+    assert!(out.status.success());
+    let want = field(&String::from_utf8_lossy(&out.stdout), "total cost:");
+
+    let out = cli()
+        .args(["run", "dlru-edf"])
+        .arg(&inst)
+        .args(["--checkpoint-every", "6", "--checkpoint-out"])
+        .arg(&prefix)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "ckpt run: {}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(field(&String::from_utf8_lossy(&out.stdout), "total cost:"), want);
+
+    // Snapshots landed where promised and resume cleanly to the same total.
+    let first = std::path::PathBuf::from(format!("{}-r6.snap", prefix.display()));
+    assert!(first.exists(), "missing {}", first.display());
+    let out =
+        cli().args(["resume", "dlru-edf"]).arg(&inst).arg("--from").arg(&first).output().unwrap();
+    assert!(out.status.success(), "resume: {}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(field(&String::from_utf8_lossy(&out.stdout), "total cost:"), want);
+
+    // Streaming ingestion reaches the same totals without materializing.
+    let out = cli().args(["run", "dlru-edf"]).arg(&inst).arg("--stream").output().unwrap();
+    assert!(out.status.success(), "stream: {}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(field(&String::from_utf8_lossy(&out.stdout), "total cost:"), want);
+
+    // A snapshot written mid-stream carries the horizon known at
+    // suspension time; `resume --stream` re-discovers the rest from the
+    // text and still lands on the uninterrupted totals.
+    let sprefix = tmpfile("every-ck-s");
+    let out = cli()
+        .args(["run", "dlru-edf"])
+        .arg(&inst)
+        .args(["--stream", "--checkpoint-every", "6", "--checkpoint-out"])
+        .arg(&sprefix)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stream ckpt: {}", String::from_utf8_lossy(&out.stderr));
+    let first_s = std::path::PathBuf::from(format!("{}-r6.snap", sprefix.display()));
+    assert!(first_s.exists(), "missing {}", first_s.display());
+    let out = cli()
+        .args(["resume", "dlru-edf"])
+        .arg(&inst)
+        .arg("--from")
+        .arg(&first_s)
+        .arg("--stream")
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stream resume: {}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(field(&String::from_utf8_lossy(&out.stdout), "total cost:"), want);
+
+    std::fs::remove_file(&inst).ok();
+    for entry in std::fs::read_dir(std::env::temp_dir()).unwrap().flatten() {
+        let name = entry.file_name();
+        if name
+            .to_string_lossy()
+            .starts_with(&format!("rrs-cli-test-{}-every-ck", std::process::id()))
+        {
+            std::fs::remove_file(entry.path()).ok();
+        }
+    }
+}
+
+#[test]
 fn all_generator_kinds_work() {
     for kind in [
         "rate-limited",

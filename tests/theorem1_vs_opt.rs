@@ -29,6 +29,81 @@ fn dlru_edf_within_constant_of_opt_across_seeds() {
 }
 
 #[test]
+fn dlru_edf_ratio_bound_survives_checkpoint_stitching() {
+    // Theorem 1's guarantee is about the algorithm's trajectory, which the
+    // snapshot engine must reproduce exactly: running via checkpoint-at-k +
+    // resume must yield the same cost as the uninterrupted run, so every
+    // competitive-ratio assertion above transfers to stitched runs verbatim.
+    let mut worst = 1.0f64;
+    for seed in 0..12 {
+        let inst = rate_limited_instance(&small_cfg(3), seed);
+        let opt = solve_opt(&inst, 1, OptConfig::default()).expect("small instance").cost;
+        let whole = Simulator::new(&inst, 8).run(&mut DeltaLruEdf::new());
+
+        let k = (inst.horizon() / 2).max(1);
+        let snap = Simulator::new(&inst, 8)
+            .checkpoint(
+                &mut DeltaLruEdf::new(),
+                &mut NullRecorder,
+                &mut Scratch::new(),
+                &mut NoWatcher,
+                k,
+            )
+            .into_snapshot();
+        let mut resumed_policy = DeltaLruEdf::new();
+        let stitched = Simulator::new(&inst, 8)
+            .resume(
+                &mut resumed_policy,
+                &mut NullRecorder,
+                &mut Scratch::new(),
+                &mut NoWatcher,
+                &snap,
+            )
+            .expect("seed-generated snapshot must resume");
+        assert_eq!(stitched, whole, "seed {seed}: stitched run diverged at k={k}");
+
+        let r = ratio(stitched.total_cost(), opt);
+        if r.is_finite() {
+            worst = worst.max(r);
+        } else {
+            assert_eq!(opt, 0);
+            assert_eq!(stitched.total_cost(), 0, "seed {seed}: OPT free but stitched run paid");
+        }
+    }
+    assert!(worst < 8.0, "worst stitched empirical ratio {worst}");
+}
+
+#[test]
+fn opt_never_exceeds_checkpoint_stitched_runs() {
+    // The OPT-dominance direction for stitched runs: cost of a resumed run
+    // is still an online cost, so OPT at equal resources never exceeds it.
+    for seed in 0..8 {
+        let inst = rate_limited_instance(&small_cfg(2), seed);
+        let opt4 = solve_opt(&inst, 4, OptConfig::default()).expect("small instance").cost;
+        for k in [1, inst.horizon() / 3 + 1, inst.horizon()] {
+            let snap = Simulator::new(&inst, 4)
+                .checkpoint(
+                    &mut DeltaLruEdf::new(),
+                    &mut NullRecorder,
+                    &mut Scratch::new(),
+                    &mut NoWatcher,
+                    k,
+                )
+                .into_snapshot();
+            let mut p = DeltaLruEdf::new();
+            let out = Simulator::new(&inst, 4)
+                .resume(&mut p, &mut NullRecorder, &mut Scratch::new(), &mut NoWatcher, &snap)
+                .expect("resume");
+            assert!(
+                opt4 <= out.total_cost(),
+                "seed {seed} k {k}: OPT(4)={opt4} > stitched online {}",
+                out.total_cost()
+            );
+        }
+    }
+}
+
+#[test]
 fn opt_never_exceeds_any_online_policy_at_equal_resources() {
     for seed in 0..12 {
         let inst = rate_limited_instance(&small_cfg(2), seed);
