@@ -43,13 +43,13 @@ pub mod par_edf;
 
 pub use bounds::{combined_lower_bound, per_color_lower_bound, portfolio_upper_bound};
 pub use brute::solve_brute;
-pub use opt::{solve_opt, OptConfig, OptError, OptResult};
+pub use opt::{solve_opt, solve_opt_guarded, OptConfig, OptError, OptResult};
 pub use par_edf::{par_edf_drop_cost, ParEdfOutcome};
 
 /// Convenient re-exports.
 pub mod prelude {
     pub use crate::bounds::{combined_lower_bound, per_color_lower_bound, portfolio_upper_bound};
     pub use crate::brute::solve_brute;
-    pub use crate::opt::{solve_opt, OptConfig, OptError, OptResult};
+    pub use crate::opt::{solve_opt, solve_opt_guarded, OptConfig, OptError, OptResult};
     pub use crate::par_edf::{par_edf_drop_cost, ParEdfOutcome};
 }

@@ -18,6 +18,7 @@
 
 use std::collections::BTreeMap;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use rrs_engine::{stable_assign, FixedSchedule, Slot};
 use rrs_model::{ColorId, Instance};
@@ -32,11 +33,16 @@ pub struct OptConfig {
     pub max_states: usize,
     /// Whether to keep parent pointers and reconstruct the schedule.
     pub reconstruct: bool,
+    /// Budget on *cumulative* states explored across all layers; `None`
+    /// leaves only the per-layer cap. Callers that solve many instances in
+    /// a loop (adversary search, sweeps) set this so one oversized instance
+    /// degrades to a certified bound instead of monopolizing the run.
+    pub state_budget: Option<usize>,
 }
 
 impl Default for OptConfig {
     fn default() -> Self {
-        Self { max_states: 500_000, reconstruct: false }
+        Self { max_states: 500_000, reconstruct: false, state_budget: None }
     }
 }
 
@@ -50,6 +56,18 @@ pub enum OptError {
         /// Number of states reached.
         states: usize,
     },
+    /// Cumulative states across layers exceeded [`OptConfig::state_budget`].
+    BudgetExhausted {
+        /// Round at which the budget ran out.
+        round: u64,
+        /// Cumulative states explored when the budget tripped.
+        states: usize,
+    },
+    /// The caller's interrupt flag was raised mid-solve.
+    Interrupted {
+        /// Round being expanded when the interrupt was observed.
+        round: u64,
+    },
 }
 
 impl std::fmt::Display for OptError {
@@ -57,6 +75,12 @@ impl std::fmt::Display for OptError {
         match self {
             Self::StateSpaceExceeded { round, states } => {
                 write!(f, "OPT state space exceeded at round {round} ({states} states)")
+            }
+            Self::BudgetExhausted { round, states } => {
+                write!(f, "OPT state budget exhausted at round {round} ({states} states total)")
+            }
+            Self::Interrupted { round } => {
+                write!(f, "OPT solve interrupted at round {round}")
             }
         }
     }
@@ -190,6 +214,21 @@ fn multisets(candidates: &[u32], m: usize) -> Vec<Vec<u32>> {
 
 /// Solve the instance exactly for `m` resources.
 pub fn solve_opt(inst: &Instance, m: usize, config: OptConfig) -> Result<OptResult, OptError> {
+    solve_opt_guarded(inst, m, config, None)
+}
+
+/// [`solve_opt`] with a cooperative interrupt: the flag is polled once per
+/// round layer, and a raised flag aborts the solve with
+/// [`OptError::Interrupted`]. Combined with [`OptConfig::state_budget`]
+/// this is the guard rail that lets batch callers (the adversary-search
+/// fitness loop, large sweeps) fall back to [`crate::combined_lower_bound`]
+/// instead of hanging on an oversized instance.
+pub fn solve_opt_guarded(
+    inst: &Instance,
+    m: usize,
+    config: OptConfig,
+    interrupt: Option<&AtomicBool>,
+) -> Result<OptResult, OptError> {
     assert!(m >= 1, "OPT needs at least one resource");
     let horizon = inst.horizon();
     let delta = inst.delta;
@@ -204,6 +243,9 @@ pub fn solve_opt(inst: &Instance, m: usize, config: OptConfig) -> Result<OptResu
 
     let mut arrivals_buf: Vec<(u32, u64, u64)> = Vec::new();
     for round in 0..=horizon {
+        if interrupt.is_some_and(|flag| flag.load(Ordering::Relaxed)) {
+            return Err(OptError::Interrupted { round });
+        }
         arrivals_buf.clear();
         for &(c, n) in inst.requests.at(round).pairs() {
             arrivals_buf.push((c.0, round + inst.colors.delay_bound(c), n));
@@ -269,6 +311,9 @@ pub fn solve_opt(inst: &Instance, m: usize, config: OptConfig) -> Result<OptResu
             return Err(OptError::StateSpaceExceeded { round, states: next.len() });
         }
         states_explored += next.len();
+        if config.state_budget.is_some_and(|budget| states_explored > budget) {
+            return Err(OptError::BudgetExhausted { round, states: states_explored });
+        }
         layer = next;
     }
 
@@ -443,8 +488,40 @@ mod tests {
             }
         }
         let inst = b.build();
-        let err = solve_opt(&inst, 3, OptConfig { max_states: 10, reconstruct: false });
+        let err = solve_opt(&inst, 3, OptConfig { max_states: 10, ..Default::default() });
         assert!(matches!(err, Err(OptError::StateSpaceExceeded { .. })));
+    }
+
+    #[test]
+    fn state_budget_is_enforced() {
+        let mut b = InstanceBuilder::new(1);
+        let colors: Vec<_> = (0..4).map(|_| b.color(4)).collect();
+        for blk in 0..8 {
+            for &c in &colors {
+                b.arrive(blk * 4, c, 2);
+            }
+        }
+        let inst = b.build();
+        // Generous per-layer cap, tiny cumulative budget: the budget trips.
+        let err = solve_opt(&inst, 2, OptConfig { state_budget: Some(50), ..Default::default() });
+        assert!(matches!(err, Err(OptError::BudgetExhausted { .. })), "{err:?}");
+        // Unlimited budget solves the same instance.
+        assert!(solve_opt(&inst, 2, OptConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn raised_interrupt_aborts_the_solve() {
+        let mut b = InstanceBuilder::new(1);
+        let c = b.color(4);
+        b.arrive(0, c, 2);
+        let inst = b.build();
+        let flag = AtomicBool::new(true);
+        let err = solve_opt_guarded(&inst, 1, OptConfig::default(), Some(&flag));
+        assert!(matches!(err, Err(OptError::Interrupted { round: 0 })), "{err:?}");
+        // A lowered flag is a no-op: same result as the unguarded solve.
+        flag.store(false, Ordering::Relaxed);
+        let guarded = solve_opt_guarded(&inst, 1, OptConfig::default(), Some(&flag)).unwrap();
+        assert_eq!(guarded.cost, solve_opt(&inst, 1, OptConfig::default()).unwrap().cost);
     }
 
     #[test]

@@ -1,0 +1,253 @@
+//! Fitness evaluation: measured cost ratio of an online policy against the
+//! offline referee.
+//!
+//! Fitness is kept as the exact rational `(cost, base)` rather than an
+//! `f64` ratio, and compared by `u128` cross-multiplication — the search's
+//! ranking (and therefore its entire trajectory) must not depend on
+//! floating-point rounding. The `f64` ratio is derived only for display
+//! and journal lines.
+//!
+//! The referee is [`solve_opt_guarded`] under a state budget; when the
+//! budget trips on an oversized genome the evaluation *degrades* to the
+//! certified [`combined_lower_bound`] instead of hanging (ROADMAP item 2).
+//! Both outcomes are pure functions of the instance, so fitness stays
+//! deterministic either way.
+
+use std::cmp::Ordering;
+
+use rrs_core::{full_algorithm, ClassicLru, DeltaLru, DeltaLruEdf, Distribute, Edf};
+use rrs_engine::policy::Policy;
+use rrs_engine::sim::Simulator;
+use rrs_model::Instance;
+use rrs_offline::{combined_lower_bound, solve_opt_guarded, OptConfig};
+use rrs_workloads::genome::Genome;
+
+/// The online policies the search can target. Names match `rrs-cli`'s
+/// `--policy` values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PolicyKind {
+    /// Pure ΔLRU (§3.1) — Appendix A's victim.
+    DeltaLru,
+    /// Pure EDF (§3.2) — Appendix B's victim.
+    Edf,
+    /// Classic (non-Δ) LRU baseline.
+    ClassicLru,
+    /// The combined ΔLRU-EDF algorithm of §3.3.
+    DeltaLruEdf,
+    /// ΔLRU-EDF behind the §4 Distribute reduction.
+    Distribute,
+    /// The full Theorem 3 stack `VarBatch<Distribute<ΔLRU-EDF>>`.
+    Full,
+}
+
+impl PolicyKind {
+    /// Every targetable policy, in a fixed order.
+    pub const ALL: [PolicyKind; 6] = [
+        PolicyKind::DeltaLru,
+        PolicyKind::Edf,
+        PolicyKind::ClassicLru,
+        PolicyKind::DeltaLruEdf,
+        PolicyKind::Distribute,
+        PolicyKind::Full,
+    ];
+
+    /// The CLI-facing name (`dlru`, `edf`, `classic-lru`, `dlru-edf`,
+    /// `distribute`, `full`).
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::DeltaLru => "dlru",
+            PolicyKind::Edf => "edf",
+            PolicyKind::ClassicLru => "classic-lru",
+            PolicyKind::DeltaLruEdf => "dlru-edf",
+            PolicyKind::Distribute => "distribute",
+            PolicyKind::Full => "full",
+        }
+    }
+
+    /// Parse a CLI-facing name.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        PolicyKind::ALL.iter().copied().find(|k| k.name() == name).ok_or_else(|| {
+            format!("unknown policy '{name}' (try dlru|edf|classic-lru|dlru-edf|distribute|full)")
+        })
+    }
+
+    /// A fresh policy instance.
+    pub fn make(self) -> Box<dyn Policy> {
+        match self {
+            PolicyKind::DeltaLru => Box::new(DeltaLru::new()),
+            PolicyKind::Edf => Box::new(Edf::new()),
+            PolicyKind::ClassicLru => Box::new(ClassicLru::new()),
+            PolicyKind::DeltaLruEdf => Box::new(DeltaLruEdf::new()),
+            PolicyKind::Distribute => Box::new(Distribute::new(DeltaLruEdf::new())),
+            PolicyKind::Full => Box::new(full_algorithm()),
+        }
+    }
+}
+
+/// Which referee produced the baseline cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Referee {
+    /// The exact OPT dynamic program finished within budget.
+    Exact,
+    /// OPT was interrupted or over budget; the certified lower bound stood
+    /// in. Ratios against it over-estimate, never under-estimate.
+    LowerBound,
+}
+
+impl Referee {
+    /// The journal-facing name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Referee::Exact => "exact",
+            Referee::LowerBound => "lower-bound",
+        }
+    }
+}
+
+/// An exact cost ratio `cost / base`, compared without floats.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fitness {
+    /// Online policy's total cost.
+    pub cost: u64,
+    /// Referee baseline cost (exact OPT or certified lower bound).
+    pub base: u64,
+}
+
+impl Fitness {
+    /// Compare two ratios exactly: `a.cost/a.base ⋛ b.cost/b.base` via
+    /// `u128` cross-multiplication. `0/0` (the empty instance) counts as
+    /// ratio 1, matching [`Fitness::ratio`] — without this an empty genome
+    /// would cross-multiply to a tie with *every* candidate and then win
+    /// the ranking's smaller-size tiebreak. `x/0` with `x > 0` orders
+    /// above every finite ratio.
+    pub fn cmp_ratio(&self, other: &Fitness) -> Ordering {
+        let canon = |f: &Fitness| {
+            if f.cost == 0 && f.base == 0 {
+                (1u64, 1u64)
+            } else {
+                (f.cost, f.base)
+            }
+        };
+        let (ac, ab) = canon(self);
+        let (bc, bb) = canon(other);
+        let lhs = u128::from(ac) * u128::from(bb);
+        let rhs = u128::from(bc) * u128::from(ab);
+        lhs.cmp(&rhs)
+    }
+
+    /// The display ratio (∞-aware, via `rrs_analysis::ratio`).
+    pub fn ratio(&self) -> f64 {
+        rrs_analysis::ratio(self.cost, self.base)
+    }
+}
+
+/// How fitness evaluation runs: online locations, referee resources, and
+/// the OPT guard.
+#[derive(Clone, Copy, Debug)]
+pub struct EvalConfig {
+    /// Locations handed to the online policy (ΔLRU-EDF needs a multiple
+    /// of 4).
+    pub locations: usize,
+    /// Resources the offline referee schedules with (the appendix
+    /// constructions assume 1).
+    pub referee_resources: usize,
+    /// Guarded OPT configuration; when it errors the certified bound
+    /// stands in.
+    pub opt: OptConfig,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        Self {
+            locations: 8,
+            referee_resources: 1,
+            opt: OptConfig { max_states: 4_000, reconstruct: false, state_budget: Some(20_000) },
+        }
+    }
+}
+
+/// The result of one fitness evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Evaluation {
+    /// Exact cost ratio.
+    pub fitness: Fitness,
+    /// Which referee produced `fitness.base`.
+    pub referee: Referee,
+}
+
+/// Evaluate a decoded instance: run the online policy, referee it, return
+/// the exact ratio. Pure function of `(inst, policy, cfg)`.
+pub fn evaluate_instance(inst: &Instance, policy: PolicyKind, cfg: &EvalConfig) -> Evaluation {
+    let mut p = policy.make();
+    let outcome = Simulator::new(inst, cfg.locations).run(&mut p);
+    let cost = outcome.total_cost();
+    let (base, referee) = match solve_opt_guarded(inst, cfg.referee_resources, cfg.opt, None) {
+        Ok(r) => (r.cost, Referee::Exact),
+        Err(_) => (combined_lower_bound(inst, cfg.referee_resources), Referee::LowerBound),
+    };
+    Evaluation { fitness: Fitness { cost, base }, referee }
+}
+
+/// Evaluate a genome (decode, then [`evaluate_instance`]).
+pub fn evaluate(genome: &Genome, policy: PolicyKind, cfg: &EvalConfig) -> Evaluation {
+    evaluate_instance(&genome.decode(), policy, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrs_workloads::genome::random_genome;
+
+    #[test]
+    fn policy_names_round_trip() {
+        for kind in PolicyKind::ALL {
+            assert_eq!(PolicyKind::parse(kind.name()), Ok(kind));
+        }
+        assert!(PolicyKind::parse("nope").is_err());
+    }
+
+    #[test]
+    fn fitness_ordering_is_exact() {
+        let a = Fitness { cost: 3, base: 2 }; // 1.5
+        let b = Fitness { cost: 7, base: 5 }; // 1.4
+        assert_eq!(a.cmp_ratio(&b), Ordering::Greater);
+        assert_eq!(b.cmp_ratio(&a), Ordering::Less);
+        assert_eq!(a.cmp_ratio(&a), Ordering::Equal);
+        // x/0 dominates any finite ratio.
+        let inf = Fitness { cost: 1, base: 0 };
+        assert_eq!(inf.cmp_ratio(&a), Ordering::Greater);
+        // Equal cross-products tie: 2/4 == 1/2.
+        let half = Fitness { cost: 2, base: 4 };
+        assert_eq!(half.cmp_ratio(&Fitness { cost: 1, base: 2 }), Ordering::Equal);
+        // The empty instance's 0/0 counts as ratio 1, so it loses to any
+        // ratio above 1 instead of tying with everything.
+        let empty = Fitness { cost: 0, base: 0 };
+        assert_eq!(empty.cmp_ratio(&a), Ordering::Less);
+        assert_eq!(empty.cmp_ratio(&Fitness { cost: 5, base: 5 }), Ordering::Equal);
+        assert_eq!(empty.cmp_ratio(&Fitness { cost: 1, base: 2 }), Ordering::Greater);
+        assert_eq!(inf.cmp_ratio(&Fitness { cost: 9, base: 0 }), Ordering::Equal);
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let g = random_genome(11);
+        let cfg = EvalConfig::default();
+        let a = evaluate(&g, PolicyKind::DeltaLru, &cfg);
+        let b = evaluate(&g, PolicyKind::DeltaLru, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tiny_opt_budget_degrades_to_lower_bound() {
+        // A genome rich enough that a 1-state budget cannot referee it.
+        let g = random_genome(3);
+        assert!(g.total_jobs() > 0, "seed 3 must produce jobs");
+        let cfg = EvalConfig {
+            opt: OptConfig { max_states: 20_000, reconstruct: false, state_budget: Some(1) },
+            ..EvalConfig::default()
+        };
+        let e = evaluate(&g, PolicyKind::DeltaLru, &cfg);
+        assert_eq!(e.referee, Referee::LowerBound);
+        assert!(e.fitness.base >= 1, "certified bound must price a non-empty instance");
+    }
+}

@@ -1,0 +1,368 @@
+//! The JSONL search journal: one self-describing `{"ev":...}` line per
+//! search event, following the trace-sink schema idiom (hand-rolled
+//! writer and parser, no serde, meta line first, version stamped).
+//!
+//! **Determinism boundary.** Journal lines carry *no* timestamps or other
+//! host-dependent fields: the byte stream is a pure function of the
+//! search configuration, so journals are golden-testable at any `--jobs`
+//! setting (an acceptance criterion of the adversary-search CLI). The CI
+//! smoke job re-parses committed journals with [`parse_journal`], which
+//! rejects on any schema drift.
+
+use std::fmt::Write as _;
+use std::io::{self, Write};
+
+use crate::evolve::{GenerationSummary, SearchConfig};
+use crate::fitness::Evaluation;
+use crate::shrink::ShrinkStep;
+
+/// Version stamped into every meta line; bump on breaking schema changes.
+pub const SEARCH_SCHEMA_VERSION: u64 = 1;
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_eval(out: &mut String, genome: &str, eval: &Evaluation) {
+    out.push_str(",\"genome\":");
+    push_json_str(out, genome);
+    let _ = write!(
+        out,
+        ",\"cost\":{},\"base\":{},\"ratio\":{},\"referee\":\"{}\"",
+        eval.fitness.cost,
+        eval.fitness.base,
+        eval.fitness.ratio(),
+        eval.referee.name()
+    );
+}
+
+/// The meta line for a search run (no trailing newline).
+pub fn meta_line(cfg: &SearchConfig) -> String {
+    let mut s = String::with_capacity(160);
+    let _ = write!(
+        s,
+        "{{\"ev\":\"meta\",\"version\":{},\"tool\":\"adversary-search\",\"seed\":{},\"budget\":{},\"population\":{},\"elites\":{},\"policy\":\"{}\",\"locations\":{},\"referee_m\":{}}}",
+        SEARCH_SCHEMA_VERSION,
+        cfg.seed,
+        cfg.generations,
+        cfg.population,
+        cfg.elites,
+        cfg.policy.name(),
+        cfg.eval.locations,
+        cfg.eval.referee_resources
+    );
+    s
+}
+
+/// A per-generation line.
+pub fn gen_line(summary: &GenerationSummary) -> String {
+    let mut s = String::with_capacity(160);
+    let _ = write!(s, "{{\"ev\":\"gen\",\"gen\":{},\"evals\":{}", summary.gen, summary.evals);
+    push_eval(&mut s, &summary.best.genome.encode(), &summary.best.eval);
+    s.push('}');
+    s
+}
+
+/// An accepted-shrink-step line.
+pub fn shrink_line(step: &ShrinkStep) -> String {
+    let mut s = String::with_capacity(160);
+    let _ = write!(s, "{{\"ev\":\"shrink\",\"step\":{}", step.step);
+    push_eval(&mut s, &step.candidate.genome.encode(), &step.candidate.eval);
+    s.push('}');
+    s
+}
+
+/// The final-result line.
+pub fn result_line(genome_enc: &str, eval: &Evaluation, size: u64, evals: u64) -> String {
+    let mut s = String::with_capacity(160);
+    s.push_str("{\"ev\":\"result\"");
+    push_eval(&mut s, genome_enc, eval);
+    let _ = write!(s, ",\"size\":{},\"evals\":{}}}", size, evals);
+    s
+}
+
+/// Streams journal lines to any writer.
+pub struct JournalWriter<W: Write> {
+    out: W,
+}
+
+impl<W: Write> JournalWriter<W> {
+    /// Wrap a writer; emits nothing until the first event.
+    pub fn new(out: W) -> Self {
+        Self { out }
+    }
+
+    /// Write one pre-rendered line.
+    pub fn line(&mut self, line: &str) -> io::Result<()> {
+        self.out.write_all(line.as_bytes())?;
+        self.out.write_all(b"\n")
+    }
+
+    /// Flush and return the inner writer.
+    pub fn into_inner(mut self) -> io::Result<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// One parsed journal line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JournalLine {
+    /// Run identity + configuration.
+    Meta {
+        /// Schema version (validated against [`SEARCH_SCHEMA_VERSION`]).
+        version: u64,
+        /// Master seed.
+        seed: u64,
+        /// Generation budget.
+        budget: u64,
+        /// Population size.
+        population: u64,
+        /// Target policy name.
+        policy: String,
+    },
+    /// Per-generation best.
+    Gen {
+        /// Generation index.
+        gen: u64,
+        /// Cumulative evaluations.
+        evals: u64,
+        /// Best genome's encoding.
+        genome: String,
+        /// Online cost.
+        cost: u64,
+        /// Referee baseline.
+        base: u64,
+    },
+    /// Accepted shrink step.
+    Shrink {
+        /// 1-based step.
+        step: u64,
+        /// Genome encoding after the step.
+        genome: String,
+        /// Online cost.
+        cost: u64,
+        /// Referee baseline.
+        base: u64,
+    },
+    /// Final minimized result.
+    Result {
+        /// Genome encoding.
+        genome: String,
+        /// Online cost.
+        cost: u64,
+        /// Referee baseline.
+        base: u64,
+        /// Structural size.
+        size: u64,
+    },
+}
+
+/// A journal parse failure, with its 1-based line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JournalParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for JournalParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "journal line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for JournalParseError {}
+
+/// Extract `"key":<u64>` from a flat JSON object line.
+fn field_u64(line: &str, key: &str) -> Result<u64, String> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat).ok_or_else(|| format!("missing field '{key}'"))? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).ok_or_else(|| format!("unterminated field '{key}'"))?;
+    rest[..end].trim().parse().map_err(|e| format!("bad u64 in '{key}': {e}"))
+}
+
+/// Extract `"key":"<string>"` (with JSON unescaping) from a flat line.
+fn field_str(line: &str, key: &str) -> Result<String, String> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat).ok_or_else(|| format!("missing string field '{key}'"))? + pat.len();
+    let mut out = String::new();
+    let mut chars = line[start..].chars();
+    loop {
+        match chars.next() {
+            None => return Err(format!("unterminated string in '{key}'")),
+            Some('"') => return Ok(out),
+            Some('\\') => match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some('u') => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let code = u32::from_str_radix(&hex, 16)
+                        .map_err(|e| format!("bad \\u escape in '{key}': {e}"))?;
+                    out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                }
+                Some(c) => out.push(c),
+                None => return Err(format!("dangling escape in '{key}'")),
+            },
+            Some(c) => out.push(c),
+        }
+    }
+}
+
+/// Parse a complete journal. Validates: the first line is a `meta` with
+/// the current schema version, every line carries a known `ev`, and all
+/// required fields are present — so any schema drift fails loudly here.
+pub fn parse_journal(text: &str) -> Result<Vec<JournalLine>, JournalParseError> {
+    let mut out = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |message: String| JournalParseError { line: lineno, message };
+        let ev = field_str(line, "ev").map_err(&err)?;
+        let parsed = match ev.as_str() {
+            "meta" => {
+                let version = field_u64(line, "version").map_err(&err)?;
+                if version != SEARCH_SCHEMA_VERSION {
+                    return Err(err(format!(
+                        "schema version {version}, expected {SEARCH_SCHEMA_VERSION}"
+                    )));
+                }
+                JournalLine::Meta {
+                    version,
+                    seed: field_u64(line, "seed").map_err(&err)?,
+                    budget: field_u64(line, "budget").map_err(&err)?,
+                    population: field_u64(line, "population").map_err(&err)?,
+                    policy: field_str(line, "policy").map_err(&err)?,
+                }
+            }
+            "gen" => JournalLine::Gen {
+                gen: field_u64(line, "gen").map_err(&err)?,
+                evals: field_u64(line, "evals").map_err(&err)?,
+                genome: field_str(line, "genome").map_err(&err)?,
+                cost: field_u64(line, "cost").map_err(&err)?,
+                base: field_u64(line, "base").map_err(&err)?,
+            },
+            "shrink" => JournalLine::Shrink {
+                step: field_u64(line, "step").map_err(&err)?,
+                genome: field_str(line, "genome").map_err(&err)?,
+                cost: field_u64(line, "cost").map_err(&err)?,
+                base: field_u64(line, "base").map_err(&err)?,
+            },
+            "result" => JournalLine::Result {
+                genome: field_str(line, "genome").map_err(&err)?,
+                cost: field_u64(line, "cost").map_err(&err)?,
+                base: field_u64(line, "base").map_err(&err)?,
+                size: field_u64(line, "size").map_err(&err)?,
+            },
+            other => return Err(err(format!("unknown ev '{other}'"))),
+        };
+        if out.is_empty() && !matches!(parsed, JournalLine::Meta { .. }) {
+            return Err(err("journal must start with a meta line".into()));
+        }
+        out.push(parsed);
+    }
+    if out.is_empty() {
+        return Err(JournalParseError { line: 1, message: "empty journal".into() });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evolve::{run_search, SearchConfig};
+    use crate::fitness::PolicyKind;
+
+    fn render_run(cfg: &SearchConfig) -> String {
+        let mut text = String::new();
+        text.push_str(&meta_line(cfg));
+        text.push('\n');
+        let report = run_search(cfg, |s| {
+            text.push_str(&gen_line(s));
+            text.push('\n');
+        });
+        text.push_str(&result_line(
+            &report.best.genome.encode(),
+            &report.best.eval,
+            report.best.genome.size(),
+            report.evals,
+        ));
+        text.push('\n');
+        text
+    }
+
+    #[test]
+    fn journal_round_trips_through_parser() {
+        let cfg = SearchConfig {
+            seed: 9,
+            generations: 2,
+            population: 6,
+            elites: 2,
+            policy: PolicyKind::Edf,
+            // Starved referee: this test checks the journal format only.
+            eval: crate::fitness::EvalConfig {
+                opt: rrs_offline::OptConfig {
+                    max_states: 500,
+                    reconstruct: false,
+                    state_budget: Some(2_000),
+                },
+                ..Default::default()
+            },
+        };
+        let text = render_run(&cfg);
+        let lines = parse_journal(&text).expect("journal parses");
+        assert!(matches!(
+            lines[0],
+            JournalLine::Meta { version: SEARCH_SCHEMA_VERSION, seed: 9, budget: 2, .. }
+        ));
+        let gens = lines.iter().filter(|l| matches!(l, JournalLine::Gen { .. })).count();
+        assert_eq!(gens, 3); // generations 0..=2
+        assert!(matches!(lines.last(), Some(JournalLine::Result { .. })));
+    }
+
+    #[test]
+    fn parser_rejects_drifted_schemas() {
+        // Wrong version.
+        let bad = "{\"ev\":\"meta\",\"version\":99,\"seed\":1,\"budget\":1,\"population\":2,\"policy\":\"dlru\"}";
+        assert!(parse_journal(bad).is_err());
+        // Unknown event.
+        let good_meta = "{\"ev\":\"meta\",\"version\":1,\"seed\":1,\"budget\":1,\"population\":2,\"policy\":\"dlru\"}";
+        let bad2 = format!("{good_meta}\n{{\"ev\":\"mystery\",\"x\":1}}");
+        assert!(parse_journal(&bad2).is_err());
+        // Missing field.
+        let bad3 = format!("{good_meta}\n{{\"ev\":\"gen\",\"gen\":0}}");
+        let e = parse_journal(&bad3).unwrap_err();
+        assert_eq!(e.line, 2);
+        // No meta first.
+        assert!(parse_journal("{\"ev\":\"result\",\"genome\":\"d1|0:1:1:0:0\",\"cost\":0,\"base\":0,\"ratio\":1,\"referee\":\"exact\",\"size\":102}").is_err());
+        assert!(parse_journal("").is_err());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let mut s = String::new();
+        push_json_str(&mut s, "a\"b\\c\nd\te\u{1}");
+        let line = format!("{{\"ev\":{s}}}");
+        assert_eq!(field_str(&line, "ev").unwrap(), "a\"b\\c\nd\te\u{1}");
+    }
+}

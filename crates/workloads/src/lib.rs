@@ -28,11 +28,15 @@
 
 pub mod adversary;
 pub mod bursty;
+pub mod genome;
 pub mod random;
 pub mod scenarios;
 
 pub use adversary::{edf_killer, lru_killer, Adversary, EdfKillerParams, LruKillerParams};
 pub use bursty::{activity_profile, bursty_instance, BurstyConfig};
+pub use genome::{
+    crossover, mutate, parse_genome, random_genome, shrink_candidates, ColorGene, Genome,
+};
 pub use random::{
     batched_instance, general_instance, rate_limited_instance, BatchedConfig, GeneralConfig,
     RateLimitedConfig,
@@ -48,6 +52,9 @@ pub mod prelude {
         edf_killer, lru_killer, Adversary, EdfKillerParams, LruKillerParams,
     };
     pub use crate::bursty::{activity_profile, bursty_instance, BurstyConfig};
+    pub use crate::genome::{
+        crossover, mutate, parse_genome, random_genome, shrink_candidates, ColorGene, Genome,
+    };
     pub use crate::random::{
         batched_instance, general_instance, rate_limited_instance, BatchedConfig, GeneralConfig,
         RateLimitedConfig,

@@ -1,13 +1,39 @@
-//! The appendix adversaries head-to-head: feed the ΔLRU-killer (Appendix A)
-//! and the EDF-killer (Appendix B) to all three algorithms and watch the
-//! pure strategies collapse while ΔLRU-EDF stays within a constant factor
-//! of the handcrafted offline schedule.
+//! The adversaries head-to-head: feed the ΔLRU-killer (Appendix A), the
+//! EDF-killer (Appendix B), and the *discovered* corpus adversaries to
+//! every algorithm in the family — the pure strategies, ΔLRU-EDF, and the
+//! full reduction stack (Distribute §4 and VarBatch §5) — and watch the
+//! pure strategies collapse while the combined algorithm stays within a
+//! constant factor of the offline baseline.
 //!
 //! ```sh
 //! cargo run --example adversary_showdown
 //! ```
 
 use rrs::prelude::*;
+
+/// Run every policy in the family against one instance and print a ratio
+/// table against the given offline baseline cost.
+fn family_rows(inst: &Instance, n: usize, off_cost: u64) {
+    println!("   {:<10} {:>9} {:>7} {:>8} {:>7}", "policy", "reconfig$", "drops", "total", "ratio");
+    let row = |name: &str, out: Outcome| {
+        println!(
+            "   {:<10} {:>9} {:>7} {:>8} {:>7.2}",
+            name,
+            out.cost.reconfig_cost(),
+            out.dropped,
+            out.total_cost(),
+            ratio(out.total_cost(), off_cost)
+        );
+    };
+    row("dlru", Simulator::new(inst, n).run(&mut DeltaLru::new()));
+    row("edf", Simulator::new(inst, n).run(&mut Edf::new()));
+    row("dlru-edf", Simulator::new(inst, n).run(&mut DeltaLruEdf::new()));
+    // The reductions: Distribute splits batches across sub-colors (§4);
+    // the full stack adds VarBatch's bound rounding (§5). Discovered
+    // adversaries are exercised through both, not just the base problem.
+    row("distribute", Simulator::new(inst, n).run(&mut Distribute::new(DeltaLruEdf::new())));
+    row("full", Simulator::new(inst, n).run(&mut full_algorithm()));
+}
 
 fn showdown(title: &str, adv: &Adversary, n: usize) {
     println!("== {title} ==");
@@ -20,20 +46,37 @@ fn showdown(title: &str, adv: &Adversary, n: usize) {
     let off = Simulator::new(&adv.instance, adv.off_resources)
         .run(&mut ReplayPolicy::new(adv.off_schedule.clone()));
     println!("   OFF: cost {} (predicted {})", off.total_cost(), adv.predicted_off_cost);
-    println!("   {:<10} {:>9} {:>7} {:>8} {:>7}", "policy", "reconfig$", "drops", "total", "ratio");
-    let row = |name: &str, out: Outcome| {
-        println!(
-            "   {:<10} {:>9} {:>7} {:>8} {:>7.2}",
-            name,
-            out.cost.reconfig_cost(),
-            out.dropped,
-            out.total_cost(),
-            ratio(out.total_cost(), off.total_cost())
-        );
+    family_rows(&adv.instance, n, off.total_cost());
+    println!();
+}
+
+/// A committed corpus adversary: the baseline is the guarded exact OPT
+/// (falling back to the certified lower bound), exactly as the search
+/// refereed it.
+fn discovered_showdown(path: &str) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            println!("== (skipping {path}: {e}) ==\n");
+            return;
+        }
     };
-    row("dlru", Simulator::new(&adv.instance, n).run(&mut DeltaLru::new()));
-    row("edf", Simulator::new(&adv.instance, n).run(&mut Edf::new()));
-    row("dlru-edf", Simulator::new(&adv.instance, n).run(&mut DeltaLruEdf::new()));
+    let entry = parse_corpus_entry(&text).expect("committed fixture parses");
+    let inst = entry.genome.decode();
+    println!(
+        "== Discovered adversary for {} (genome {}) ==",
+        entry.policy.name(),
+        entry.genome.encode()
+    );
+    println!(
+        "   {} jobs over {} rounds; referee uses {} resource(s), {} baseline {}",
+        inst.total_jobs(),
+        inst.horizon(),
+        entry.referee_resources,
+        entry.referee.name(),
+        entry.base,
+    );
+    family_rows(&inst, entry.locations, entry.base);
     println!();
 }
 
@@ -46,7 +89,15 @@ fn main() {
     let b = edf_killer(EdfKillerParams { n, delta: 10, j: 4, k: 8 });
     showdown("Appendix B: the EDF killer (blinking shorts induce thrashing)", &b, n);
 
-    println!("ΔLRU-EDF's two-quarter cache defuses both attacks: the LRU quarter");
-    println!("keeps recently-hot colors resident through idle gaps (no thrashing),");
-    println!("the EDF quarter keeps backlogged colors progressing (no starvation).");
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/adversaries");
+    for fixture in ["dlru-seed42.adv", "edf-seed19.adv", "dlru-edf-seed5.adv"] {
+        discovered_showdown(&format!("{dir}/{fixture}"));
+    }
+
+    println!("ΔLRU-EDF's two-quarter cache defuses both handcrafted attacks: the LRU");
+    println!("quarter keeps recently-hot colors resident through idle gaps (no");
+    println!("thrashing), the EDF quarter keeps backlogged colors progressing (no");
+    println!("starvation). The reductions inherit the constant (Theorems 2-3), and");
+    println!("the evolved corpus shows the same separation on instances no human");
+    println!("hand-crafted.");
 }

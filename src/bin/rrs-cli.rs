@@ -15,6 +15,11 @@
 //! rrs-cli evaluate [--only NAME] [--metrics-out F]    print experiment tables
 //! rrs-cli report <TRACE.jsonl> [--instance FILE]      cost report from a trace
 //! rrs-cli report --run <policy> <FILE> [--locations N] live run + phase timing
+//! rrs-cli adversary-search [--seed N] [--budget GENS] [--policy P]
+//!         [--population N] [--elites N] [--locations N] [--referee-m M]
+//!         [--min-ratio R] [--no-shrink] [--shrink-evals N]
+//!         [--journal-out J.jsonl] [--fixture-out F.adv]
+//!                                                     evolve a worst-case instance
 //! ```
 //!
 //! The global `--jobs N` flag (any subcommand; default: all cores) sets the
@@ -76,7 +81,10 @@ fn usage() -> ExitCode {
          rrs-cli lemmas <FILE> [--locations N]\n  \
          rrs-cli evaluate [--only NAME] [--metrics-out REPORTS.jsonl]\n  \
          rrs-cli report <TRACE.jsonl> [--instance FILE]\n  \
-         rrs-cli report --run <policy> <FILE> [--locations N]\n\
+         rrs-cli report --run <policy> <FILE> [--locations N]\n  \
+         rrs-cli adversary-search [--seed N] [--budget GENS] [--policy P] [--population N]\n          \
+         [--elites N] [--locations N] [--referee-m M] [--min-ratio R] [--no-shrink]\n          \
+         [--shrink-evals N] [--journal-out J.jsonl] [--fixture-out F.adv]\n\
          global flags: --jobs N (parallel sweep workers; default: all cores)\n\
          kinds: rate-limited batched general router datacenter background bursty lru-killer edf-killer\n\
          policies: dlru edf classic-lru dlru-edf distribute full"
@@ -955,6 +963,134 @@ fn cmd_evaluate(mut args: Vec<String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Parse a decimal ratio threshold (`"1.5"`) into the exact rational the
+/// shrinker compares against — floats never enter the fitness order.
+fn parse_ratio_threshold(s: &str) -> Result<rrs::search::Fitness, String> {
+    let bad = |e: &dyn std::fmt::Display| format!("bad --min-ratio '{s}': {e}");
+    let (int_part, frac_part) = s.split_once('.').unwrap_or((s, ""));
+    if frac_part.len() > 6 {
+        return Err(bad(&"at most 6 decimal places"));
+    }
+    let int: u64 = int_part.parse().map_err(|e| bad(&e))?;
+    let frac: u64 =
+        if frac_part.is_empty() { 0 } else { frac_part.parse().map_err(|e| bad(&e))? };
+    let den = 10u64.pow(frac_part.len() as u32);
+    Ok(rrs::search::Fitness { cost: int * den + frac, base: den })
+}
+
+fn cmd_adversary_search(mut args: Vec<String>) -> Result<(), String> {
+    use rrs::search::{self, journal};
+
+    let seed = parse_u64(take_flag(&mut args, "--seed"), 0, "--seed")?;
+    let budget = parse_u64(take_flag(&mut args, "--budget"), 20, "--budget")? as u32;
+    let population = parse_u64(take_flag(&mut args, "--population"), 24, "--population")? as usize;
+    let elites = parse_u64(take_flag(&mut args, "--elites"), 4, "--elites")? as usize;
+    let locations = parse_u64(take_flag(&mut args, "--locations"), 8, "--locations")? as usize;
+    let referee_m = parse_u64(take_flag(&mut args, "--referee-m"), 1, "--referee-m")? as usize;
+    let policy_name = take_flag(&mut args, "--policy").unwrap_or_else(|| "dlru".into());
+    let policy = search::PolicyKind::parse(&policy_name)?;
+    let min_ratio =
+        take_flag(&mut args, "--min-ratio").map(|s| parse_ratio_threshold(&s)).transpose()?;
+    let shrink_evals = parse_u64(take_flag(&mut args, "--shrink-evals"), 2_000, "--shrink-evals")?;
+    let no_shrink = take_switch(&mut args, "--no-shrink");
+    let journal_out = take_flag(&mut args, "--journal-out");
+    let fixture_out = take_flag(&mut args, "--fixture-out");
+
+    let cfg = search::SearchConfig {
+        seed,
+        generations: budget,
+        population,
+        elites,
+        policy,
+        eval: search::EvalConfig { locations, referee_resources: referee_m, ..Default::default() },
+    };
+
+    let mut journal_text = String::new();
+    journal_text.push_str(&journal::meta_line(&cfg));
+    journal_text.push('\n');
+    let report = search::run_search(&cfg, |summary| {
+        journal_text.push_str(&journal::gen_line(summary));
+        journal_text.push('\n');
+        eprintln!(
+            "gen {:>3}  best {}  ratio {}",
+            summary.gen,
+            summary.best.genome.encode(),
+            rrs::analysis::table::fmt_ratio(summary.best.eval.fitness.ratio())
+        );
+    });
+    let mut evals = report.evals;
+
+    // Shrink while the ratio stays at the discovered level — or above the
+    // explicit `--min-ratio` floor when one is given.
+    let threshold = min_ratio.unwrap_or(report.best.eval.fitness);
+    let minimized = if no_shrink {
+        report.best.clone()
+    } else {
+        let shrunk =
+            search::shrink(&report.best, policy, &cfg.eval, threshold, shrink_evals, |step| {
+                journal_text.push_str(&journal::shrink_line(step));
+                journal_text.push('\n');
+            });
+        evals += shrunk.evals;
+        shrunk.minimized
+    };
+    journal_text.push_str(&journal::result_line(
+        &minimized.genome.encode(),
+        &minimized.eval,
+        minimized.genome.size(),
+        evals,
+    ));
+    journal_text.push('\n');
+
+    let mut table = rrs::analysis::Table::new(
+        format!("adversary-search: policy {} seed {seed} budget {budget}", policy.name()),
+        &["stage", "genome", "cost", "base", "ratio", "referee"],
+    );
+    for (stage, cand) in [("best", &report.best), ("shrunk", &minimized)] {
+        table.row(vec![
+            stage.into(),
+            cand.genome.encode(),
+            cand.eval.fitness.cost.to_string(),
+            cand.eval.fitness.base.to_string(),
+            rrs::analysis::table::fmt_ratio(cand.eval.fitness.ratio()),
+            cand.eval.referee.name().into(),
+        ]);
+    }
+    table.note(format!("{evals} fitness evaluations"));
+    println!("{table}");
+
+    if let Some(path) = journal_out {
+        std::fs::write(&path, &journal_text).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("wrote search journal to {path}");
+    }
+    if let Some(path) = fixture_out {
+        // Fixtures record the *corpus-pinned* referee's numbers, which may
+        // differ from the search's own (budget-tuned) evaluation.
+        let mut entry = search::CorpusEntry {
+            policy,
+            genome: minimized.genome.clone(),
+            locations,
+            referee_resources: referee_m,
+            cost: 0,
+            base: 0,
+            referee: search::Referee::Exact,
+        };
+        let replayed = entry.replay();
+        entry.cost = replayed.fitness.cost;
+        entry.base = replayed.fitness.base;
+        entry.referee = replayed.referee;
+        let cmdline = format!(
+            "discovered by: rrs-cli adversary-search --seed {seed} --budget {budget} --population {population} --elites {elites} --policy {} --locations {locations} --referee-m {referee_m}",
+            policy.name()
+        );
+        let text =
+            entry.to_text(&[&cmdline, "replayed under the pinned corpus referee (CORPUS_OPT)"]);
+        std::fs::write(&path, text).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("wrote corpus fixture to {path}");
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     // Global flag, usable with any subcommand.
@@ -986,6 +1122,7 @@ fn main() -> ExitCode {
         "lemmas" => cmd_lemmas(argv),
         "evaluate" => cmd_evaluate(argv),
         "report" => cmd_report(argv),
+        "adversary-search" => cmd_adversary_search(argv),
         _ => return usage(),
     };
     match result {

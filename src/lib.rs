@@ -19,6 +19,9 @@
 //! * [`workloads`] — adversarial, random and scenario workload generators.
 //! * [`analysis`] — instrumented runs, lemma checkers and the experiment
 //!   harness that regenerates every analytical result in the paper.
+//! * [`search`] — the evolutionary worst-case fuzzer that *discovers*
+//!   adversarial instances instead of replaying the appendix
+//!   constructions, plus its shrinking minimizer and regression corpus.
 //!
 //! ## Quickstart
 //!
@@ -52,6 +55,7 @@ pub use rrs_core as core;
 pub use rrs_engine as engine;
 pub use rrs_model as model;
 pub use rrs_offline as offline;
+pub use rrs_search as search;
 pub use rrs_workloads as workloads;
 
 /// One-stop imports for examples and downstream users.
@@ -65,5 +69,6 @@ pub mod prelude {
         StreamError, TextStream, ValidationError, BLACK,
     };
     pub use rrs_offline::prelude::*;
+    pub use rrs_search::prelude::*;
     pub use rrs_workloads::prelude::*;
 }

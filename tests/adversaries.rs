@@ -1,7 +1,12 @@
-//! Integration: the appendix lower-bound constructions at full strength.
-//! These are the paper's two negative results plus the positive one, run
-//! end to end: the pure strategies' ratios grow without bound in the swept
-//! parameter while ΔLRU-EDF holds a constant.
+//! Integration: the appendix lower-bound constructions at full strength,
+//! plus the *discovered* adversaries. The first half runs the paper's two
+//! negative results and the positive one end to end: the pure strategies'
+//! ratios grow without bound in the swept parameter while ΔLRU-EDF holds a
+//! constant. The second half replays the committed regression corpus
+//! (genomes found by `rrs-cli adversary-search`, minimized by the
+//! shrinker) at their exact recorded costs, and re-runs a small fixed-seed
+//! search to prove it still rediscovers an instance family at least as
+//! strong as the Appendix A construction for the matching pure policy.
 
 use rrs::prelude::*;
 
@@ -109,6 +114,105 @@ fn appendix_b_edf_pays_in_reconfigurations_not_drops() {
         "reconfig {} vs drop {}",
         out.cost.reconfig_cost(),
         out.cost.drop_cost()
+    );
+}
+
+// ---------------------------------------------------------------------
+// The discovered-adversary corpus (ROADMAP item 4a).
+
+/// Load every committed fixture, sorted by file name for determinism.
+fn corpus() -> Vec<(String, CorpusEntry)> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/adversaries");
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .expect("fixture directory exists")
+        .map(|e| e.expect("readable dir entry").file_name().into_string().unwrap())
+        .filter(|n| n.ends_with(".adv"))
+        .collect();
+    names.sort();
+    assert!(!names.is_empty(), "regression corpus must not be empty");
+    names
+        .into_iter()
+        .map(|n| {
+            let text = std::fs::read_to_string(format!("{dir}/{n}")).expect("readable fixture");
+            let entry = parse_corpus_entry(&text).unwrap_or_else(|e| panic!("{n}: {e}"));
+            (n, entry)
+        })
+        .collect()
+}
+
+#[test]
+fn committed_corpus_replays_at_recorded_ratios() {
+    for (name, entry) in corpus() {
+        let replayed = entry.replay();
+        assert_eq!(replayed.fitness.cost, entry.cost, "{name}: online cost drifted");
+        assert_eq!(replayed.fitness.base, entry.base, "{name}: referee baseline drifted");
+        assert_eq!(replayed.referee, entry.referee, "{name}: referee kind drifted");
+    }
+}
+
+#[test]
+fn committed_corpus_genomes_decode_and_round_trip() {
+    // decode∘encode identity plus well-formedness, on the committed corpus
+    // (the proptest in rrs-workloads covers random genomes).
+    for (name, entry) in corpus() {
+        let encoded = entry.genome.encode();
+        let reparsed = parse_genome(&encoded).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(reparsed, entry.genome, "{name}: encode/parse identity");
+        let inst = entry.genome.decode();
+        assert!(inst.check_colors(), "{name}: colors out of range");
+        assert!(classify::check_rate_limited(&inst).is_ok(), "{name}: not rate-limited");
+        assert!(inst.total_jobs() > 0, "{name}: committed adversary must be non-empty");
+        assert_eq!(inst, entry.genome.decode(), "{name}: decode must be deterministic");
+    }
+}
+
+#[test]
+fn committed_journals_parse_and_end_in_the_fixture_genome() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/adversaries");
+    for (name, entry) in corpus() {
+        let jpath = format!("{dir}/{}", name.replace(".adv", ".journal.jsonl"));
+        let text = std::fs::read_to_string(&jpath).expect("journal beside each fixture");
+        let lines = parse_journal(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let Some(JournalLine::Result { genome, .. }) = lines.last() else {
+            panic!("{name}: journal must end in a result line");
+        };
+        assert_eq!(
+            genome,
+            &entry.genome.encode(),
+            "{name}: journal result and fixture genome diverged"
+        );
+    }
+}
+
+#[test]
+fn search_rediscovers_a_dlru_adversary_at_least_as_strong_as_appendix_a() {
+    // Measure Appendix A through the same referee the search uses, with
+    // matching geometry (8 locations online, 1 referee resource) — an
+    // apples-to-apples bar for the rediscovery acceptance criterion.
+    let eval = EvalConfig::default();
+    let adv = lru_killer(LruKillerParams { n: 8, delta: 2, j: 4, k: 6 });
+    let appendix = evaluate_instance(&adv.instance, PolicyKind::DeltaLru, &eval);
+    assert!(
+        appendix.fitness.ratio() > 1.0,
+        "Appendix A must beat ΔLRU under the shared referee: {appendix:?}"
+    );
+
+    let cfg = SearchConfig {
+        seed: 42,
+        generations: 4,
+        population: 16,
+        elites: 4,
+        policy: PolicyKind::DeltaLru,
+        eval,
+    };
+    let report = run_search(&cfg, |_| {});
+    assert!(
+        report.best.eval.fitness.cmp_ratio(&appendix.fitness).is_ge(),
+        "search best {:?} (ratio {:.3}) must reach Appendix A's {:?} (ratio {:.3})",
+        report.best.eval.fitness,
+        report.best.eval.fitness.ratio(),
+        appendix.fitness,
+        appendix.fitness.ratio(),
     );
 }
 

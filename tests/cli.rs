@@ -427,3 +427,93 @@ fn all_generator_kinds_work() {
         assert!(rrs::model::from_text(&text).is_ok(), "{kind} output must parse");
     }
 }
+
+#[test]
+fn adversary_search_journal_is_identical_across_jobs() {
+    // The acceptance criterion: `adversary-search --seed S --budget B` is
+    // deterministic — identical journals at --jobs 1 and --jobs 4.
+    let j1 = tmpfile("adv-jobs1.jsonl");
+    let j4 = tmpfile("adv-jobs4.jsonl");
+    for (jobs, path) in [("1", &j1), ("4", &j4)] {
+        let out = cli()
+            .args([
+                "adversary-search",
+                "--seed",
+                "42",
+                "--budget",
+                "2",
+                "--population",
+                "8",
+                "--policy",
+                "dlru",
+                "--shrink-evals",
+                "60",
+                "--jobs",
+                jobs,
+                "--journal-out",
+            ])
+            .arg(path)
+            .output()
+            .expect("spawn");
+        assert!(
+            out.status.success(),
+            "adversary-search --jobs {jobs}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("adversary-search: policy dlru"), "{text}");
+    }
+    let a = std::fs::read(&j1).unwrap();
+    let b = std::fs::read(&j4).unwrap();
+    assert_eq!(a, b, "journal bytes must not depend on worker count");
+
+    // And the journal must satisfy the versioned schema.
+    let lines = rrs::search::parse_journal(&String::from_utf8(a).unwrap()).expect("valid journal");
+    assert!(matches!(lines[0], rrs::search::JournalLine::Meta { seed: 42, budget: 2, .. }));
+    assert!(matches!(lines.last(), Some(rrs::search::JournalLine::Result { .. })));
+
+    std::fs::remove_file(&j1).ok();
+    std::fs::remove_file(&j4).ok();
+}
+
+#[test]
+fn adversary_search_writes_a_replayable_fixture() {
+    let fx = tmpfile("adv-fixture.adv");
+    let out = cli()
+        .args([
+            "adversary-search",
+            "--seed",
+            "19",
+            "--budget",
+            "2",
+            "--population",
+            "8",
+            "--policy",
+            "edf",
+            "--shrink-evals",
+            "60",
+            "--fixture-out",
+        ])
+        .arg(&fx)
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&fx).unwrap();
+    let entry = rrs::search::parse_corpus_entry(&text).expect("fixture parses");
+    let replayed = entry.replay();
+    assert_eq!(replayed.fitness.cost, entry.cost);
+    assert_eq!(replayed.fitness.base, entry.base);
+    std::fs::remove_file(&fx).ok();
+}
+
+#[test]
+fn adversary_search_rejects_bad_flags() {
+    let out = cli().args(["adversary-search", "--policy", "bogus"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown policy"));
+
+    let out =
+        cli().args(["adversary-search", "--min-ratio", "1.x", "--budget", "0"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad --min-ratio"));
+}
