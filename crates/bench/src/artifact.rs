@@ -1,0 +1,512 @@
+//! `BENCH_<suite>.json` artifacts: the committed benchmark trajectory.
+//!
+//! An artifact is one JSON document per suite recording, for every bench in
+//! the suite, two strictly separated metric blocks:
+//!
+//! * `"deterministic"` — integer metrics that are pure functions of the
+//!   pinned workload (allocs/round, snapshot bytes, sweep item totals,
+//!   counter values). Byte-identical across runs, machines and `--jobs`
+//!   settings; a change is a semantic change and `bench compare` hard-fails
+//!   on increases.
+//! * `"advisory"` — wall-clock-derived numbers (rounds/sec percentiles,
+//!   scaling efficiency, peak heap). Machine-dependent by nature; `bench
+//!   compare` only warns when they move beyond a threshold.
+//!
+//! Serialization is hand-rolled (no serde — the workspace's no-registry
+//! constraint) with sorted keys and fixed float formatting, so re-encoding
+//! a parsed artifact reproduces the input byte-for-byte: the
+//! `parse → to_json` round trip is the schema's own regression test.
+
+use std::fmt::Write as _;
+
+/// Version stamped into every artifact; bump on breaking schema changes.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// The canonical committed filename for a suite.
+pub fn artifact_filename(suite: &str) -> String {
+    format!("BENCH_{suite}.json")
+}
+
+/// One benchmark's metrics.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BenchRecord {
+    /// Bench name, unique within the suite.
+    pub name: String,
+    /// Deterministic integer metrics, name-sorted on write.
+    pub deterministic: Vec<(String, u64)>,
+    /// Advisory wall-clock-derived metrics, name-sorted on write.
+    pub advisory: Vec<(String, f64)>,
+}
+
+impl BenchRecord {
+    /// A record with the given name and no metrics yet.
+    pub fn new(name: &str) -> Self {
+        Self { name: name.to_string(), ..Self::default() }
+    }
+
+    /// Add a deterministic metric.
+    pub fn det(&mut self, name: &str, value: u64) -> &mut Self {
+        self.deterministic.push((name.to_string(), value));
+        self
+    }
+
+    /// Add an advisory metric.
+    pub fn adv(&mut self, name: &str, value: f64) -> &mut Self {
+        self.advisory.push((name.to_string(), value));
+        self
+    }
+
+    /// Look up a deterministic metric.
+    pub fn det_value(&self, name: &str) -> Option<u64> {
+        self.deterministic.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Look up an advisory metric.
+    pub fn adv_value(&self, name: &str) -> Option<f64> {
+        self.advisory.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+}
+
+/// One suite run: identity plus its bench records.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchArtifact {
+    /// Schema version ([`BENCH_SCHEMA_VERSION`]).
+    pub schema: u64,
+    /// Suite name (`core`, `sweep`).
+    pub suite: String,
+    /// `quick` (CI tier) or `full`. Artifacts of different tiers pin
+    /// different workload sizes and must not be compared.
+    pub tier: String,
+    /// Timing repetitions the advisory percentiles were computed over.
+    pub repetitions: u32,
+    /// The suite's benches, in suite order.
+    pub benches: Vec<BenchRecord>,
+}
+
+impl BenchArtifact {
+    /// An empty artifact for a suite.
+    pub fn new(suite: &str, tier: &str, repetitions: u32) -> Self {
+        Self {
+            schema: BENCH_SCHEMA_VERSION,
+            suite: suite.to_string(),
+            tier: tier.to_string(),
+            repetitions,
+            benches: Vec::new(),
+        }
+    }
+
+    /// Find a bench by name.
+    pub fn bench(&self, name: &str) -> Option<&BenchRecord> {
+        self.benches.iter().find(|b| b.name == name)
+    }
+
+    /// Serialize with sorted metric keys and fixed float formatting. The
+    /// output ends in a newline and re-encodes byte-identically after
+    /// [`BenchArtifact::parse`].
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"schema\": {},", self.schema);
+        let _ = writeln!(s, "  \"suite\": {},", json_str(&self.suite));
+        let _ = writeln!(s, "  \"tier\": {},", json_str(&self.tier));
+        let _ = writeln!(s, "  \"repetitions\": {},", self.repetitions);
+        s.push_str("  \"benches\": [\n");
+        for (i, b) in self.benches.iter().enumerate() {
+            s.push_str("    {\n");
+            let _ = writeln!(s, "      \"name\": {},", json_str(&b.name));
+            let mut det = b.deterministic.clone();
+            det.sort();
+            s.push_str("      \"deterministic\": {");
+            for (j, (name, v)) in det.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "\n        {}: {v}", json_str(name));
+            }
+            s.push_str(if det.is_empty() { "},\n" } else { "\n      },\n" });
+            let mut adv = b.advisory.clone();
+            adv.sort_by(|a, b| a.0.cmp(&b.0));
+            s.push_str("      \"advisory\": {");
+            for (j, (name, v)) in adv.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "\n        {}: {}", json_str(name), fmt_f64(*v));
+            }
+            s.push_str(if adv.is_empty() { "}\n" } else { "\n      }\n" });
+            s.push_str(if i + 1 < self.benches.len() { "    },\n" } else { "    }\n" });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Parse an artifact, validating the schema version.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let root = Json::parse(text)?;
+        let obj = root.as_obj("artifact")?;
+        let schema = get(obj, "schema")?.as_u64("schema")?;
+        if schema != BENCH_SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported bench schema {schema} (supported: {BENCH_SCHEMA_VERSION})"
+            ));
+        }
+        let mut artifact = BenchArtifact::new(
+            get(obj, "suite")?.as_str("suite")?,
+            get(obj, "tier")?.as_str("tier")?,
+            u32::try_from(get(obj, "repetitions")?.as_u64("repetitions")?)
+                .map_err(|_| "repetitions out of range".to_string())?,
+        );
+        for entry in get(obj, "benches")?.as_arr("benches")? {
+            let bobj = entry.as_obj("bench")?;
+            let mut record = BenchRecord::new(get(bobj, "name")?.as_str("name")?);
+            for (name, v) in get(bobj, "deterministic")?.as_obj("deterministic")? {
+                record.det(name, v.as_u64(name)?);
+            }
+            for (name, v) in get(bobj, "advisory")?.as_obj("advisory")? {
+                record.adv(name, v.as_f64(name)?);
+            }
+            artifact.benches.push(record);
+        }
+        Ok(artifact)
+    }
+}
+
+/// Fixed float formatting: enough precision to be useful, short enough to
+/// re-encode identically after a parse round trip.
+pub fn fmt_f64(v: f64) -> String {
+    if !v.is_finite() {
+        // JSON has no Inf/NaN; clamp to 0 rather than emit invalid output.
+        return "0.0".into();
+    }
+    let text = format!("{v:.3}");
+    // Trim trailing zeros but keep one fractional digit so the token stays
+    // unambiguously a float.
+    let trimmed = text.trim_end_matches('0');
+    if trimmed.ends_with('.') {
+        format!("{trimmed}0")
+    } else {
+        trimmed.to_string()
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// ---------------------------------------------------------------------------
+// A minimal recursive JSON reader (objects, arrays, strings, numbers kept
+// as raw text for exact u64/f64 extraction). The trace sink's flat scanner
+// cannot read the nested artifact shape, hence this separate reader.
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value; numbers keep their raw text so integers round-trip
+/// exactly.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true`/`false`.
+    Bool(bool),
+    /// A number, kept as its raw token text.
+    Num(String),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object as ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parse a complete JSON document (trailing whitespace allowed).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    fn as_obj(&self, what: &str) -> Result<&[(String, Json)], String> {
+        match self {
+            Json::Obj(fields) => Ok(fields),
+            other => Err(format!("'{what}' is not an object: {other:?}")),
+        }
+    }
+
+    fn as_arr(&self, what: &str) -> Result<&[Json], String> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => Err(format!("'{what}' is not an array: {other:?}")),
+        }
+    }
+
+    fn as_str(&self, what: &str) -> Result<&str, String> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(format!("'{what}' is not a string: {other:?}")),
+        }
+    }
+
+    fn as_u64(&self, what: &str) -> Result<u64, String> {
+        match self {
+            Json::Num(raw) => {
+                raw.parse::<u64>().map_err(|e| format!("'{what}' is not a u64 ({raw}): {e}"))
+            }
+            other => Err(format!("'{what}' is not a number: {other:?}")),
+        }
+    }
+
+    fn as_f64(&self, what: &str) -> Result<f64, String> {
+        match self {
+            Json::Num(raw) => {
+                raw.parse::<f64>().map_err(|e| format!("'{what}' is not a number ({raw}): {e}"))
+            }
+            other => Err(format!("'{what}' is not a number: {other:?}")),
+        }
+    }
+}
+
+fn get<'a>(fields: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
+    fields
+        .iter()
+        .find_map(|(k, v)| (k == key).then_some(v))
+        .ok_or_else(|| format!("missing field '{key}'"))
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at offset {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at offset {}", self.pos))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self.peek().ok_or("unterminated string")?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return Err("short \\u escape".into());
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| "bad \\u escape")?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape '\\{}'", other as char)),
+                    }
+                }
+                _ => {
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && self.bytes[end] & 0b1100_0000 == 0b1000_0000 {
+                        end += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| "invalid UTF-8 in string")?;
+                    out.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        // Validate now so downstream extraction errors are about types,
+        // not syntax.
+        raw.parse::<f64>().map_err(|e| format!("bad number '{raw}': {e}"))?;
+        Ok(Json::Num(raw.to_string()))
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek().ok_or("unexpected end of input")? {
+            b'{' => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let val = self.value()?;
+                    fields.push((key, val));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Json::Obj(fields));
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at offset {}", self.pos)),
+                    }
+                }
+            }
+            b'[' => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return Err(format!("expected ',' or ']' at offset {}", self.pos)),
+                    }
+                }
+            }
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchArtifact {
+        let mut a = BenchArtifact::new("core", "quick", 3);
+        let mut b = BenchRecord::new("steady_round_loop");
+        b.det("rounds", 512).det("allocs_per_round_steady", 0).det("jobs_dropped", 17);
+        b.adv("rounds_per_sec_median", 123456.789).adv("rounds_per_sec_p10", 100000.0);
+        a.benches.push(b);
+        let mut b = BenchRecord::new("empty_metrics");
+        b.name = "empty_metrics".into();
+        a.benches.push(b);
+        a
+    }
+
+    #[test]
+    fn artifact_round_trips_byte_identically() {
+        let a = sample();
+        let json = a.to_json();
+        let parsed = BenchArtifact::parse(&json).expect("parses");
+        assert_eq!(parsed.to_json(), json, "re-encode must be byte-identical");
+        assert_eq!(parsed.bench("steady_round_loop").unwrap().det_value("rounds"), Some(512));
+        assert_eq!(
+            parsed.bench("steady_round_loop").unwrap().adv_value("rounds_per_sec_p10"),
+            Some(100000.0)
+        );
+    }
+
+    #[test]
+    fn schema_version_is_enforced() {
+        let json = sample().to_json().replace("\"schema\": 1", "\"schema\": 99");
+        let err = BenchArtifact::parse(&json).unwrap_err();
+        assert!(err.contains("schema 99"), "{err}");
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        for bad in ["", "{", "{\"schema\":1", "[1,2", "{\"schema\":1}trailing", "{\"a\" 1}"] {
+            assert!(BenchArtifact::parse(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn float_formatting_is_stable() {
+        assert_eq!(fmt_f64(0.0), "0.0");
+        assert_eq!(fmt_f64(1.5), "1.5");
+        assert_eq!(fmt_f64(123456.789), "123456.789");
+        assert_eq!(fmt_f64(2.0), "2.0");
+        assert_eq!(fmt_f64(0.1239), "0.124");
+        assert_eq!(fmt_f64(f64::NAN), "0.0");
+        // Round trip through the parser.
+        assert_eq!(fmt_f64(fmt_f64(3.25).parse::<f64>().unwrap()), "3.25");
+    }
+
+    #[test]
+    fn filename_convention() {
+        assert_eq!(artifact_filename("core"), "BENCH_core.json");
+    }
+}

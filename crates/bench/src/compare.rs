@@ -1,0 +1,270 @@
+//! `bench compare`: the regression gate between two `BENCH_*.json`
+//! artifacts.
+//!
+//! The gate's severity tracks the artifact's determinism split:
+//!
+//! * **deterministic** metric increased, or present in the baseline but
+//!   missing from the candidate → **failure** (exit nonzero). These are
+//!   pure functions of the pinned workload, so any increase is a real
+//!   regression, not noise.
+//! * deterministic metric *decreased* → note (an improvement; the baseline
+//!   should be refreshed so the gate ratchets down).
+//! * **advisory** metric moved beyond `warn_pct` in the unfavorable
+//!   direction → **warning** (reported, never fatal — wall clock is
+//!   machine-dependent).
+//! * bench present in the candidate but not the baseline → note (new
+//!   coverage, nothing to compare).
+//!
+//! Artifacts of different suites, tiers or schema versions are not
+//! comparable at all; that is an `Err`, not a failure list.
+
+use crate::artifact::{fmt_f64, BenchArtifact};
+
+/// Thresholds for the advisory (wall-clock) side of the gate.
+#[derive(Clone, Copy, Debug)]
+pub struct CompareConfig {
+    /// Relative change beyond which an advisory metric draws a warning.
+    pub warn_pct: f64,
+}
+
+impl Default for CompareConfig {
+    fn default() -> Self {
+        // Generous: CI machines vary; the warning exists to flag "look at
+        // this", not to gate merges.
+        Self { warn_pct: 25.0 }
+    }
+}
+
+/// Outcome of comparing a candidate artifact against a baseline.
+#[derive(Clone, Debug, Default)]
+pub struct Comparison {
+    /// Deterministic regressions — each one makes [`Comparison::regressed`]
+    /// true.
+    pub failures: Vec<String>,
+    /// Advisory drifts beyond the threshold.
+    pub warnings: Vec<String>,
+    /// Non-fatal observations (improvements, new benches).
+    pub notes: Vec<String>,
+}
+
+impl Comparison {
+    /// Whether the candidate regressed (any deterministic failure).
+    pub fn regressed(&self) -> bool {
+        !self.failures.is_empty()
+    }
+
+    /// Human-readable report, one line per finding, failures first.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for f in &self.failures {
+            out.push_str("FAIL  ");
+            out.push_str(f);
+            out.push('\n');
+        }
+        for w in &self.warnings {
+            out.push_str("WARN  ");
+            out.push_str(w);
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str("note  ");
+            out.push_str(n);
+            out.push('\n');
+        }
+        if out.is_empty() {
+            out.push_str("ok    no differences beyond thresholds\n");
+        }
+        out
+    }
+}
+
+/// Metrics where *larger* is better, so the unfavorable direction for the
+/// advisory warning (and the regressing direction for deterministic
+/// metrics) is a *decrease*. Matched by suffix so per-percentile variants
+/// (`rounds_per_sec_median`, `..._p10`, `..._p90`) are covered.
+fn larger_is_better(name: &str) -> bool {
+    ["rounds_per_sec", "_per_sec_median", "_per_sec_p10", "_per_sec_p90", "efficiency", "speedup"]
+        .iter()
+        .any(|pat| name.contains(pat))
+}
+
+/// Compare `candidate` against `baseline`. `Err` means the two artifacts
+/// are not comparable at all (different suite/tier/schema).
+pub fn compare_artifacts(
+    baseline: &BenchArtifact,
+    candidate: &BenchArtifact,
+    config: &CompareConfig,
+) -> Result<Comparison, String> {
+    if baseline.suite != candidate.suite {
+        return Err(format!(
+            "suite mismatch: baseline '{}' vs candidate '{}'",
+            baseline.suite, candidate.suite
+        ));
+    }
+    if baseline.tier != candidate.tier {
+        return Err(format!(
+            "tier mismatch: baseline '{}' vs candidate '{}' (quick and full artifacts pin \
+             different workload sizes and are not comparable)",
+            baseline.tier, candidate.tier
+        ));
+    }
+    let mut cmp = Comparison::default();
+    for base_bench in &baseline.benches {
+        let Some(cand_bench) = candidate.bench(&base_bench.name) else {
+            cmp.failures.push(format!("bench '{}' missing from candidate", base_bench.name));
+            continue;
+        };
+        for &(ref name, base_v) in &base_bench.deterministic {
+            let Some(cand_v) = cand_bench.det_value(name) else {
+                cmp.failures.push(format!(
+                    "{}/{name}: deterministic metric missing from candidate",
+                    base_bench.name
+                ));
+                continue;
+            };
+            let worse = if larger_is_better(name) { cand_v < base_v } else { cand_v > base_v };
+            if worse {
+                cmp.failures.push(format!(
+                    "{}/{name}: deterministic regression {base_v} -> {cand_v}",
+                    base_bench.name
+                ));
+            } else if cand_v != base_v {
+                cmp.notes.push(format!(
+                    "{}/{name}: deterministic improvement {base_v} -> {cand_v} (consider \
+                     refreshing the baseline)",
+                    base_bench.name
+                ));
+            }
+        }
+        for &(ref name, base_v) in &base_bench.advisory {
+            let Some(cand_v) = cand_bench.adv_value(name) else {
+                cmp.warnings.push(format!(
+                    "{}/{name}: advisory metric missing from candidate",
+                    base_bench.name
+                ));
+                continue;
+            };
+            if base_v == 0.0 {
+                continue;
+            }
+            let delta_pct = (cand_v - base_v) / base_v * 100.0;
+            let unfavorable =
+                if larger_is_better(name) { delta_pct < 0.0 } else { delta_pct > 0.0 };
+            if unfavorable && delta_pct.abs() > config.warn_pct {
+                cmp.warnings.push(format!(
+                    "{}/{name}: {} -> {} ({:+.1}% wall clock, advisory only)",
+                    base_bench.name,
+                    fmt_f64(base_v),
+                    fmt_f64(cand_v),
+                    delta_pct
+                ));
+            }
+        }
+    }
+    for cand_bench in &candidate.benches {
+        if baseline.bench(&cand_bench.name).is_none() {
+            cmp.notes.push(format!("bench '{}' is new (not in baseline)", cand_bench.name));
+        }
+    }
+    Ok(cmp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::BenchRecord;
+
+    fn artifact() -> BenchArtifact {
+        let mut a = BenchArtifact::new("core", "quick", 3);
+        let mut b = BenchRecord::new("steady");
+        b.det("allocs_per_round_steady", 0).det("jobs_dropped", 10);
+        b.adv("rounds_per_sec_median", 1000.0).adv("peak_heap_bytes", 4096.0);
+        a.benches.push(b);
+        a
+    }
+
+    #[test]
+    fn identical_artifacts_are_clean() {
+        let a = artifact();
+        let cmp = compare_artifacts(&a, &a, &CompareConfig::default()).unwrap();
+        assert!(!cmp.regressed());
+        assert!(cmp.warnings.is_empty() && cmp.notes.is_empty());
+        assert!(cmp.render().starts_with("ok"));
+    }
+
+    #[test]
+    fn deterministic_increase_fails() {
+        let base = artifact();
+        let mut cand = artifact();
+        cand.benches[0].deterministic[0].1 = 7; // allocs/round 0 -> 7
+        let cmp = compare_artifacts(&base, &cand, &CompareConfig::default()).unwrap();
+        assert!(cmp.regressed());
+        assert!(cmp.failures[0].contains("allocs_per_round_steady"), "{:?}", cmp.failures);
+    }
+
+    #[test]
+    fn deterministic_decrease_is_a_note_not_a_failure() {
+        let base = artifact();
+        let mut cand = artifact();
+        cand.benches[0].deterministic[1].1 = 5; // jobs_dropped 10 -> 5
+        let cmp = compare_artifacts(&base, &cand, &CompareConfig::default()).unwrap();
+        assert!(!cmp.regressed());
+        assert_eq!(cmp.notes.len(), 1);
+    }
+
+    #[test]
+    fn missing_bench_and_metric_fail() {
+        let base = artifact();
+        let mut cand = artifact();
+        cand.benches[0].deterministic.clear();
+        let cmp = compare_artifacts(&base, &cand, &CompareConfig::default()).unwrap();
+        assert_eq!(cmp.failures.len(), 2);
+        let cand_empty = BenchArtifact::new("core", "quick", 3);
+        let cmp = compare_artifacts(&base, &cand_empty, &CompareConfig::default()).unwrap();
+        assert!(cmp.regressed());
+    }
+
+    #[test]
+    fn advisory_drift_warns_only_when_unfavorable_and_large() {
+        let base = artifact();
+        let mut cand = artifact();
+        // Throughput down 50% (unfavorable for larger-is-better) -> warn.
+        cand.benches[0].advisory[0].1 = 500.0;
+        // Peak heap down 50% (favorable for smaller-is-better) -> silent.
+        cand.benches[0].advisory[1].1 = 2048.0;
+        let cmp = compare_artifacts(&base, &cand, &CompareConfig::default()).unwrap();
+        assert!(!cmp.regressed());
+        assert_eq!(cmp.warnings.len(), 1, "{:?}", cmp.warnings);
+        assert!(cmp.warnings[0].contains("rounds_per_sec_median"));
+        // Throughput *up* 50% is favorable -> silent.
+        cand.benches[0].advisory[0].1 = 1500.0;
+        cand.benches[0].advisory[1].1 = 4096.0;
+        let cmp = compare_artifacts(&base, &cand, &CompareConfig::default()).unwrap();
+        assert!(cmp.warnings.is_empty());
+        // Small unfavorable drift stays under the threshold.
+        cand.benches[0].advisory[0].1 = 900.0;
+        let cmp = compare_artifacts(&base, &cand, &CompareConfig::default()).unwrap();
+        assert!(cmp.warnings.is_empty());
+    }
+
+    #[test]
+    fn suite_and_tier_mismatch_are_errors() {
+        let base = artifact();
+        let mut other = artifact();
+        other.suite = "sweep".into();
+        assert!(compare_artifacts(&base, &other, &CompareConfig::default()).is_err());
+        let mut other = artifact();
+        other.tier = "full".into();
+        assert!(compare_artifacts(&base, &other, &CompareConfig::default()).is_err());
+    }
+
+    #[test]
+    fn new_bench_in_candidate_is_a_note() {
+        let base = artifact();
+        let mut cand = artifact();
+        cand.benches.push(BenchRecord::new("brand_new"));
+        let cmp = compare_artifacts(&base, &cand, &CompareConfig::default()).unwrap();
+        assert!(!cmp.regressed());
+        assert!(cmp.notes.iter().any(|n| n.contains("brand_new")));
+    }
+}

@@ -14,8 +14,26 @@
 //!
 //! Each target prints its regenerated table once (the paper-shaped output)
 //! and then times the regeneration. Run with `cargo bench`.
+//!
+//! Beyond the Criterion targets, this crate hosts the committed benchmark
+//! trajectory: [`alloc_probe`] (the reusable counting global allocator),
+//! [`suite`] (the fixed `rrs bench` suites), [`artifact`] (the
+//! `BENCH_<suite>.json` schema) and [`compare`] (the regression gate).
 
-#![forbid(unsafe_code)]
+// `deny` rather than the workspace-standard `forbid` because
+// `alloc_probe` needs an audited module-level `allow(unsafe_code)` for its
+// `GlobalAlloc` impl, and `forbid` cannot be overridden. Every other
+// module in this crate stays unsafe-free under the deny.
+#![deny(unsafe_code)]
+
+pub mod alloc_probe;
+pub mod artifact;
+pub mod compare;
+pub mod suite;
+
+pub use alloc_probe::AllocProbe;
+pub use artifact::{artifact_filename, BenchArtifact, BenchRecord};
+pub use compare::{compare_artifacts, CompareConfig, Comparison};
 
 use std::sync::Once;
 

@@ -1,0 +1,570 @@
+//! The fixed suites behind `rrs bench`: each suite produces one
+//! [`BenchArtifact`] whose deterministic metrics are pure functions of the
+//! pinned workloads and whose advisory metrics are wall-clock percentiles
+//! over repeated timed runs.
+//!
+//! Suites:
+//!
+//! * **core** — single-threaded engine trajectory: the steady round loop
+//!   (with allocs/round from [`crate::alloc_probe`]), the streamed soak
+//!   with periodic checkpoints, the snapshot encode/decode codec, and
+//!   exact OPT on a pinned adversary-corpus genome.
+//! * **sweep** — `par_map_sweep` at 1/2/4/8 workers over a seeded bursty
+//!   instance set, with scaling efficiency from per-worker telemetry. The
+//!   deterministic side is *totals* (item count, summed cost checksum):
+//!   the work-stealing queue makes the per-worker item *split*
+//!   timing-dependent, so the split is advisory while the totals are
+//!   byte-identical at any worker count.
+//!
+//! No wall-clock API is touched directly here — all timing goes through
+//! [`Stopwatch`], the engine's audited advisory timer.
+
+use std::io::{BufReader, Read, Write as _};
+use std::time::Duration;
+
+use rrs_engine::obs::names;
+use rrs_engine::{
+    encode_snapshot, jobs, par_map_sweep_stats, run_stream_session, set_jobs, CheckpointPolicy,
+    CounterRecorder, CounterRegistry, NoWatcher, NullRecorder, Policy, Recorder, Scratch,
+    SessionResult, Simulator, SnapshotFile, Stopwatch, StreamOptions,
+};
+use rrs_model::{Instance, InstanceBuilder, TextStream};
+use rrs_offline::{solve_opt_guarded, OptConfig};
+use rrs_workloads::bursty::{bursty_instance, BurstyConfig};
+use rrs_workloads::genome::parse_genome;
+
+use crate::alloc_probe;
+use crate::artifact::{BenchArtifact, BenchRecord};
+
+/// Suite names accepted by `rrs bench`.
+pub const SUITES: &[&str] = &["core", "sweep"];
+
+/// The pinned OPT fixture: the seed adversary from
+/// `tests/fixtures/adversaries/dlru-seed42.adv` (Δ=16, one color; the
+/// exact referee scores OPT at 16 against ΔLRU's 47). Pinning the genome
+/// text — not the decoded instance — keeps the bench tied to the same
+/// corpus wire format the adversary search replays.
+pub const PINNED_OPT_GENOME: &str = "d16|3:5:1:0:4";
+
+/// Workload sizing + timing repetitions for one suite run.
+#[derive(Clone, Copy, Debug)]
+pub struct SuiteConfig {
+    /// `true` shrinks workloads to the CI tier committed as `BENCH_*.json`.
+    pub quick: bool,
+    /// Timed repetitions behind the advisory percentiles.
+    pub repetitions: u32,
+}
+
+impl SuiteConfig {
+    /// The standard configuration for a tier.
+    pub fn new(quick: bool) -> Self {
+        Self { quick, repetitions: if quick { 3 } else { 7 } }
+    }
+
+    /// The artifact tier label.
+    pub fn tier(&self) -> &'static str {
+        if self.quick {
+            "quick"
+        } else {
+            "full"
+        }
+    }
+
+    fn pick(&self, quick: u64, full: u64) -> u64 {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
+}
+
+/// Run one suite by name.
+pub fn run_suite(suite: &str, cfg: SuiteConfig) -> Result<BenchArtifact, String> {
+    match suite {
+        "core" => core_suite(cfg),
+        "sweep" => sweep_suite(cfg),
+        other => Err(format!("unknown suite '{other}' (available: {})", SUITES.join(", "))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// core suite
+// ---------------------------------------------------------------------------
+
+fn core_suite(cfg: SuiteConfig) -> Result<BenchArtifact, String> {
+    if !alloc_probe::probe_active() {
+        return Err("alloc probe is not the global allocator; the core suite's allocs/round \
+                    metrics would read a fake zero (install with #[global_allocator] — the \
+                    rrs CLI does)"
+            .into());
+    }
+    let mut artifact = BenchArtifact::new("core", cfg.tier(), cfg.repetitions);
+    artifact.benches.push(steady_round_loop(cfg)?);
+    artifact.benches.push(stream_soak(cfg)?);
+    artifact.benches.push(checkpoint_codec(cfg)?);
+    artifact.benches.push(opt_guarded(cfg));
+    Ok(artifact)
+}
+
+/// The batched `[Δ|1|D_ℓ|D_ℓ]` workload from `tests/alloc_discipline.rs`,
+/// sized by block count (horizon ≈ 2·blocks rounds).
+fn batched_instance(blocks: u64) -> Instance {
+    let mut b = InstanceBuilder::new(3);
+    let c2a = b.color(2);
+    let c2b = b.color(2);
+    let c4a = b.color(4);
+    let c4b = b.color(4);
+    let c8 = b.color(8);
+    for blk in 0..blocks {
+        b.arrive(blk * 2, c2a, 2);
+        if blk % 2 == 0 {
+            b.arrive(blk * 2, c2b, 1);
+        }
+    }
+    for blk in 0..blocks / 2 {
+        b.arrive(blk * 4, c4a, 4).arrive(blk * 4, c4b, 3);
+    }
+    for blk in 0..blocks / 4 {
+        b.arrive(blk * 8, c8, 8);
+    }
+    b.build()
+}
+
+/// Recorder sampling [`alloc_probe::alloc_calls`] at round boundaries.
+/// Storage is preallocated so the probe itself never allocates mid-run.
+struct RoundAllocs {
+    per_round: Vec<(u64, u64)>,
+    at_round_start: u64,
+}
+
+impl RoundAllocs {
+    fn with_capacity(rounds: usize) -> Self {
+        Self { per_round: Vec::with_capacity(rounds + 16), at_round_start: 0 }
+    }
+
+    /// (max, total) allocator calls over rounds `>= warmup`.
+    fn steady(&self, warmup: u64) -> (u64, u64) {
+        let mut max = 0;
+        let mut total = 0;
+        for &(round, allocs) in &self.per_round {
+            if round >= warmup {
+                max = max.max(allocs);
+                total += allocs;
+            }
+        }
+        (max, total)
+    }
+}
+
+impl Recorder for RoundAllocs {
+    fn on_round_start(&mut self, _round: u64) {
+        self.at_round_start = alloc_probe::alloc_calls();
+    }
+    fn on_round_end(&mut self, round: u64) {
+        let now = alloc_probe::alloc_calls();
+        assert!(self.per_round.len() < self.per_round.capacity(), "alloc recorder undersized");
+        self.per_round.push((round, now - self.at_round_start));
+    }
+}
+
+fn steady_round_loop(cfg: SuiteConfig) -> Result<BenchRecord, String> {
+    let blocks = cfg.pick(128, 512);
+    let inst = batched_instance(blocks);
+    let warmup = inst.horizon() / 2;
+    let sim = Simulator::new(&inst, 8);
+
+    // Alloc pass: the per-round probe alone — a teed `CounterRecorder`
+    // would itself allocate (BTreeMap key strings) inside the measured
+    // window and pollute the zero-alloc contract.
+    let mut allocs = RoundAllocs::with_capacity(inst.horizon() as usize + 1);
+    let mut scratch = Scratch::new();
+    let mut policy = rrs_core::DeltaLruEdf::new();
+    sim.run_traced_with(&mut policy, &mut allocs, &mut scratch);
+
+    // Counting pass: deterministic event counters, fresh policy state.
+    let mut reg = CounterRegistry::new();
+    let mut policy = rrs_core::DeltaLruEdf::new();
+    let out = sim.run_traced_with(&mut policy, &mut CounterRecorder::new(&mut reg), &mut scratch);
+    if out.arrived != out.executed + out.dropped {
+        return Err(format!(
+            "steady_round_loop conservation violated: {} arrived vs {} executed + {} dropped",
+            out.arrived, out.executed, out.dropped
+        ));
+    }
+    let (steady_max, steady_total) = allocs.steady(warmup);
+
+    let mut record = BenchRecord::new("steady_round_loop");
+    record
+        .det(names::ROUNDS, reg.get(names::ROUNDS))
+        .det(names::ARRIVED, reg.get(names::ARRIVED))
+        .det(names::EXECUTED, reg.get(names::EXECUTED))
+        .det(names::DROPPED, reg.get(names::DROPPED))
+        .det(names::RECONFIGS, reg.get(names::RECONFIGS))
+        .det("allocs_per_round_steady_max", steady_max)
+        .det("allocs_steady_total", steady_total);
+
+    // Timed passes: fresh policy and scratch each repetition, no recorder.
+    let mut samples = Vec::new();
+    for _ in 0..cfg.repetitions {
+        let mut policy = rrs_core::DeltaLruEdf::new();
+        let sw = Stopwatch::start();
+        let out = sim.run(&mut policy);
+        samples.push(per_sec(out.rounds, sw.elapsed()));
+    }
+    push_rate_percentiles(&mut record, "rounds_per_sec", &mut samples);
+    Ok(record)
+}
+
+/// Lazily synthesized text workload for the streamed soak (the
+/// `tests/stream_stress.rs` shape): a steady drip, a periodic big batch,
+/// and off-boundary arrivals — one round of lines buffered at a time.
+struct SoakText {
+    rounds: u64,
+    next_round: u64,
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl SoakText {
+    fn new(rounds: u64) -> Self {
+        let mut buf = Vec::with_capacity(128);
+        write!(buf, "delta 2\ncolor 0 2\ncolor 1 8\ncolor 2 4\n").expect("vec write");
+        Self { rounds, next_round: 0, buf, pos: 0 }
+    }
+}
+
+impl Read for SoakText {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+            while self.buf.is_empty() && self.next_round < self.rounds {
+                let r = self.next_round;
+                self.next_round += 1;
+                if r.is_multiple_of(2) {
+                    writeln!(self.buf, "arrive {r} 0 1").expect("vec write");
+                }
+                if r.is_multiple_of(8) {
+                    writeln!(self.buf, "arrive {r} 1 6").expect("vec write");
+                }
+                if r % 4 == 1 {
+                    writeln!(self.buf, "arrive {r} 2 2").expect("vec write");
+                }
+            }
+            if self.buf.is_empty() {
+                return Ok(0);
+            }
+        }
+        let n = (self.buf.len() - self.pos).min(out.len());
+        out[..n].copy_from_slice(&self.buf[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+fn stream_soak(cfg: SuiteConfig) -> Result<BenchRecord, String> {
+    let rounds = cfg.pick(10_000, 1_000_000);
+    let every = rounds / 4;
+
+    let mut record = BenchRecord::new("stream_soak");
+    let mut samples = Vec::new();
+    let mut peak_heap = 0u64;
+    for rep in 0..cfg.repetitions {
+        let mut source = TextStream::new(BufReader::new(SoakText::new(rounds)))
+            .map_err(|e| format!("soak header: {e}"))?;
+        let mut policy = rrs_core::full_algorithm();
+        let mut scratch = Scratch::new();
+        let mut reg = CounterRegistry::new();
+        let mut snapshots = 0u64;
+        let mut snapshot_bytes = 0u64;
+        let mut sink = |_round: u64, bytes: &[u8]| {
+            snapshots += 1;
+            snapshot_bytes += bytes.len() as u64;
+        };
+        let baseline = alloc_probe::reset_peak();
+        let sw = Stopwatch::start();
+        let out = run_stream_session(
+            &mut source,
+            &mut policy,
+            &mut CounterRecorder::new(&mut reg),
+            &mut scratch,
+            &mut NoWatcher,
+            StreamOptions {
+                n_locations: 8,
+                speed: 1,
+                resume_from: None,
+                plan: CheckpointPolicy::EveryN(every),
+                stop_before: None,
+            },
+            Some(&mut sink),
+        )
+        .map_err(|e| format!("soak run failed: {e:?}"))?
+        .into_outcome();
+        samples.push(per_sec(out.rounds, sw.elapsed()));
+        peak_heap = peak_heap.max(alloc_probe::peak_bytes().saturating_sub(baseline));
+        if out.arrived != out.executed + out.dropped {
+            return Err("stream_soak conservation violated".into());
+        }
+        if rep == 0 {
+            record
+                .det(names::ROUNDS, reg.get(names::ROUNDS))
+                .det(names::ARRIVED, reg.get(names::ARRIVED))
+                .det(names::EXECUTED, reg.get(names::EXECUTED))
+                .det(names::DROPPED, reg.get(names::DROPPED))
+                .det(names::SNAPSHOTS, snapshots)
+                .det(names::SNAPSHOT_BYTES, snapshot_bytes);
+        } else if record.det_value(names::SNAPSHOT_BYTES) != Some(snapshot_bytes)
+            || record.det_value(names::DROPPED) != Some(reg.get(names::DROPPED))
+        {
+            return Err("stream_soak deterministic metrics differ across repetitions".into());
+        }
+    }
+    push_rate_percentiles(&mut record, "rounds_per_sec", &mut samples);
+    record.adv("peak_heap_bytes", peak_heap as f64);
+    Ok(record)
+}
+
+fn checkpoint_codec(cfg: SuiteConfig) -> Result<BenchRecord, String> {
+    let inst = batched_instance(64);
+    let sim = Simulator::new(&inst, 8);
+    let at_round = inst.horizon() / 2;
+    let mut policy = rrs_core::full_algorithm();
+    let snapshot = match sim.checkpoint(
+        &mut policy,
+        &mut NullRecorder,
+        &mut Scratch::new(),
+        &mut NoWatcher,
+        at_round,
+    ) {
+        SessionResult::Suspended { snapshot, .. } => snapshot,
+        SessionResult::Completed(_) => {
+            return Err(format!("checkpoint at round {at_round} unexpectedly completed"));
+        }
+    };
+
+    // Decode once for the identity check: parse + load, then re-encode.
+    let file = SnapshotFile::parse(&snapshot).map_err(|e| format!("snapshot parse: {e}"))?;
+    let mut restored = rrs_core::full_algorithm();
+    restored.init(inst.delta, 8);
+    file.load_policy(&mut restored).map_err(|e| format!("snapshot load: {e}"))?;
+    let reencoded = encode_snapshot(&file.state, &restored);
+    if reencoded != snapshot {
+        return Err("snapshot re-encode is not byte-identical to the original".into());
+    }
+
+    let mut record = BenchRecord::new("checkpoint_codec");
+    record.det(names::SNAPSHOT_BYTES, snapshot.len() as u64).det("reencode_identical", 1);
+
+    let iters = cfg.pick(200, 2_000) as u32;
+    let mut encode_samples = Vec::new();
+    let mut decode_samples = Vec::new();
+    for _ in 0..cfg.repetitions {
+        let sw = Stopwatch::start();
+        for _ in 0..iters {
+            std::hint::black_box(encode_snapshot(&file.state, &restored));
+        }
+        encode_samples.push(per_sec(u64::from(iters), sw.elapsed()));
+        let sw = Stopwatch::start();
+        for _ in 0..iters {
+            let f = SnapshotFile::parse(&snapshot).expect("validated above");
+            let mut p = rrs_core::full_algorithm();
+            p.init(inst.delta, 8);
+            f.load_policy(&mut p).expect("validated above");
+            std::hint::black_box(&p);
+        }
+        decode_samples.push(per_sec(u64::from(iters), sw.elapsed()));
+    }
+    push_rate_percentiles(&mut record, "encodes_per_sec", &mut encode_samples);
+    push_rate_percentiles(&mut record, "decodes_per_sec", &mut decode_samples);
+    Ok(record)
+}
+
+fn opt_guarded(cfg: SuiteConfig) -> BenchRecord {
+    let inst = parse_genome(PINNED_OPT_GENOME).expect("pinned genome parses").decode();
+    let mut record = BenchRecord::new("opt_guarded");
+    let mut samples = Vec::new();
+    let solves = cfg.pick(5, 20) as u32;
+    for rep in 0..cfg.repetitions {
+        let sw = Stopwatch::start();
+        let mut last = None;
+        for _ in 0..solves {
+            last = Some(
+                solve_opt_guarded(&inst, 1, OptConfig::default(), None)
+                    .expect("pinned corpus instance solves exactly"),
+            );
+        }
+        samples.push(per_sec(u64::from(solves), sw.elapsed()));
+        let opt = last.expect("at least one solve per repetition");
+        if rep == 0 {
+            record
+                .det("opt_cost", opt.cost)
+                .det("opt_reconfigs", opt.reconfigs)
+                .det("opt_drops", opt.drops)
+                .det("opt_states_explored", opt.states_explored as u64);
+        }
+    }
+    push_rate_percentiles(&mut record, "solves_per_sec", &mut samples);
+    record
+}
+
+// ---------------------------------------------------------------------------
+// sweep suite
+// ---------------------------------------------------------------------------
+
+/// Worker counts the sweep suite pins (ROADMAP item 5's 1/2/4/8 ladder).
+pub const SWEEP_WORKERS: &[usize] = &[1, 2, 4, 8];
+
+fn sweep_suite(cfg: SuiteConfig) -> Result<BenchArtifact, String> {
+    let n_items = cfg.pick(32, 128);
+    let items: Vec<Instance> =
+        (0..n_items).map(|seed| bursty_instance(&BurstyConfig::default(), seed)).collect();
+
+    let mut artifact = BenchArtifact::new("sweep", cfg.tier(), cfg.repetitions);
+    let jobs_before = jobs();
+    let mut median_w1 = None;
+    let mut checksum_w1 = None;
+    for &workers in SWEEP_WORKERS {
+        set_jobs(workers);
+        let mut record = BenchRecord::new(&format!("sweep_w{workers}"));
+        let mut samples = Vec::new();
+        let mut steals = 0u64;
+        for rep in 0..cfg.repetitions {
+            let sw = Stopwatch::start();
+            let (costs, stats) = par_map_sweep_stats(&items, |inst| {
+                let mut policy = rrs_core::full_algorithm();
+                Simulator::new(inst, 8).run(&mut policy).total_cost()
+            });
+            let elapsed = sw.elapsed();
+            samples.push(per_sec(costs.len() as u64, elapsed));
+            steals = steals.max(stats.iter().map(|s| s.steals).sum());
+            let items_total: u64 = stats.iter().map(|s| s.items).sum();
+            let checksum: u64 = costs.iter().sum();
+            if rep == 0 {
+                record
+                    .det(names::SWEEP_ITEMS, items_total)
+                    .det("cost_checksum", checksum)
+                    .det("worker_slots", stats.len() as u64);
+            } else if record.det_value("cost_checksum") != Some(checksum)
+                || record.det_value(names::SWEEP_ITEMS) != Some(items_total)
+            {
+                set_jobs(jobs_before);
+                return Err(format!(
+                    "sweep_w{workers} deterministic metrics differ across repetitions"
+                ));
+            }
+        }
+        let (median, p10, p90) = percentiles(&mut samples);
+        record.adv("items_per_sec_median", median);
+        record.adv("items_per_sec_p10", p10);
+        record.adv("items_per_sec_p90", p90);
+        record.adv("steals_max", steals as f64);
+        match (median_w1, checksum_w1) {
+            (None, None) => {
+                median_w1 = Some(median);
+                checksum_w1 = record.det_value("cost_checksum");
+            }
+            (Some(base), Some(expect)) => {
+                if record.det_value("cost_checksum") != Some(expect) {
+                    set_jobs(jobs_before);
+                    return Err(format!(
+                        "sweep_w{workers} cost checksum differs from the 1-worker sweep; \
+                         parallel results are no longer byte-identical"
+                    ));
+                }
+                if base > 0.0 {
+                    let speedup = median / base;
+                    record.adv("speedup_vs_w1", speedup);
+                    record.adv("efficiency", speedup / workers as f64);
+                }
+            }
+            _ => unreachable!("median and checksum are set together"),
+        }
+        artifact.benches.push(record);
+    }
+    set_jobs(jobs_before);
+    Ok(artifact)
+}
+
+// ---------------------------------------------------------------------------
+// shared helpers
+// ---------------------------------------------------------------------------
+
+fn per_sec(count: u64, dt: Duration) -> f64 {
+    let secs = dt.as_secs_f64();
+    if secs <= 0.0 {
+        0.0
+    } else {
+        count as f64 / secs
+    }
+}
+
+/// Nearest-rank (median, p10, p90) of a sample set; sorts in place.
+pub fn percentiles(samples: &mut [f64]) -> (f64, f64, f64) {
+    assert!(!samples.is_empty(), "percentiles need at least one sample");
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+    let rank = |p: f64| {
+        let idx = (p * (samples.len() - 1) as f64).round() as usize;
+        samples[idx.min(samples.len() - 1)]
+    };
+    (rank(0.5), rank(0.1), rank(0.9))
+}
+
+fn push_rate_percentiles(record: &mut BenchRecord, base: &str, samples: &mut [f64]) {
+    let (median, p10, p90) = percentiles(samples);
+    record.adv(&format!("{base}_median"), median);
+    record.adv(&format!("{base}_p10"), p10);
+    record.adv(&format!("{base}_p90"), p90);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let mut s = vec![5.0, 1.0, 3.0, 2.0, 4.0];
+        let (median, p10, p90) = percentiles(&mut s);
+        assert_eq!((median, p10, p90), (3.0, 1.0, 5.0));
+        let mut one = vec![7.0];
+        assert_eq!(percentiles(&mut one), (7.0, 7.0, 7.0));
+    }
+
+    #[test]
+    fn unknown_suite_is_an_error() {
+        let err = run_suite("nope", SuiteConfig::new(true)).unwrap_err();
+        assert!(err.contains("unknown suite"), "{err}");
+        assert!(err.contains("core"), "{err}");
+    }
+
+    #[test]
+    fn core_suite_requires_the_probe() {
+        // This (library) test binary does not install the probe, so the
+        // core suite must refuse rather than record fake zero allocs. The
+        // probe-installed path runs in `tests/bench_artifact.rs`.
+        let err = run_suite("core", SuiteConfig::new(true)).unwrap_err();
+        assert!(err.contains("alloc probe"), "{err}");
+    }
+
+    #[test]
+    fn sweep_suite_is_deterministic_without_the_probe() {
+        let a = run_suite("sweep", SuiteConfig { quick: true, repetitions: 1 }).expect("runs");
+        let b = run_suite("sweep", SuiteConfig { quick: true, repetitions: 1 }).expect("runs");
+        assert_eq!(a.benches.len(), SWEEP_WORKERS.len());
+        for (x, y) in a.benches.iter().zip(&b.benches) {
+            assert_eq!(x.deterministic, y.deterministic, "{}", x.name);
+        }
+        // All worker counts agree on the deterministic checksum.
+        let checksum = a.benches[0].det_value("cost_checksum").unwrap();
+        for bench in &a.benches {
+            assert_eq!(bench.det_value("cost_checksum"), Some(checksum), "{}", bench.name);
+        }
+    }
+
+    #[test]
+    fn pinned_genome_still_solves_to_the_corpus_cost() {
+        let inst = parse_genome(PINNED_OPT_GENOME).expect("parses").decode();
+        let opt = solve_opt_guarded(&inst, 1, OptConfig::default(), None).expect("solves");
+        assert_eq!(opt.cost, 16, "the dlru-seed42 corpus fixture pins base (OPT) cost 16");
+    }
+}

@@ -47,6 +47,7 @@
 
 pub mod assign;
 pub mod checkpoint;
+pub mod obs;
 pub mod par;
 pub mod pending;
 pub mod policy;
@@ -62,6 +63,7 @@ pub use checkpoint::{
     encode_snapshot, CheckpointPolicy, EngineState, SessionError, SessionResult, Snapshot,
     SnapshotFile, SnapshotSink,
 };
+pub use obs::{CounterRecorder, CounterRegistry, Histogram, Stopwatch};
 pub use par::{
     jobs, par_map_sweep, par_map_sweep_stats, set_jobs, take_sweep_telemetry, SweepTelemetry,
     WorkerStats,
@@ -72,8 +74,8 @@ pub use replay::{FixedSchedule, ReplayPolicy};
 pub use scratch::Scratch;
 pub use sim::{run_stream_session, Outcome, Simulator, StreamOptions};
 pub use sink::{
-    event_to_json, parse_trace, parse_trace_line, JsonlRingSink, JsonlSink, ParsedTrace,
-    PhaseTimer, TraceLine, TraceMeta, TraceParseError, TRACE_SCHEMA_VERSION,
+    counter_records, event_to_json, parse_trace, parse_trace_line, JsonlRingSink, JsonlSink,
+    ParsedTrace, PhaseTimer, TraceLine, TraceMeta, TraceParseError, TRACE_SCHEMA_VERSION,
 };
 pub use trace::{
     NullRecorder, Phase, Recorder, RoundSummary, SummaryRecorder, TraceEvent, TraceRecorder,
@@ -87,6 +89,7 @@ pub mod prelude {
         encode_snapshot, CheckpointPolicy, EngineState, SessionError, SessionResult, Snapshot,
         SnapshotFile, SnapshotSink,
     };
+    pub use crate::obs::{CounterRecorder, CounterRegistry, Histogram, Stopwatch};
     pub use crate::par::{
         jobs, par_map_sweep, par_map_sweep_stats, set_jobs, take_sweep_telemetry, SweepTelemetry,
         WorkerStats,

@@ -16,12 +16,13 @@
 //! [`PhaseTimer`] and the sweep telemetry of [`crate::par`], which are
 //! advisory and never feed deterministic outputs.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{self, Write};
 use std::time::{Duration, Instant};
 
 use rrs_model::ColorId;
 
+use crate::obs::{CounterRegistry, Histogram};
 use crate::policy::Slot;
 use crate::trace::{Phase, Recorder, TraceEvent};
 
@@ -137,6 +138,40 @@ pub fn event_to_json(e: &TraceEvent) -> String {
     s
 }
 
+/// Serialize a registry's *deterministic* content as schema-v1 JSONL
+/// records: one `counters` object (all counters, name-sorted) followed by
+/// one `hist` record per histogram. Advisory timers are deliberately
+/// omitted — they would make the byte stream nondeterministic.
+pub fn counter_records(reg: &CounterRegistry) -> Vec<String> {
+    let mut lines = Vec::new();
+    if reg.counters().next().is_some() {
+        let mut s = String::with_capacity(64);
+        s.push_str("{\"ev\":\"counters\"");
+        for (name, value) in reg.counters() {
+            s.push(',');
+            push_json_str(&mut s, name);
+            s.push(':');
+            s.push_str(&value.to_string());
+        }
+        s.push('}');
+        lines.push(s);
+    }
+    for (name, h) in reg.hists() {
+        let mut s = String::with_capacity(64);
+        s.push_str("{\"ev\":\"hist\",\"name\":");
+        push_json_str(&mut s, name);
+        s.push_str(",\"bounds\":");
+        push_json_str(&mut s, &h.bounds_text());
+        s.push_str(",\"counts\":");
+        push_json_str(&mut s, &h.counts_text());
+        s.push_str(",\"sum\":");
+        s.push_str(&h.sum().to_string());
+        s.push('}');
+        lines.push(s);
+    }
+    lines
+}
+
 fn round_line(round: u64) -> String {
     format!("{{\"ev\":\"round\",\"round\":{round}}}")
 }
@@ -186,6 +221,15 @@ impl<W: Write> JsonlSink<W> {
     /// Lines successfully written so far.
     pub fn lines_written(&self) -> u64 {
         self.lines
+    }
+
+    /// Append a registry's deterministic counters/histograms as schema-v1
+    /// `counters`/`hist` records (see [`counter_records`]). Conventionally
+    /// written once, after the final round.
+    pub fn write_counters(&mut self, reg: &CounterRegistry) {
+        for line in counter_records(reg) {
+            self.write_line(&line);
+        }
     }
 
     /// Flush and return the writer, surfacing any latched I/O error.
@@ -338,6 +382,18 @@ pub enum TraceLine {
     Truncated {
         /// Lines shed before the retained tail.
         dropped: u64,
+    },
+    /// A deterministic counter snapshot (name → value, name-sorted).
+    Counters {
+        /// Counter names and values in serialization order.
+        counters: Vec<(String, u64)>,
+    },
+    /// A fixed-bucket histogram snapshot.
+    Hist {
+        /// Histogram name.
+        name: String,
+        /// The reconstructed histogram.
+        hist: Histogram,
     },
 }
 
@@ -546,6 +602,39 @@ pub fn parse_trace_line(line: &str) -> Result<TraceLine, String> {
         }
         "round" => Ok(TraceLine::Round { round: num(&fields, "round")? }),
         "truncated" => Ok(TraceLine::Truncated { dropped: num(&fields, "dropped")? }),
+        "counters" => {
+            let mut counters = Vec::with_capacity(fields.len().saturating_sub(1));
+            for (key, value) in &fields {
+                if key == "ev" {
+                    continue;
+                }
+                match value {
+                    Scalar::Num(v) => counters.push((key.clone(), *v)),
+                    other => {
+                        return Err(format!("counter '{key}' is not a number: {other:?}"));
+                    }
+                }
+            }
+            Ok(TraceLine::Counters { counters })
+        }
+        "hist" => {
+            let parse_list = |key: &str| -> Result<Vec<u64>, String> {
+                let raw = text(&fields, key)?;
+                raw.split(',')
+                    .map(|part| {
+                        part.parse::<u64>().map_err(|e| format!("bad '{key}' entry '{part}': {e}"))
+                    })
+                    .collect()
+            };
+            let name = text(&fields, "name")?;
+            let hist = Histogram::from_parts(
+                parse_list("bounds")?,
+                parse_list("counts")?,
+                num(&fields, "sum")?,
+            )
+            .map_err(|e| format!("hist '{name}': {e}"))?;
+            Ok(TraceLine::Hist { name, hist })
+        }
         "drop" => Ok(TraceLine::Event(TraceEvent::Drop {
             round: num(&fields, "round")?,
             color: color(&fields, "color")?,
@@ -584,6 +673,11 @@ pub struct ParsedTrace {
     pub rounds: u64,
     /// Lines shed upstream by a ring sink.
     pub truncated: u64,
+    /// Deterministic counters from `counters` records; repeated records
+    /// (e.g. a stitched prefix + suffix trace) sum per name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histograms from `hist` records, latest record per name winning.
+    pub hists: BTreeMap<String, Histogram>,
 }
 
 impl ParsedTrace {
@@ -626,6 +720,11 @@ impl ParsedTrace {
     fn sum(&self, f: impl Fn(&TraceEvent) -> Option<u64>) -> u64 {
         self.events.iter().filter_map(f).sum()
     }
+
+    /// A counter from the trace's `counters` record(s), if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
 }
 
 /// Parse a whole JSONL trace (empty lines ignored). Fails on the first
@@ -651,6 +750,14 @@ pub fn parse_trace(textual: &str) -> Result<ParsedTrace, TraceParseError> {
             TraceLine::Round { .. } => out.rounds += 1,
             TraceLine::Event(e) => out.events.push(e),
             TraceLine::Truncated { dropped } => out.truncated += dropped,
+            TraceLine::Counters { counters } => {
+                for (name, v) in counters {
+                    *out.counters.entry(name).or_insert(0) += v;
+                }
+            }
+            TraceLine::Hist { name, hist } => {
+                out.hists.insert(name, hist);
+            }
         }
     }
     Ok(out)
@@ -866,6 +973,41 @@ mod tests {
         assert_eq!(parsed.truncated, 1);
         assert_eq!(parsed.events.len(), 2);
         assert!(matches!(parsed.events[0], TraceEvent::Drop { round: 1, .. }));
+    }
+
+    #[test]
+    fn counter_records_round_trip_through_parse() {
+        let mut reg = CounterRegistry::new();
+        reg.add(crate::obs::names::ROUNDS, 12);
+        reg.add(crate::obs::names::DROPPED, 3);
+        reg.declare_hist("batch_size", &[1, 4, 16]);
+        reg.observe("batch_size", 2);
+        reg.observe("batch_size", 99);
+        // Advisory timers must never reach the serialized records.
+        reg.add_time("wall", Duration::from_secs(1));
+
+        let mut sink = JsonlSink::with_meta(
+            Vec::new(),
+            &TraceMeta { policy: "p".into(), delta: 1, locations: 2, speed: 1 },
+        );
+        sink.on_round_start(0);
+        sink.write_counters(&reg);
+        let bytes = sink.finish().unwrap();
+        let textual = String::from_utf8(bytes).unwrap();
+        assert!(!textual.contains("wall"), "advisory timer leaked: {textual}");
+
+        let parsed = parse_trace(&textual).unwrap();
+        assert_eq!(parsed.counter("rounds"), Some(12));
+        assert_eq!(parsed.counter("jobs_dropped"), Some(3));
+        assert_eq!(parsed.counter("nope"), None);
+        let h = parsed.hists.get("batch_size").expect("hist record parsed");
+        assert_eq!(h.counts(), reg.hist("batch_size").unwrap().counts());
+        assert_eq!(h.sum(), 101);
+
+        // A stitched trace (two counters records) sums per name.
+        let doubled = format!("{textual}{}\n", counter_records(&reg)[0]);
+        let parsed = parse_trace(&doubled).unwrap();
+        assert_eq!(parsed.counter("rounds"), Some(24));
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! rrs-cli run <policy> <FILE> [--locations N]
 //!         [--trace-out T.jsonl] [--metrics-out M.json] run an online policy
 //!         [--stream] [--checkpoint-every N [--checkpoint-out PREFIX]]
+//!         [--counters]                                append counters to the trace
 //! rrs-cli checkpoint <policy> <FILE> --at-round K [--locations N] [--out SNAP]
 //! rrs-cli resume <policy> <FILE> --from SNAP [--locations N] [--stream]
 //!         [--trace-out T.jsonl]
@@ -20,6 +21,12 @@
 //!         [--min-ratio R] [--no-shrink] [--shrink-evals N]
 //!         [--journal-out J.jsonl] [--fixture-out F.adv]
 //!                                                     evolve a worst-case instance
+//! rrs-cli bench [<suite>|all] [--quick] [--out-dir D] run the fixed benchmark
+//!                                                     suites, writing BENCH_<suite>.json
+//! rrs-cli bench compare <BASE.json> <CAND.json> [--warn-pct P]
+//!                                                     regression gate: hard-fail on
+//!                                                     deterministic regressions, warn
+//!                                                     on wall-clock drift
 //! ```
 //!
 //! The global `--jobs N` flag (any subcommand; default: all cores) sets the
@@ -52,6 +59,13 @@ use std::process::ExitCode;
 use rrs::analysis::experiments;
 use rrs::prelude::*;
 
+// The bench suites and the alloc-discipline metrics (allocs/round, peak
+// heap) read process-global counters that only move when the probe is the
+// global allocator; installing it costs two relaxed atomic adds per
+// allocation, negligible against `System`'s own work.
+#[global_allocator]
+static GLOBAL: rrs::bench::AllocProbe = rrs::bench::AllocProbe;
+
 /// The binary's single simulation choke point. Under `--features
 /// validate` every run — `run`, traced runs, and the `report` replay
 /// cross-check — is supervised by the shadow-model `InvariantWatcher`
@@ -73,7 +87,7 @@ fn usage() -> ExitCode {
         "usage:\n  rrs-cli generate <kind> [--seed N] [--out FILE]\n  \
          rrs-cli classify <FILE>\n  \
          rrs-cli run <policy> <FILE> [--locations N] [--trace-out T.jsonl] [--metrics-out M.json]\n          \
-         [--stream] [--checkpoint-every N [--checkpoint-out PREFIX]]\n  \
+         [--stream] [--checkpoint-every N [--checkpoint-out PREFIX]] [--counters]\n  \
          rrs-cli checkpoint <policy> <FILE> --at-round K [--locations N] [--out SNAP]\n  \
          rrs-cli resume <policy> <FILE> --from SNAP [--locations N] [--stream] [--trace-out T.jsonl]\n  \
          rrs-cli attribute <policy> <FILE> [--locations N]\n  \
@@ -84,10 +98,13 @@ fn usage() -> ExitCode {
          rrs-cli report --run <policy> <FILE> [--locations N]\n  \
          rrs-cli adversary-search [--seed N] [--budget GENS] [--policy P] [--population N]\n          \
          [--elites N] [--locations N] [--referee-m M] [--min-ratio R] [--no-shrink]\n          \
-         [--shrink-evals N] [--journal-out J.jsonl] [--fixture-out F.adv]\n\
+         [--shrink-evals N] [--journal-out J.jsonl] [--fixture-out F.adv]\n  \
+         rrs-cli bench [<suite>|all] [--quick] [--out-dir D]\n  \
+         rrs-cli bench compare <BASE.json> <CAND.json> [--warn-pct P]\n\
          global flags: --jobs N (parallel sweep workers; default: all cores)\n\
          kinds: rate-limited batched general router datacenter background bursty lru-killer edf-killer\n\
-         policies: dlru edf classic-lru dlru-edf distribute full"
+         policies: dlru edf classic-lru dlru-edf distribute full\n\
+         bench suites: core sweep"
     );
     ExitCode::from(2)
 }
@@ -237,6 +254,7 @@ fn cmd_run(mut args: Vec<String>) -> Result<(), String> {
     let trace_out = take_flag(&mut args, "--trace-out");
     let metrics_out = take_flag(&mut args, "--metrics-out");
     let stream = take_switch(&mut args, "--stream");
+    let counters = take_switch(&mut args, "--counters");
     let ckpt_every = take_flag(&mut args, "--checkpoint-every")
         .map(|v| v.parse::<u64>().map_err(|e| format!("bad --checkpoint-every: {e}")))
         .transpose()?;
@@ -247,6 +265,9 @@ fn cmd_run(mut args: Vec<String>) -> Result<(), String> {
     if stream || ckpt_every.is_some() {
         if metrics_out.is_some() {
             return Err("--metrics-out is not supported with --stream/--checkpoint-every".into());
+        }
+        if counters {
+            return Err("--counters is not supported with --stream/--checkpoint-every".into());
         }
         let plan = match ckpt_every {
             Some(0) => return Err("--checkpoint-every must be at least 1".into()),
@@ -263,7 +284,15 @@ fn cmd_run(mut args: Vec<String>) -> Result<(), String> {
 
     if trace_out.is_none() && metrics_out.is_none() {
         let mut policy = make_policy(&policy_name)?;
-        let out = simulate(&Simulator::new(&inst, n), &mut policy.as_mut(), &mut NullRecorder);
+        let sim = Simulator::new(&inst, n);
+        if counters {
+            let mut reg = CounterRegistry::new();
+            let out = simulate(&sim, &mut policy.as_mut(), &mut CounterRecorder::new(&mut reg));
+            print_run(policy.name(), n, &inst, &out);
+            print!("{}", reg.render());
+            return Ok(());
+        }
+        let out = simulate(&sim, &mut policy.as_mut(), &mut NullRecorder);
         print_run(policy.name(), n, &inst, &out);
         return Ok(());
     }
@@ -271,19 +300,32 @@ fn cmd_run(mut args: Vec<String>) -> Result<(), String> {
     // Validate the policy name up front so the meta header is correct.
     let display_name = make_policy(&policy_name)?.name().to_string();
     let mut trace = TraceRecorder::new();
+    let mut reg = CounterRegistry::new();
     let (name, out, metrics) = match &trace_out {
         Some(tpath) => {
             let file = std::fs::File::create(tpath).map_err(|e| format!("create {tpath}: {e}"))?;
             let meta =
                 TraceMeta { policy: display_name, delta: inst.delta, locations: n, speed: 1 };
             let mut sink = JsonlSink::with_meta(BufWriter::new(file), &meta);
-            let result = {
+            let result = if counters {
+                // Counters records are opt-in: appending them to every
+                // trace would break byte-pinned golden fixtures.
+                let mut tee = (CounterRecorder::new(&mut reg), (&mut trace, &mut sink));
+                run_traced_with_metrics(&policy_name, &inst, n, &mut tee)?
+            } else {
                 let mut tee = (&mut trace, &mut sink);
                 run_traced_with_metrics(&policy_name, &inst, n, &mut tee)?
             };
+            if counters {
+                sink.write_counters(&reg);
+            }
             sink.finish().map_err(|e| format!("write {tpath}: {e}"))?;
             eprintln!("wrote trace to {tpath}");
             result
+        }
+        None if counters => {
+            let mut tee = (CounterRecorder::new(&mut reg), &mut trace);
+            run_traced_with_metrics(&policy_name, &inst, n, &mut tee)?
         }
         None => run_traced_with_metrics(&policy_name, &inst, n, &mut trace)?,
     };
@@ -301,6 +343,9 @@ fn cmd_run(mut args: Vec<String>) -> Result<(), String> {
         eprintln!("wrote metrics to {mpath}");
     }
     print_run(&name, n, &inst, &out);
+    if counters {
+        print!("{}", reg.render());
+    }
     Ok(())
 }
 
@@ -755,6 +800,21 @@ fn report_saved(mut args: Vec<String>) -> Result<(), String> {
         }
     }
     print_cost_attribution(meta.delta, reconfigs, dropped);
+    if !parsed.counters.is_empty() || !parsed.hists.is_empty() {
+        println!("counters (from trace, deterministic):");
+        for (cname, v) in &parsed.counters {
+            println!("  {cname:<18} {v}");
+        }
+        for (hname, h) in &parsed.hists {
+            println!(
+                "  hist {hname}: total {} sum {} buckets le[{}]=[{}]",
+                h.total(),
+                h.sum(),
+                h.bounds_text(),
+                h.counts_text()
+            );
+        }
+    }
     if let Some(ipath) = inst_path {
         let inst = load(&ipath)?;
         if inst.delta != meta.delta {
@@ -960,6 +1020,13 @@ fn cmd_evaluate(mut args: Vec<String>) -> Result<(), String> {
         std::fs::write(&mpath, text).map_err(|e| format!("write {mpath}: {e}"))?;
         eprintln!("wrote {} run reports to {mpath}", reports.len());
     }
+    // Worker-scaling stats from every parallel sweep the evaluation ran.
+    // Advisory wall-clock data — printed to stderr so stdout stays
+    // byte-identical at any --jobs setting.
+    let telemetry = take_sweep_telemetry();
+    if telemetry.sweeps > 0 {
+        eprint!("{}", telemetry.render());
+    }
     Ok(())
 }
 
@@ -1091,6 +1158,71 @@ fn cmd_adversary_search(mut args: Vec<String>) -> Result<(), String> {
     Ok(())
 }
 
+/// `bench [<suite>|all] [--quick] [--out-dir D]`: run the fixed benchmark
+/// suites and write `BENCH_<suite>.json` artifacts, or `bench compare`
+/// to diff two artifacts (hard-failing on deterministic regressions).
+fn cmd_bench(mut args: Vec<String>) -> Result<(), String> {
+    if args.first().map(String::as_str) == Some("compare") {
+        args.remove(0);
+        return cmd_bench_compare(args);
+    }
+    let quick = take_switch(&mut args, "--quick");
+    let out_dir = take_flag(&mut args, "--out-dir").unwrap_or_else(|| ".".into());
+    let suite_arg = args.first().cloned().unwrap_or_else(|| "all".into());
+    let suites: Vec<String> = if suite_arg == "all" {
+        rrs::bench::suite::SUITES.iter().map(|s| s.to_string()).collect()
+    } else {
+        vec![suite_arg]
+    };
+    let cfg = rrs::bench::suite::SuiteConfig::new(quick);
+    for suite in &suites {
+        let sw = Stopwatch::start();
+        let artifact = rrs::bench::suite::run_suite(suite, cfg)?;
+        let path = format!("{out_dir}/{}", rrs::bench::artifact_filename(suite));
+        std::fs::write(&path, artifact.to_json()).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!(
+            "wrote {path}: {} benches, tier {}, {} reps ({:.2?})",
+            artifact.benches.len(),
+            artifact.tier,
+            artifact.repetitions,
+            sw.elapsed()
+        );
+    }
+    Ok(())
+}
+
+/// `bench compare <BASE.json> <CAND.json> [--warn-pct P]`: exit nonzero iff
+/// a *deterministic* metric regressed; wall-clock drift only warns.
+fn cmd_bench_compare(mut args: Vec<String>) -> Result<(), String> {
+    let warn_pct = match take_flag(&mut args, "--warn-pct") {
+        None => rrs::bench::CompareConfig::default().warn_pct,
+        Some(v) => v.parse::<f64>().map_err(|e| format!("bad --warn-pct: {e}"))?,
+    };
+    let base_path = args.first().ok_or("missing <BASE.json>")?;
+    let cand_path = args.get(1).ok_or("missing <CAND.json>")?;
+    let read = |p: &str| -> Result<rrs::bench::BenchArtifact, String> {
+        let text = std::fs::read_to_string(p).map_err(|e| format!("read {p}: {e}"))?;
+        rrs::bench::BenchArtifact::parse(&text).map_err(|e| format!("{p}: {e}"))
+    };
+    let baseline = read(base_path)?;
+    let candidate = read(cand_path)?;
+    let cmp = rrs::bench::compare_artifacts(
+        &baseline,
+        &candidate,
+        &rrs::bench::CompareConfig { warn_pct },
+    )?;
+    println!("baseline:  {base_path} (suite {}, tier {})", baseline.suite, baseline.tier);
+    println!("candidate: {cand_path}");
+    print!("{}", cmp.render());
+    if cmp.regressed() {
+        return Err(format!(
+            "{} deterministic regression(s) against {base_path}",
+            cmp.failures.len()
+        ));
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     // Global flag, usable with any subcommand.
@@ -1123,6 +1255,7 @@ fn main() -> ExitCode {
         "evaluate" => cmd_evaluate(argv),
         "report" => cmd_report(argv),
         "adversary-search" => cmd_adversary_search(argv),
+        "bench" => cmd_bench(argv),
         _ => return usage(),
     };
     match result {

@@ -49,6 +49,7 @@
 #![forbid(unsafe_code)]
 
 pub use rrs_analysis as analysis;
+pub use rrs_bench as bench;
 #[cfg(feature = "validate")]
 pub use rrs_check as check;
 pub use rrs_core as core;

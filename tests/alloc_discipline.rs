@@ -1,71 +1,44 @@
 //! Memory discipline of the round loop (DESIGN.md §8).
 //!
-//! A counting global allocator measures heap allocations per simulated
-//! round. After a warm-up prefix (buffers growing to their high-water
-//! marks, colors becoming eligible), a steady-state round must perform
-//! **zero** allocations for ΔLRU-EDF at speed 1, and only boundedly many
-//! for the full reduction stack `VarBatch<Distribute<ΔLRU-EDF>>` (whose
-//! virtual universe may still grow while batches are being split).
+//! The counting global allocator — shared with `tests/stream_stress.rs`
+//! and the `rrs bench` harness via `rrs_bench::alloc_probe` — measures
+//! heap allocations per simulated round. After a warm-up prefix (buffers
+//! growing to their high-water marks, colors becoming eligible), a
+//! steady-state round must perform **zero** allocations for ΔLRU-EDF at
+//! speed 1, and only boundedly many for the full reduction stack
+//! `VarBatch<Distribute<ΔLRU-EDF>>` (whose virtual universe may still grow
+//! while batches are being split).
 //!
 //! Everything lives in ONE test function: the counter is process-global,
 //! so concurrent tests in the same binary would pollute each other's
 //! per-round deltas.
 
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
-
 use rrs::prelude::*;
-
-struct CountingAlloc;
-
-static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
-
-// SAFETY: delegates every operation to `System`, only adding a relaxed
-// counter bump on the allocating entry points.
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
-        System.alloc(layout)
-    }
-
-    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
-        System.alloc_zeroed(layout)
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
-        System.realloc(ptr, layout, new_size)
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
-    }
-}
+use rrs_bench::alloc_probe;
 
 #[global_allocator]
-static GLOBAL: CountingAlloc = CountingAlloc;
+static GLOBAL: rrs_bench::AllocProbe = rrs_bench::AllocProbe;
 
 /// Recorder measuring allocator calls per round. All storage is
 /// preallocated so the probe itself never allocates mid-run.
-struct AllocProbe {
+struct RoundAllocs {
     per_round: Vec<(u64, u64)>,
     at_round_start: u64,
 }
 
-impl AllocProbe {
+impl RoundAllocs {
     fn with_capacity(rounds: usize) -> Self {
         Self { per_round: Vec::with_capacity(rounds + 16), at_round_start: 0 }
     }
 }
 
-impl Recorder for AllocProbe {
+impl Recorder for RoundAllocs {
     fn on_round_start(&mut self, _round: u64) {
-        self.at_round_start = ALLOC_CALLS.load(Ordering::Relaxed);
+        self.at_round_start = alloc_probe::alloc_calls();
     }
 
     fn on_round_end(&mut self, round: u64) {
-        let now = ALLOC_CALLS.load(Ordering::Relaxed);
+        let now = alloc_probe::alloc_calls();
         assert!(self.per_round.len() < self.per_round.capacity(), "probe undersized");
         self.per_round.push((round, now - self.at_round_start));
     }
@@ -114,9 +87,9 @@ fn general_instance(rounds: u64) -> rrs_model::Instance {
     b.build()
 }
 
-fn run_with_probe<P: Policy>(inst: &rrs_model::Instance, n: usize, policy: &mut P) -> AllocProbe {
+fn run_with_probe<P: Policy>(inst: &rrs_model::Instance, n: usize, policy: &mut P) -> RoundAllocs {
     let sim = Simulator::new(inst, n);
-    let mut probe = AllocProbe::with_capacity(inst.horizon() as usize + 1);
+    let mut probe = RoundAllocs::with_capacity(inst.horizon() as usize + 1);
     let mut scratch = Scratch::new();
     sim.run_traced_with(policy, &mut probe, &mut scratch);
     probe
@@ -124,6 +97,8 @@ fn run_with_probe<P: Policy>(inst: &rrs_model::Instance, n: usize, policy: &mut 
 
 #[test]
 fn steady_state_rounds_do_not_allocate() {
+    assert!(alloc_probe::probe_active(), "probe must be installed as the global allocator");
+
     // Part 1: ΔLRU-EDF at speed 1 — zero allocations per steady round.
     let inst = batched_instance(128);
     let warmup = 64;

@@ -517,3 +517,128 @@ fn adversary_search_rejects_bad_flags() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("bad --min-ratio"));
 }
+
+#[test]
+fn run_counters_flag_emits_deterministic_counters() {
+    let inst = tmpfile("ctr-inst.rrs");
+    let trace = tmpfile("ctr-trace.jsonl");
+    let out = cli()
+        .args(["generate", "rate-limited", "--seed", "11", "--out"])
+        .arg(&inst)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let run = || {
+        let out = cli()
+            .args(["run", "dlru-edf"])
+            .arg(&inst)
+            .arg("--counters")
+            .arg("--trace-out")
+            .arg(&trace)
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "run: {}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+    let text = run();
+    assert!(text.contains("counters"), "{text}");
+    assert!(text.contains("jobs_arrived"), "{text}");
+    assert_eq!(text, run(), "counter output must be byte-identical across reruns");
+
+    // The trace carries an opt-in `counters` record, and `report` re-derives
+    // the identical deterministic values from the round events.
+    let trace_text = std::fs::read_to_string(&trace).unwrap();
+    assert!(trace_text.contains("\"ev\":\"counters\""), "{trace_text}");
+    let out = cli().arg("report").arg(&trace).output().unwrap();
+    assert!(out.status.success(), "report: {}", String::from_utf8_lossy(&out.stderr));
+    let report_text = String::from_utf8_lossy(&out.stdout);
+    assert!(report_text.contains("counters (from trace, deterministic):"), "{report_text}");
+    assert_eq!(
+        field(&report_text, "jobs_arrived"),
+        field(&text, "jobs_arrived"),
+        "report must re-derive the run's counters"
+    );
+
+    // Without the flag the trace stays counter-free (golden fixtures rely
+    // on this).
+    let out =
+        cli().args(["run", "dlru-edf"]).arg(&inst).arg("--trace-out").arg(&trace).output().unwrap();
+    assert!(out.status.success());
+    assert!(!std::fs::read_to_string(&trace).unwrap().contains("\"ev\":\"counters\""));
+
+    for f in [&inst, &trace] {
+        std::fs::remove_file(f).ok();
+    }
+}
+
+#[test]
+fn bench_compare_exit_codes() {
+    // Synthetic artifacts: compare must exit 0 on identical inputs and
+    // nonzero (with a FAIL line) on a deterministic regression.
+    let base = tmpfile("bench-base.json");
+    let same = tmpfile("bench-same.json");
+    let worse = tmpfile("bench-worse.json");
+    let artifact = |allocs: u64| {
+        format!(
+            r#"{{
+  "schema": 1,
+  "suite": "core",
+  "tier": "quick",
+  "repetitions": 3,
+  "benches": [
+    {{
+      "name": "steady_round_loop",
+      "deterministic": {{
+        "allocs_per_round_steady_max": {allocs},
+        "rounds": 257
+      }},
+      "advisory": {{
+        "rounds_per_sec_median": 100000.0
+      }}
+    }}
+  ]
+}}
+"#
+        )
+    };
+    std::fs::write(&base, artifact(0)).unwrap();
+    std::fs::write(&same, artifact(0)).unwrap();
+    std::fs::write(&worse, artifact(7)).unwrap();
+
+    let out = cli().args(["bench", "compare"]).arg(&base).arg(&same).output().unwrap();
+    assert!(out.status.success(), "identical artifacts must compare clean");
+
+    let out = cli().args(["bench", "compare"]).arg(&base).arg(&worse).output().unwrap();
+    assert!(!out.status.success(), "deterministic regression must exit nonzero");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("FAIL"), "{text}");
+    assert!(text.contains("allocs_per_round_steady_max"), "{text}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("regression"), "{err}");
+
+    // Improvements in the candidate are notes, never failures.
+    let out = cli().args(["bench", "compare"]).arg(&worse).arg(&base).output().unwrap();
+    assert!(out.status.success(), "improvement must not fail");
+
+    for f in [&base, &same, &worse] {
+        std::fs::remove_file(f).ok();
+    }
+}
+
+#[test]
+fn bench_rejects_unknown_suite() {
+    let out = cli().args(["bench", "frobnicate", "--quick"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown suite"));
+}
+
+#[test]
+fn evaluate_jobs_prints_sweep_telemetry_on_stderr_only() {
+    let out = cli().args(["evaluate", "--only", "e3", "--jobs", "2"]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("sweep telemetry"), "telemetry must reach stderr: {err}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(!text.contains("sweep telemetry"), "stdout must stay telemetry-free: {text}");
+}

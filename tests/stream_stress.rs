@@ -2,59 +2,22 @@
 //!
 //! Feeds the simulator ≥10⁶ rounds through the incremental text reader —
 //! the request sequence is synthesized lazily and never materialized — with
-//! periodic checkpointing enabled, and proves live heap stays bounded: a
-//! tracking global allocator measures the peak live-byte high-water mark
-//! during the run, which must stay far below what the materialized
-//! instance (~1.75M requests) would cost.
+//! periodic checkpointing enabled, and proves live heap stays bounded: the
+//! shared tracking allocator (`rrs_bench::alloc_probe`, also used by
+//! `tests/alloc_discipline.rs` and the `rrs bench` harness) measures the
+//! peak live-byte high-water mark during the run, which must stay far
+//! below what the materialized instance (~1.75M requests) would cost.
 //!
 //! The full-scale soak is `#[ignore]`d for regular CI (it is the nightly
 //! stress job); a 10⁴-round smoke keeps the same path exercised everywhere.
 
-use std::alloc::{GlobalAlloc, Layout, System};
 use std::io::{BufReader, Read, Write};
-use std::sync::atomic::{AtomicU64, Ordering};
 
 use rrs::prelude::*;
-
-struct TrackingAlloc;
-
-static LIVE: AtomicU64 = AtomicU64::new(0);
-static PEAK: AtomicU64 = AtomicU64::new(0);
-
-fn bump(delta: usize) {
-    let live = LIVE.fetch_add(delta as u64, Ordering::Relaxed) + delta as u64;
-    PEAK.fetch_max(live, Ordering::Relaxed);
-}
-
-// SAFETY: delegates to `System`, adding relaxed live/peak byte accounting.
-unsafe impl GlobalAlloc for TrackingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        bump(layout.size());
-        System.alloc(layout)
-    }
-
-    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        bump(layout.size());
-        System.alloc_zeroed(layout)
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        if new_size >= layout.size() {
-            bump(new_size - layout.size());
-        } else {
-            LIVE.fetch_sub((layout.size() - new_size) as u64, Ordering::Relaxed);
-        }
-        System.realloc(ptr, layout, new_size)
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        LIVE.fetch_sub(layout.size() as u64, Ordering::Relaxed);
-        System.dealloc(ptr, layout)
-    }
-}
+use rrs_bench::alloc_probe;
 
 #[global_allocator]
-static GLOBAL: TrackingAlloc = TrackingAlloc;
+static GLOBAL: rrs_bench::AllocProbe = rrs_bench::AllocProbe;
 
 /// Lazily synthesizes the text format for a long general workload: a
 /// steady tight-bound drip, a periodic big batch, and off-boundary
@@ -118,6 +81,7 @@ impl Read for SoakText {
 /// Streams `rounds` rounds through the full reduction stack with periodic
 /// checkpoints, asserting conservation and the live-heap bound.
 fn soak(rounds: u64, every: u64, max_live_bytes: u64) {
+    assert!(alloc_probe::probe_active(), "probe must be installed as the global allocator");
     let mut source =
         TextStream::new(BufReader::new(SoakText::new(rounds))).expect("synthesized header parses");
     let mut policy = full_algorithm();
@@ -130,8 +94,7 @@ fn soak(rounds: u64, every: u64, max_live_bytes: u64) {
         snapshot_bytes += bytes.len() as u64;
     };
 
-    let baseline = LIVE.load(Ordering::Relaxed);
-    PEAK.store(baseline, Ordering::Relaxed);
+    let baseline = alloc_probe::reset_peak();
 
     let out = run_stream_session(
         &mut source,
@@ -151,7 +114,7 @@ fn soak(rounds: u64, every: u64, max_live_bytes: u64) {
     .expect("soak run completes")
     .into_outcome();
 
-    let peak = PEAK.load(Ordering::Relaxed).saturating_sub(baseline);
+    let peak = alloc_probe::peak_bytes().saturating_sub(baseline);
 
     assert!(out.rounds > rounds, "simulated {} rounds, wanted > {rounds}", out.rounds);
     assert_eq!(out.arrived, SoakText::total_jobs(rounds));
