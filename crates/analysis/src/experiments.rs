@@ -21,8 +21,8 @@ use rrs_model::Instance;
 use rrs_offline::{combined_lower_bound, portfolio_upper_bound, solve_opt, OptConfig};
 use rrs_workloads::{
     background_vs_short_term, batched_instance, edf_killer, general_instance, lru_killer,
-    multiservice_router, rate_limited_instance, BackgroundConfig, BatchedConfig, EdfKillerParams,
-    GeneralConfig, LruKillerParams, RateLimitedConfig, RouterConfig,
+    multiservice_router, rate_limited_instance, zipf_popularity, BackgroundConfig, BatchedConfig,
+    EdfKillerParams, GeneralConfig, LruKillerParams, RateLimitedConfig, RouterConfig, ZipfConfig,
 };
 
 use crate::attribution::per_color_from_events;
@@ -615,6 +615,72 @@ pub fn e15_punctuality(seeds: std::ops::Range<u64>) -> Table {
     t
 }
 
+/// E16 (scale): the full VarBatch stack under Zipf color popularity as
+/// the declared universe grows by orders of magnitude while traffic
+/// volume stays fixed. With the hierarchical `ColorSet` / paged
+/// `ColorMap` state sweep, per-round work and per-color-state memory
+/// track the *live* colors (the sliver of the universe that ever
+/// arrives), not the declared universe, so cost stays flat and the
+/// footprint columns grow with `live`, not `colors`. `leaf_words` counts
+/// occupied 64-bit leaf words across the stack's color sets;
+/// `live_pages` counts materialized 64-slot pages across its color maps
+/// (see DESIGN.md §14).
+pub fn e16_zipf_scaling(color_counts: &[usize]) -> Table {
+    let n = 8;
+    let m = 1;
+    let mut t = Table::new(
+        "E16 (scale): VarBatch stack under Zipf popularity vs universe size",
+        &[
+            "colors",
+            "jobs",
+            "live",
+            "cost",
+            "drops",
+            "lower_bound",
+            "ratio_vs_lb",
+            "leaf_words",
+            "live_pages",
+        ],
+    );
+    let counts: Vec<usize> = color_counts.to_vec();
+    for row in par_map_sweep(&counts, |&num_colors| {
+        let cfg = ZipfConfig { num_colors, ..ZipfConfig::default() };
+        let inst = zipf_popularity(&cfg, 16);
+        // Distinct arriving colors, in one pass over the arrival entries
+        // (a per-color scan would defeat the point at 10^6 colors).
+        let live = {
+            let mut seen = std::collections::BTreeSet::new();
+            for (_, req) in inst.requests.iter() {
+                seen.extend(req.pairs().iter().map(|&(c, _)| c));
+            }
+            seen.len()
+        };
+        let mut p = full_algorithm();
+        let out = observed_run(&format!("e16 colors={num_colors}"), &inst, n, &mut p);
+        assert!(out.conserved());
+        let lb = combined_lower_bound(&inst, m);
+        let fp = rrs_core::Footprint::footprint(&p);
+        vec![
+            num_colors.to_string(),
+            inst.total_jobs().to_string(),
+            live.to_string(),
+            out.total_cost().to_string(),
+            out.dropped.to_string(),
+            lb.to_string(),
+            fmt_ratio(ratio(out.total_cost(), lb)),
+            fp.colorset_leaf_words.to_string(),
+            fp.colormap_live_pages.to_string(),
+        ]
+    }) {
+        t.row(row);
+    }
+    t.note(
+        "jobs are fixed while colors grow 10^2..10^5: cost and footprint must \
+         track `live`, not `colors`",
+    );
+    t
+}
+
 /// A router-scenario sanity table used by the examples (not numbered in
 /// the paper; exercises the §1 application end to end).
 pub fn router_scenario(seed: u64) -> Table {
@@ -644,7 +710,7 @@ pub fn router_scenario(seed: u64) -> Table {
     t
 }
 
-/// The default experiment suite, keyed by short name (`e1`..`e15`; E9 is
+/// The default experiment suite, keyed by short name (`e1`..`e16`; E9 is
 /// bench-only). Each entry regenerates one table at its small default
 /// parameters.
 pub fn default_suite() -> Vec<SuiteEntry> {
@@ -663,6 +729,7 @@ pub fn default_suite() -> Vec<SuiteEntry> {
         ("e13", || e13_counter_gate_ablation(&[4, 8, 16])),
         ("e14", e14_replication_ablation),
         ("e15", || e15_punctuality(0..6)),
+        ("e16", || e16_zipf_scaling(&[100, 1_000, 10_000, 100_000])),
     ]
 }
 
@@ -824,6 +891,34 @@ mod tests {
 }
 
 #[cfg(test)]
+mod e16_tests {
+    use super::*;
+
+    /// Growing the universe 100x at fixed traffic must not move the cost
+    /// and must leave the footprint tracking the live colors: well under
+    /// one leaf word / one page per 64 declared colors.
+    #[test]
+    fn e16_footprint_tracks_live_not_universe() {
+        let t = e16_zipf_scaling(&[1_000, 100_000]);
+        let cost_small: u64 = t.cell(0, "cost").unwrap().parse().unwrap();
+        let cost_large: u64 = t.cell(1, "cost").unwrap().parse().unwrap();
+        // Same draws, different universes: heavier tails mean *different*
+        // costs are fine, but both runs see the same job volume.
+        assert_eq!(t.cell(0, "jobs"), t.cell(1, "jobs"));
+        assert!(cost_small > 0 && cost_large > 0);
+        let live: u64 = t.cell(1, "live").unwrap().parse().unwrap();
+        let words: u64 = t.cell(1, "leaf_words").unwrap().parse().unwrap();
+        let pages: u64 = t.cell(1, "live_pages").unwrap().parse().unwrap();
+        // A dense encoding would occupy 100_000/64 ≈ 1563 words per set
+        // and as many pages per map across the stack's many structures;
+        // sparse state stays within a few words/pages per live color.
+        assert!(live < 10_000, "zipf traffic not sparse: {live} live");
+        assert!(words <= 4 * live, "leaf words {words} vs {live} live: scaling with the universe");
+        assert!(pages <= 4 * live, "live pages {pages} vs {live} live: scaling with the universe");
+    }
+}
+
+#[cfg(test)]
 mod suite_smoke {
     use super::*;
 
@@ -833,7 +928,7 @@ mod suite_smoke {
     #[test]
     fn all_default_tables_are_populated() {
         let tables = all_default();
-        assert_eq!(tables.len(), 14);
+        assert_eq!(tables.len(), 15);
         for t in &tables {
             assert!(!t.is_empty(), "empty table: {}", t.title);
             assert!(!t.columns.is_empty(), "no columns: {}", t.title);

@@ -15,6 +15,13 @@
 //!   the work-stealing queue makes the per-worker item *split*
 //!   timing-dependent, so the split is advisory while the totals are
 //!   byte-identical at any worker count.
+//! * **zipf** — the sparse-state trajectory: the full stack and its
+//!   no-`Distribute` ablation `VarBatch<ΔLRU-EDF>` on a Zipf-popular
+//!   universe of 10⁴ (quick) / 10⁵ (full) colors, with
+//!   each policy's per-color-state footprint (`colorset_leaf_words`,
+//!   `colormap_live_pages`) recorded as *deterministic* metrics — so
+//!   `bench compare` flags any footprint growth as a regression — plus a
+//!   worker-ladder checksum proving the sweep stays byte-identical.
 //!
 //! No wall-clock API is touched directly here — all timing goes through
 //! [`Stopwatch`], the engine's audited advisory timer.
@@ -32,12 +39,13 @@ use rrs_model::{Instance, InstanceBuilder, TextStream};
 use rrs_offline::{solve_opt_guarded, OptConfig};
 use rrs_workloads::bursty::{bursty_instance, BurstyConfig};
 use rrs_workloads::genome::parse_genome;
+use rrs_workloads::{zipf_popularity, ZipfConfig};
 
 use crate::alloc_probe;
 use crate::artifact::{BenchArtifact, BenchRecord};
 
 /// Suite names accepted by `rrs bench`.
-pub const SUITES: &[&str] = &["core", "sweep"];
+pub const SUITES: &[&str] = &["core", "sweep", "zipf"];
 
 /// The pinned OPT fixture: the seed adversary from
 /// `tests/fixtures/adversaries/dlru-seed42.adv` (Δ=16, one color; the
@@ -84,6 +92,7 @@ pub fn run_suite(suite: &str, cfg: SuiteConfig) -> Result<BenchArtifact, String>
     match suite {
         "core" => core_suite(cfg),
         "sweep" => sweep_suite(cfg),
+        "zipf" => zipf_suite(cfg),
         other => Err(format!("unknown suite '{other}' (available: {})", SUITES.join(", "))),
     }
 }
@@ -487,6 +496,125 @@ fn sweep_suite(cfg: SuiteConfig) -> Result<BenchArtifact, String> {
 }
 
 // ---------------------------------------------------------------------------
+// zipf suite
+// ---------------------------------------------------------------------------
+
+fn zipf_suite(cfg: SuiteConfig) -> Result<BenchArtifact, String> {
+    let zcfg =
+        ZipfConfig { num_colors: cfg.pick(10_000, 100_000) as usize, ..ZipfConfig::default() };
+    let inst = zipf_popularity(&zcfg, 16);
+
+    let mut artifact = BenchArtifact::new("zipf", cfg.tier(), cfg.repetitions);
+    artifact.benches.push(zipf_policy_run(
+        "zipf_full_stack",
+        &inst,
+        cfg,
+        rrs_core::full_algorithm,
+    )?);
+    artifact.benches.push(zipf_policy_run(
+        "zipf_varbatch_dlru_edf",
+        &inst,
+        cfg,
+        varbatch_dlru_edf,
+    )?);
+    artifact.benches.push(zipf_sweep_determinism(&zcfg, cfg)?);
+    Ok(artifact)
+}
+
+/// The no-`Distribute` ablation: `VarBatch` aligns the Zipf traffic's
+/// off-boundary arrivals to block boundaries (bare ΔLRU-EDF requires
+/// batched arrivals), but oversized batches are not split.
+fn varbatch_dlru_edf() -> rrs_core::VarBatch<rrs_core::DeltaLruEdf> {
+    rrs_core::VarBatch::new(rrs_core::DeltaLruEdf::new())
+}
+
+/// One policy's run over the pinned Zipf instance. The deterministic side
+/// records outcome totals *and* the policy's post-run per-color-state
+/// footprint — occupied `ColorSet` leaf words and materialized `ColorMap`
+/// pages — so `bench compare` treats any footprint growth on the same
+/// workload as a regression (larger-is-worse is the comparator's default
+/// for deterministic metrics).
+fn zipf_policy_run<P: Policy + rrs_core::Footprint>(
+    name: &str,
+    inst: &Instance,
+    cfg: SuiteConfig,
+    mk: fn() -> P,
+) -> Result<BenchRecord, String> {
+    let sim = Simulator::new(inst, 8);
+    let mut policy = mk();
+    let out = sim.run(&mut policy);
+    if out.arrived != out.executed + out.dropped {
+        return Err(format!("{name} conservation violated"));
+    }
+    let fp = rrs_core::Footprint::footprint(&policy);
+
+    let mut record = BenchRecord::new(name);
+    record
+        .det(names::ROUNDS, out.rounds)
+        .det(names::ARRIVED, out.arrived)
+        .det(names::EXECUTED, out.executed)
+        .det(names::DROPPED, out.dropped)
+        .det("total_cost", out.total_cost())
+        .det(names::COLORSET_LEAF_WORDS, fp.colorset_leaf_words)
+        .det(names::COLORMAP_LIVE_PAGES, fp.colormap_live_pages);
+
+    let mut samples = Vec::new();
+    for _ in 0..cfg.repetitions {
+        let mut policy = mk();
+        let sw = Stopwatch::start();
+        let rerun = sim.run(&mut policy);
+        samples.push(per_sec(rerun.rounds, sw.elapsed()));
+        if rerun != out {
+            return Err(format!("{name} outcome differs across repetitions"));
+        }
+    }
+    push_rate_percentiles(&mut record, "rounds_per_sec", &mut samples);
+    Ok(record)
+}
+
+/// The worker-ladder determinism check on Zipf traffic: a seeded sweep of
+/// smaller universes run at every [`SWEEP_WORKERS`] count must produce the
+/// same summed cost checksum at any parallelism (and across repetitions).
+fn zipf_sweep_determinism(zcfg: &ZipfConfig, cfg: SuiteConfig) -> Result<BenchRecord, String> {
+    let n_items = cfg.pick(8, 16);
+    let small = ZipfConfig { num_colors: zcfg.num_colors / 10, ..zcfg.clone() };
+    let items: Vec<Instance> = (0..n_items).map(|seed| zipf_popularity(&small, seed)).collect();
+
+    let mut record = BenchRecord::new("zipf_sweep");
+    let jobs_before = jobs();
+    let mut expected = None;
+    for &workers in SWEEP_WORKERS {
+        set_jobs(workers);
+        for _ in 0..cfg.repetitions {
+            let (costs, stats) = par_map_sweep_stats(&items, |inst| {
+                let mut policy = rrs_core::full_algorithm();
+                Simulator::new(inst, 8).run(&mut policy).total_cost()
+            });
+            let checksum: u64 = costs.iter().sum();
+            let items_total: u64 = stats.iter().map(|s| s.items).sum();
+            match expected {
+                None => {
+                    expected = Some(checksum);
+                    record
+                        .det(names::SWEEP_ITEMS, items_total)
+                        .det("cost_checksum", checksum)
+                        .det("worker_counts_checked", SWEEP_WORKERS.len() as u64);
+                }
+                Some(want) if want != checksum => {
+                    set_jobs(jobs_before);
+                    return Err(format!(
+                        "zipf sweep checksum differs at {workers} workers: {checksum} vs {want}"
+                    ));
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    set_jobs(jobs_before);
+    Ok(record)
+}
+
+// ---------------------------------------------------------------------------
 // shared helpers
 // ---------------------------------------------------------------------------
 
@@ -558,6 +686,30 @@ mod tests {
         let checksum = a.benches[0].det_value("cost_checksum").unwrap();
         for bench in &a.benches {
             assert_eq!(bench.det_value("cost_checksum"), Some(checksum), "{}", bench.name);
+        }
+    }
+
+    #[test]
+    fn zipf_suite_is_deterministic_and_sparse() {
+        let a = run_suite("zipf", SuiteConfig { quick: true, repetitions: 1 }).expect("runs");
+        let b = run_suite("zipf", SuiteConfig { quick: true, repetitions: 1 }).expect("runs");
+        assert_eq!(a.benches.len(), 3);
+        for (x, y) in a.benches.iter().zip(&b.benches) {
+            assert_eq!(x.deterministic, y.deterministic, "{}", x.name);
+        }
+        // Both policies report a footprint, and it stays far below the
+        // dense occupancy of the 10^4-color quick universe (≥157 words
+        // per set / pages per map if per-color state were dense).
+        for name in ["zipf_full_stack", "zipf_varbatch_dlru_edf"] {
+            let bench = a.benches.iter().find(|r| r.name == name).expect(name);
+            let words = bench.det_value(names::COLORSET_LEAF_WORDS).expect("words recorded");
+            let pages = bench.det_value(names::COLORMAP_LIVE_PAGES).expect("pages recorded");
+            let arrived = bench.det_value(names::ARRIVED).expect("arrivals recorded");
+            assert!(words > 0 && pages > 0, "{name}: empty footprint");
+            assert!(
+                words < arrived && pages < arrived,
+                "{name}: footprint ({words} words, {pages} pages) not sparse vs {arrived} jobs"
+            );
         }
     }
 

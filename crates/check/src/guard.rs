@@ -76,6 +76,17 @@ impl<P: Policy + Instrumented> CheckedPolicy<P> {
         for c in obs.colors.ids() {
             let s = book.state(c);
             let d = s.delay_bound;
+            if d == 0 {
+                // The book materializes a color's state on first arrival;
+                // until then it reads as the untouched sentinel, which must
+                // be inert in every ranking.
+                assert!(
+                    s.ts.is_none() && s.cnt == 0 && !s.eligible && s.deadline == 0,
+                    "round {}: never-arrived color {c} has live state",
+                    obs.round
+                );
+                continue;
+            }
             if let Some(w) = s.ts {
                 assert!(
                     w % d == 0 && w < obs.round,

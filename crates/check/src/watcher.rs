@@ -10,7 +10,7 @@
 use std::collections::BTreeMap;
 
 use rrs_engine::{EngineState, Outcome, PendingStore, Slot, Watcher};
-use rrs_model::{ColorId, Instance};
+use rrs_model::{ColorId, ColorMap, ColorSet, Instance};
 
 /// Which simulation phase a violation was detected in, for error context.
 #[derive(Clone, Copy, Debug)]
@@ -49,10 +49,13 @@ pub struct InvariantWatcher<'a> {
     delta: u64,
     n_locations: usize,
     horizon: u64,
-    /// Shadow pending jobs: per color (by index), deadline → count.
-    shadow: Vec<BTreeMap<u64, u64>>,
+    /// Shadow pending jobs: per color, deadline → count. Paged, so a
+    /// huge mostly-idle color universe costs memory only for colors that
+    /// actually hold jobs; the store cross-check closes the gap for
+    /// untouched colors through the total-count comparison.
+    shadow: ColorMap<BTreeMap<u64, u64>>,
     /// Colors already executed in the current mini-round.
-    exec_seen: Vec<bool>,
+    exec_seen: ColorSet,
     arrived: u64,
     executed: u64,
     dropped: u64,
@@ -65,13 +68,15 @@ impl<'a> InvariantWatcher<'a> {
     /// driving the simulator; the watcher cross-checks arrivals against it.
     pub fn new(inst: &'a Instance) -> Self {
         let n = inst.colors.len();
+        let mut shadow = ColorMap::new();
+        shadow.grow_to(n);
         Self {
             inst,
             delta: inst.delta,
             n_locations: 0,
             horizon: 0,
-            shadow: vec![BTreeMap::new(); n],
-            exec_seen: vec![false; n],
+            shadow,
+            exec_seen: ColorSet::new(),
             arrived: 0,
             executed: 0,
             dropped: 0,
@@ -87,11 +92,12 @@ impl<'a> InvariantWatcher<'a> {
     pub fn resume_from(inst: &'a Instance, state: &EngineState) -> Self {
         let mut w = Self::new(inst);
         let n = inst.colors.len().max(state.pending.num_colors());
-        w.shadow.resize_with(n, BTreeMap::new);
-        w.exec_seen.resize(n, false);
-        for (i, m) in w.shadow.iter_mut().enumerate() {
-            if i < state.pending.num_colors() {
-                m.extend(state.pending.profile(ColorId(i as u32)));
+        w.shadow.grow_to(n);
+        for i in 0..state.pending.num_colors() {
+            let c = ColorId(i as u32);
+            let mut profile = state.pending.profile(c).peekable();
+            if profile.peek().is_some() {
+                w.shadow.entry(c).extend(profile);
             }
         }
         w.arrived = state.arrived;
@@ -108,7 +114,7 @@ impl<'a> InvariantWatcher<'a> {
 
     /// Jobs still unresolved in the shadow model.
     pub fn shadow_pending(&self) -> u64 {
-        self.shadow.iter().flat_map(|m| m.values()).sum()
+        self.shadow.iter().flat_map(|(_, m)| m.values()).sum()
     }
 
     #[track_caller]
@@ -122,10 +128,13 @@ impl<'a> InvariantWatcher<'a> {
 
     /// Full cross-check of the engine store against the shadow: per-color
     /// totals, earliest deadlines, and (when `deep`) the whole profile.
+    /// Only colors on live shadow pages are compared individually; a
+    /// pending job the store invented for any *other* color still trips
+    /// the final total comparison, since per-color matches pin every
+    /// live color's contribution.
     fn check_store(&self, phase: CheckPhase, round: u64, pending: &PendingStore, deep: bool) {
         let mut total = 0u64;
-        for (i, m) in self.shadow.iter().enumerate() {
-            let c = ColorId(i as u32);
+        for (c, m) in self.shadow.iter() {
             let want: u64 = m.values().sum();
             total += want;
             if pending.count(c) != want {
@@ -186,7 +195,7 @@ impl Watcher for InvariantWatcher<'_> {
         // in-order use) and compare the per-color summary, which the engine
         // reports in ascending color order with zero entries omitted.
         let mut want: Vec<(ColorId, u64)> = Vec::new();
-        for (i, m) in self.shadow.iter_mut().enumerate() {
+        for (c, m) in self.shadow.iter_mut() {
             let mut n = 0;
             while let Some((&d, &k)) = m.iter().next() {
                 if d > round {
@@ -196,7 +205,7 @@ impl Watcher for InvariantWatcher<'_> {
                 m.remove(&d);
             }
             if n > 0 {
-                want.push((ColorId(i as u32), n));
+                want.push((c, n));
             }
         }
         if dropped != want {
@@ -228,7 +237,7 @@ impl Watcher for InvariantWatcher<'_> {
             let Some(d) = self.inst.colors.try_delay_bound(c) else {
                 self.fail(CheckPhase::Arrival, round, &format!("arrival of unknown color {c}"));
             };
-            *self.shadow[c.index()].entry(round + d).or_insert(0) += n;
+            *self.shadow.entry(c).entry(round + d).or_insert(0) += n;
             self.arrived += n;
         }
         self.check_store(CheckPhase::Arrival, round, pending, false);
@@ -258,22 +267,20 @@ impl Watcher for InvariantWatcher<'_> {
             );
         }
         self.reconfigs += charged;
-        self.exec_seen.iter_mut().for_each(|b| *b = false);
+        self.exec_seen.clear();
     }
 
     fn on_execute(&mut self, round: u64, mini: u32, color: ColorId, count: u64, slots: &[Slot]) {
         if count == 0 {
             return;
         }
-        let seen = &mut self.exec_seen[color.index()];
-        if *seen {
+        if !self.exec_seen.insert(color) {
             self.fail(
                 CheckPhase::Execute,
                 round,
                 &format!("mini {mini}: color {color} executed twice in one mini-round"),
             );
         }
-        *seen = true;
         let replicas = slots.iter().filter(|&&s| s == Some(color)).count() as u64;
         if count > replicas {
             self.fail(
@@ -288,7 +295,7 @@ impl Watcher for InvariantWatcher<'_> {
         // Remove earliest-deadline jobs from the shadow; every executed job
         // must still be alive (deadline strictly after this round's drop
         // phase — a deadline-k job was dropped in round k, never executed).
-        let m = &mut self.shadow[color.index()];
+        let m = self.shadow.entry(color);
         let mut left = count;
         while left > 0 {
             let Some((&d, &n)) = m.iter().next() else {
@@ -368,12 +375,11 @@ impl Watcher for InvariantWatcher<'_> {
                 self.arrived, self.executed, self.dropped
             ));
         }
-        for (i, m) in self.shadow.iter().enumerate() {
+        for (c, m) in self.shadow.iter() {
             if let Some((&d, _)) = m.iter().next() {
                 if d < outcome.rounds {
                     f(format!(
-                        "color {} still holds a job due at {d} after {} simulated rounds",
-                        ColorId(i as u32),
+                        "color {c} still holds a job due at {d} after {} simulated rounds",
                         outcome.rounds
                     ));
                 }

@@ -23,7 +23,7 @@ use rrs_engine::checkpoint::{
     get_bool, get_color_set, get_opt_u64, put_bool, put_color_set, put_opt_u64,
 };
 use rrs_engine::Observation;
-use rrs_model::{ColorId, ColorSet, ColorTable, SnapError, SnapReader, SnapWriter};
+use rrs_model::{ColorId, ColorMap, ColorSet, ColorTable, SnapError, SnapReader, SnapWriter};
 
 use crate::metrics::AlgoMetrics;
 
@@ -71,18 +71,43 @@ impl ColorState {
     }
 }
 
+/// The default state is the never-touched sentinel (`delay_bound` 0 never
+/// occurs for a real color) — it backs absent pages of the book's sparse
+/// state map and is never entered into a bound bucket.
+impl Default for ColorState {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
 /// Shared bookkeeping for the Section 3 algorithm family.
+///
+/// Per-color state is **lazy**: a color's [`ColorState`] materializes on
+/// its first arrival, so a book over a million-color universe holds state
+/// (and bound-bucket membership) only for the colors that ever received a
+/// job. This is sound because every observable read goes through colors
+/// that have arrived: eligibility requires a counter wrap, wraps require
+/// arrivals, and the EDF/LRU rankings only consult eligible or cached
+/// colors (cached ⊆ ever-eligible). A never-arrived color's deadline is
+/// simply never refreshed — and never read.
 #[derive(Clone, Debug)]
 pub struct ColorBook {
     delta: u64,
-    states: Vec<ColorState>,
-    /// Colors grouped by delay bound so block boundaries touch only the
-    /// relevant buckets (there are at most 64 distinct power-of-two bounds).
-    /// Kept sorted ascending by bound; within a bucket ids are ascending
-    /// because colors are minted in id order. A sorted vec rather than a
-    /// `BTreeMap`: the bucket count is tiny, iteration is the hot operation,
-    /// and inserts happen only when a brand-new bound appears.
-    by_bound: Vec<(u64, Vec<u32>)>,
+    /// Paged per-color state; absent pages read as the untouched sentinel.
+    states: ColorMap<ColorState>,
+    /// Colors whose state has materialized (ever received an arrival).
+    touched: ColorSet,
+    /// Number of colors known from the color table (the dense id range),
+    /// whether or not they ever materialized.
+    synced: usize,
+    /// Touched colors grouped by delay bound so block boundaries walk only
+    /// the relevant buckets (there are at most 64 distinct power-of-two
+    /// bounds). Kept sorted ascending by bound; each bucket is a
+    /// [`ColorSet`], so membership inserts are O(1) and iteration is
+    /// ascending by id — the paper's consistent order. A sorted vec rather
+    /// than a `BTreeMap`: the bucket count is tiny, iteration is the hot
+    /// operation, and inserts happen only when a brand-new bound appears.
+    by_bound: Vec<(u64, ColorSet)>,
     /// Super-epoch machinery (§3.4): once this many distinct colors have
     /// updated their timestamps, the super-epoch ends. `None` disables it.
     super_epoch_threshold: Option<u64>,
@@ -100,7 +125,9 @@ impl ColorBook {
         assert!(delta >= 1, "the paper's algorithms require \u{394} >= 1");
         Self {
             delta,
-            states: Vec::new(),
+            states: ColorMap::new(),
+            touched: ColorSet::new(),
+            synced: 0,
             by_bound: Vec::new(),
             super_epoch_threshold: None,
             super_epoch_colors: ColorSet::new(),
@@ -123,40 +150,82 @@ impl ColorBook {
         self.delta
     }
 
-    /// Number of colors known to the book.
+    /// Number of colors known to the book (the synced id range, whether
+    /// or not a color's state ever materialized).
     pub fn len(&self) -> usize {
-        self.states.len()
+        self.synced
     }
 
     /// Whether no colors are known.
     pub fn is_empty(&self) -> bool {
-        self.states.is_empty()
+        self.synced == 0
     }
 
-    /// The state of a known color.
+    /// Number of colors whose state has materialized — the book's real
+    /// footprint in a sparse universe.
+    pub fn touched_len(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// Live pages of the paged per-color state map (telemetry).
+    pub fn state_pages(&self) -> usize {
+        self.states.live_pages()
+    }
+
+    /// Sparse-container footprint of the whole book: leaf words across the
+    /// touched set, the per-bound buckets, and the super-epoch set, plus
+    /// the state map's live pages.
+    pub fn footprint(&self) -> crate::StateFootprint {
+        let words = self.touched.leaf_words()
+            + self.super_epoch_colors.leaf_words()
+            + self.by_bound.iter().map(|(_, b)| b.leaf_words()).sum::<usize>();
+        crate::StateFootprint {
+            colorset_leaf_words: words as u64,
+            colormap_live_pages: self.states.live_pages() as u64,
+        }
+    }
+
+    /// The state of a known color. Colors that never received an arrival
+    /// read as the untouched sentinel (counter 0, ineligible, no wraps) —
+    /// indistinguishable, for every ranking, from the eager representation.
     pub fn state(&self, c: ColorId) -> &ColorState {
-        &self.states[c.index()]
+        &self.states[c]
     }
 
     /// Whether a color is currently eligible.
     pub fn is_eligible(&self, c: ColorId) -> bool {
-        self.states.get(c.index()).is_some_and(|s| s.eligible)
+        self.states.get(c).is_some_and(|s| s.eligible)
     }
 
-    /// Iterate over all eligible colors in consistent order.
+    /// Iterate over all eligible colors in consistent order. Only
+    /// materialized colors can be eligible, so walking the touched set
+    /// suffices (and costs O(touched), not O(universe)).
     pub fn eligible_colors(&self) -> impl Iterator<Item = ColorId> + '_ {
-        self.states.iter().enumerate().filter(|(_, s)| s.eligible).map(|(i, _)| ColorId(i as u32))
+        self.touched.iter().filter(|&c| self.states[c].eligible)
     }
 
-    /// Learn about new colors from a (possibly grown) color table.
+    /// Learn about new colors from a (possibly grown) color table. Only
+    /// records the id range — per-color state materializes on first
+    /// arrival, so syncing a huge table allocates nothing.
     pub fn sync(&mut self, colors: &ColorTable) {
-        while self.states.len() < colors.len() {
-            let id = self.states.len() as u32;
-            let d = colors.delay_bound(ColorId(id));
-            self.states.push(ColorState::new(d));
-            match self.by_bound.binary_search_by_key(&d, |&(b, _)| b) {
-                Ok(i) => self.by_bound[i].1.push(id),
-                Err(i) => self.by_bound.insert(i, (d, vec![id])),
+        if self.synced < colors.len() {
+            self.synced = colors.len();
+            self.states.grow_to(colors.len());
+        }
+    }
+
+    /// Materialize state for `c` with delay bound `d` and register it in
+    /// its bound bucket. Caller guarantees `c` is fresh (not touched).
+    fn materialize(&mut self, c: ColorId, d: u64) {
+        *self.states.entry(c) = ColorState::new(d);
+        match self.by_bound.binary_search_by_key(&d, |&(b, _)| b) {
+            Ok(i) => {
+                self.by_bound[i].1.insert(c);
+            }
+            Err(i) => {
+                let mut bucket = ColorSet::new();
+                bucket.insert(c);
+                self.by_bound.insert(i, (d, bucket));
             }
         }
     }
@@ -174,7 +243,7 @@ impl ColorBook {
         // dropped while its color is eligible is an "eligible" drop
         // (Lemma 3.2), otherwise "ineligible" (Lemma 3.4).
         for &(c, n) in obs.dropped {
-            if self.states[c.index()].eligible {
+            if self.is_eligible(c) {
                 self.metrics.eligible_drops += n;
             } else {
                 self.metrics.ineligible_drops += n;
@@ -182,24 +251,26 @@ impl ColorBook {
         }
 
         // Drop phase (§3.1): at each block boundary, commit the timestamp
-        // and retire eligible-but-uncached colors.
+        // and retire eligible-but-uncached colors. Buckets hold touched
+        // colors only, so a boundary walks the live working set, not the
+        // universe.
         self.ts_updates.clear();
-        for &(d, ref ids) in &self.by_bound {
+        for &(d, ref bucket) in &self.by_bound {
             if !k.is_multiple_of(d) {
                 continue;
             }
-            for &id in ids {
-                let s = &mut self.states[id as usize];
+            for c in bucket.iter() {
+                let s = &mut self.states[c];
                 if let Some(w) = s.last_wrap {
                     // Wraps happen only at boundaries, so `w < k` means the
                     // wrap precedes the current block and becomes the
                     // committed timestamp.
                     if w < k && s.ts != Some(w) {
                         s.ts = Some(w);
-                        self.ts_updates.push(id);
+                        self.ts_updates.push(c.0);
                     }
                 }
-                if s.eligible && !in_cache(ColorId(id)) {
+                if s.eligible && !in_cache(c) {
                     s.eligible = false;
                     s.cnt = 0;
                     if s.epoch_active {
@@ -221,10 +292,17 @@ impl ColorBook {
             }
         }
 
-        // Arrival phase (§3.1): count arrivals, then refresh deadlines and
-        // wrap counters at block boundaries.
+        // Arrival phase (§3.1): count arrivals (materializing first-time
+        // colors), then refresh deadlines and wrap counters at block
+        // boundaries. A color materialized this round enters its bucket
+        // before the boundary walk below, so its first deadline refresh
+        // and a possible immediate wrap happen in the same round — exactly
+        // as the eager book behaved.
         for &(c, n) in obs.arrivals {
-            let s = &mut self.states[c.index()];
+            if self.touched.insert(c) {
+                self.materialize(c, obs.colors.delay_bound(c));
+            }
+            let s = &mut self.states[c];
             debug_assert!(
                 k.is_multiple_of(s.delay_bound),
                 "batched-arrival policy fed an off-boundary arrival (color {c}, round {k})"
@@ -235,12 +313,12 @@ impl ColorBook {
                 self.metrics.active_epochs += 1;
             }
         }
-        for &(d, ref ids) in &self.by_bound {
+        for &(d, ref bucket) in &self.by_bound {
             if !k.is_multiple_of(d) {
                 continue;
             }
-            for &id in ids {
-                let s = &mut self.states[id as usize];
+            for c in bucket.iter() {
+                let s = &mut self.states[c];
                 s.deadline = k + d;
                 if s.cnt >= self.delta {
                     s.cnt %= self.delta;
@@ -261,11 +339,19 @@ impl ColorBook {
     /// book was constructed identically. `by_bound` is derived from the
     /// states and rebuilt on load; the `ts_updates` scratch buffer is dead
     /// between rounds and excluded.
+    ///
+    /// v2 layout: synced color count, then the number of touched colors
+    /// followed by, per touched color in ascending id order, its id and
+    /// seven state fields. Untouched colors cost nothing on the wire. (v1
+    /// wrote all synced colors densely with no ids; see `load_state`.)
     pub fn save_state(&self, w: &mut SnapWriter) {
         w.put_u64(self.delta);
         put_opt_u64(w, self.super_epoch_threshold);
-        w.put_u64(self.states.len() as u64);
-        for s in &self.states {
+        w.put_u64(self.synced as u64);
+        w.put_u64(self.touched.len() as u64);
+        for c in self.touched.iter() {
+            let s = &self.states[c];
+            w.put_u32(c.0);
             w.put_u64(s.delay_bound);
             w.put_u64(s.cnt);
             w.put_u64(s.deadline);
@@ -288,6 +374,11 @@ impl ColorBook {
     /// Restore the book's mutable state from a checkpoint, mirroring
     /// [`ColorBook::save_state`]. The book must have been constructed with
     /// the same Δ and super-epoch threshold as the checkpointing run.
+    ///
+    /// A v1 snapshot materializes every synced color (that is what the
+    /// eager book held). The extra dormant states are behaviorally inert —
+    /// ineligible, counter 0, no wrap — so a v1-resumed run produces the
+    /// same outcome as the original eager run.
     pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
         let delta = r.get_u64("book delta")?;
         if delta != self.delta {
@@ -307,12 +398,45 @@ impl ColorBook {
         let n = r.get_u64("book color count")?;
         let n = usize::try_from(n)
             .map_err(|_| SnapError::Invalid(format!("book color count {n} too large")))?;
-        self.states.clear();
+        let v1 = r.version() < 2;
+        let entries = if v1 {
+            n
+        } else {
+            let t = r.get_u64("book touched count")?;
+            usize::try_from(t)
+                .ok()
+                .filter(|&t| t <= n)
+                .ok_or_else(|| SnapError::Invalid(format!("book touched count {t} too large")))?
+        };
+        self.states = ColorMap::new();
+        self.states.grow_to(n);
+        self.synced = n;
+        self.touched = ColorSet::new();
         self.by_bound.clear();
-        for i in 0..n {
+        let mut prev: Option<u32> = None;
+        for i in 0..entries {
+            let id = if v1 {
+                i as u32
+            } else {
+                let id = r.get_u32("book color id")?;
+                if (id as usize) >= n {
+                    return Err(SnapError::Invalid(format!(
+                        "book color id {id} beyond synced range {n}"
+                    )));
+                }
+                if let Some(p) = prev {
+                    if id <= p {
+                        return Err(SnapError::Invalid(format!(
+                            "book color ids not strictly ascending ({p} then {id})"
+                        )));
+                    }
+                }
+                prev = Some(id);
+                id
+            };
             let delay_bound = r.get_u64("color delay bound")?;
             if delay_bound == 0 {
-                return Err(SnapError::Invalid(format!("color {i} has zero delay bound")));
+                return Err(SnapError::Invalid(format!("color {id} has zero delay bound")));
             }
             let cnt = r.get_u64("color counter")?;
             let deadline = r.get_u64("color deadline")?;
@@ -320,20 +444,11 @@ impl ColorBook {
             let ts = get_opt_u64(r, "color timestamp")?;
             let last_wrap = get_opt_u64(r, "color last wrap")?;
             let epoch_active = get_bool(r, "color epoch flag")?;
-            self.states.push(ColorState {
-                delay_bound,
-                cnt,
-                deadline,
-                eligible,
-                ts,
-                last_wrap,
-                epoch_active,
-            });
-            let id = i as u32;
-            match self.by_bound.binary_search_by_key(&delay_bound, |&(b, _)| b) {
-                Ok(j) => self.by_bound[j].1.push(id),
-                Err(j) => self.by_bound.insert(j, (delay_bound, vec![id])),
-            }
+            let c = ColorId(id);
+            self.touched.insert(c);
+            self.materialize(c, delay_bound);
+            *self.states.entry(c) =
+                ColorState { delay_bound, cnt, deadline, eligible, ts, last_wrap, epoch_active };
         }
         self.super_epoch_colors = get_color_set(r, "super-epoch colors")?;
         self.metrics = AlgoMetrics {
@@ -400,13 +515,31 @@ mod tests {
     #[test]
     fn deadline_refreshes_every_boundary() {
         let colors = ColorTable::from_bounds(&[4]);
-        let mut book = ColorBook::new(1);
-        step(&mut book, &colors, 0, &[], &[], &[]);
+        let mut book = ColorBook::new(2);
+        // The first arrival materializes the state; its block boundary
+        // refreshes the deadline in the same round.
+        step(&mut book, &colors, 0, &[(A, 1)], &[], &[]);
         assert_eq!(book.state(A).deadline, 4);
         step(&mut book, &colors, 1, &[], &[], &[]);
         assert_eq!(book.state(A).deadline, 4); // not a boundary
         step(&mut book, &colors, 4, &[], &[], &[]);
         assert_eq!(book.state(A).deadline, 8);
+    }
+
+    #[test]
+    fn never_arrived_colors_hold_no_state() {
+        let colors = ColorTable::from_bounds(&[4, 4]);
+        let mut book = ColorBook::new(1);
+        step(&mut book, &colors, 0, &[(A, 1)], &[], &[]);
+        assert_eq!(book.len(), 2, "both colors synced");
+        assert_eq!(book.touched_len(), 1, "only the arrived color materialized");
+        // The untouched color reads as the inert sentinel ...
+        let b = ColorId(1);
+        assert!(!book.is_eligible(b));
+        assert_eq!(book.state(b).cnt, 0);
+        assert_eq!(book.state(b).deadline, 0, "never refreshed, never read");
+        // ... and never shows up in eligible iteration.
+        assert!(book.eligible_colors().all(|c| c == A));
     }
 
     #[test]
@@ -506,6 +639,9 @@ mod tests {
         let new_color = colors.push(8);
         book.sync(&colors);
         assert_eq!(book.len(), 2);
+        assert_eq!(book.touched_len(), 0, "sync records the range, not state");
+        // The delay bound lands in the state on first arrival.
+        step(&mut book, &colors, 0, &[(new_color, 1)], &[], &[]);
         assert_eq!(book.state(new_color).delay_bound, 8);
     }
 

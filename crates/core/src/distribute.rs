@@ -107,6 +107,17 @@ impl<P: Policy> Distribute<P> {
     }
 }
 
+impl<P: crate::Footprint> crate::Footprint for Distribute<P> {
+    fn footprint(&self) -> crate::StateFootprint {
+        self.inner.footprint().plus(crate::StateFootprint {
+            colorset_leaf_words: 0,
+            colormap_live_pages: (self.subs.live_pages()
+                + self.exec_counts.live_pages()
+                + self.vpending.live_pages()) as u64,
+        })
+    }
+}
+
 impl<P: Policy> Policy for Distribute<P> {
     fn name(&self) -> &str {
         "distribute"
@@ -185,12 +196,22 @@ impl<P: Snapshot> Snapshot for Distribute<P> {
     // Mutable state: the minted virtual universe (vcolors, subs, to_phys),
     // the virtual pending store and assignment, then the inner policy.
     // The arrival/drop/execution buffers are per-round scratch.
+    //
+    // v2 writes only physical colors with minted sub-colors, as
+    // `(id, list)` entries in ascending id order; v1 wrote one (possibly
+    // empty) list per covered color.
     fn save_state(&self, w: &mut SnapWriter) {
         put_color_table(w, &self.vcolors);
         self.vpending.save_state(w);
         put_slots(w, &self.vslots);
         w.put_u64(self.subs.len() as u64);
-        for (_, subs) in self.subs.iter() {
+        let nonempty = self.subs.iter().filter(|(_, s)| !s.is_empty()).count();
+        w.put_u64(nonempty as u64);
+        for (c, subs) in self.subs.iter() {
+            if subs.is_empty() {
+                continue;
+            }
+            w.put_u32(c.0);
             w.put_u64(subs.len() as u64);
             for &vc in subs {
                 w.put_u32(vc.0);
@@ -223,17 +244,60 @@ impl<P: Snapshot> Snapshot for Distribute<P> {
         let n_phys = usize::try_from(r.get_u64("sub-color map size")?)
             .map_err(|_| SnapError::Invalid("sub-color map size overflows usize".into()))?;
         let mut subs: ColorMap<Vec<ColorId>> = ColorMap::new();
+        subs.grow_to(n_phys);
         let mut minted = 0u64;
-        for i in 0..n_phys {
-            let len = r.get_u64("sub-color list length")?;
-            let list = subs.entry(ColorId(i as u32));
-            for _ in 0..len {
-                let vc = ColorId(r.get_u32("sub-color id")?);
-                if !vcolors.contains(vc) {
-                    return Err(SnapError::Invalid(format!("sub-color {vc} out of range")));
+        if r.version() < 2 {
+            for i in 0..n_phys {
+                let len = r.get_u64("sub-color list length")?;
+                if len == 0 {
+                    continue;
                 }
-                list.push(vc);
-                minted += 1;
+                let list = subs.entry(ColorId(i as u32));
+                for _ in 0..len {
+                    let vc = ColorId(r.get_u32("sub-color id")?);
+                    if !vcolors.contains(vc) {
+                        return Err(SnapError::Invalid(format!("sub-color {vc} out of range")));
+                    }
+                    list.push(vc);
+                    minted += 1;
+                }
+            }
+        } else {
+            let n_entries = usize::try_from(r.get_u64("sub-color entry count")?)
+                .ok()
+                .filter(|&n| n <= n_phys)
+                .ok_or_else(|| SnapError::Invalid("sub-color entry count too large".into()))?;
+            let mut prev: Option<u32> = None;
+            for _ in 0..n_entries {
+                let id = r.get_u32("sub-color map color id")?;
+                if (id as usize) >= n_phys {
+                    return Err(SnapError::Invalid(format!(
+                        "sub-color map id {id} beyond coverage {n_phys}"
+                    )));
+                }
+                if let Some(p) = prev {
+                    if id <= p {
+                        return Err(SnapError::Invalid(format!(
+                            "sub-color map ids not strictly ascending ({p} then {id})"
+                        )));
+                    }
+                }
+                prev = Some(id);
+                let len = r.get_u64("sub-color list length")?;
+                if len == 0 {
+                    return Err(SnapError::Invalid(format!(
+                        "color {id} recorded with an empty sub-color list"
+                    )));
+                }
+                let list = subs.entry(ColorId(id));
+                for _ in 0..len {
+                    let vc = ColorId(r.get_u32("sub-color id")?);
+                    if !vcolors.contains(vc) {
+                        return Err(SnapError::Invalid(format!("sub-color {vc} out of range")));
+                    }
+                    list.push(vc);
+                    minted += 1;
+                }
             }
         }
         if minted != vcolors.len() as u64 {

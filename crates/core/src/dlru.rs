@@ -51,6 +51,16 @@ impl DeltaLru {
     }
 }
 
+impl crate::Footprint for DeltaLru {
+    fn footprint(&self) -> crate::StateFootprint {
+        let book = self.book.as_ref().map(ColorBook::footprint).unwrap_or_default();
+        book.plus(crate::StateFootprint {
+            colorset_leaf_words: self.cached.leaf_words() as u64,
+            colormap_live_pages: 0,
+        })
+    }
+}
+
 impl crate::Instrumented for DeltaLru {
     fn book(&self) -> Option<&ColorBook> {
         DeltaLru::book(self)

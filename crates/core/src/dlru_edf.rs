@@ -119,6 +119,16 @@ impl DeltaLruEdf {
     }
 }
 
+impl crate::Footprint for DeltaLruEdf {
+    fn footprint(&self) -> crate::StateFootprint {
+        let book = self.book.as_ref().map(ColorBook::footprint).unwrap_or_default();
+        book.plus(crate::StateFootprint {
+            colorset_leaf_words: (self.cached.leaf_words() + self.lru_set.leaf_words()) as u64,
+            colormap_live_pages: 0,
+        })
+    }
+}
+
 impl crate::Instrumented for DeltaLruEdf {
     fn book(&self) -> Option<&ColorBook> {
         DeltaLruEdf::book(self)

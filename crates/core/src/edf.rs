@@ -77,6 +77,16 @@ impl Edf {
     }
 }
 
+impl crate::Footprint for Edf {
+    fn footprint(&self) -> crate::StateFootprint {
+        let book = self.book.as_ref().map(ColorBook::footprint).unwrap_or_default();
+        book.plus(crate::StateFootprint {
+            colorset_leaf_words: self.cached.leaf_words() as u64,
+            colormap_live_pages: 0,
+        })
+    }
+}
+
 impl crate::Instrumented for Edf {
     fn book(&self) -> Option<&ColorBook> {
         Edf::book(self)

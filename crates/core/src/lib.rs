@@ -84,6 +84,37 @@ pub trait Instrumented {
     fn metrics(&self) -> AlgoMetrics;
 }
 
+/// Sparse-container telemetry for a policy's per-color state: how many
+/// hierarchical-bitset leaf words and paged-map pages it currently holds
+/// (DESIGN.md §14). Both scale with *live* colors, not the color universe;
+/// the `zipf` bench suite records them as deterministic metrics, so
+/// `bench compare` flags any growth as a regression.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StateFootprint {
+    /// Total `ColorSet` leaf words (64 color ids per word).
+    pub colorset_leaf_words: u64,
+    /// Total live `ColorMap` pages (`COLOR_PAGE` slots per page).
+    pub colormap_live_pages: u64,
+}
+
+impl StateFootprint {
+    /// Component-wise sum, for composing wrappers over inner policies.
+    #[must_use]
+    pub fn plus(self, other: Self) -> Self {
+        Self {
+            colorset_leaf_words: self.colorset_leaf_words + other.colorset_leaf_words,
+            colormap_live_pages: self.colormap_live_pages + other.colormap_live_pages,
+        }
+    }
+}
+
+/// Report the sparse-container footprint of a policy's per-color state.
+/// Wrappers add their own containers to the wrapped policy's report.
+pub trait Footprint {
+    /// Leaf words and live pages held right now.
+    fn footprint(&self) -> StateFootprint;
+}
+
 /// The end-to-end algorithm for the paper's main problem `[Δ|1|D_ℓ|1]`:
 /// `VarBatch ∘ Distribute ∘ ΔLRU-EDF` (Theorem 3).
 pub type FullAlgorithm = VarBatch<Distribute<DeltaLruEdf>>;
@@ -97,7 +128,7 @@ pub fn full_algorithm() -> FullAlgorithm {
 pub mod prelude {
     pub use crate::transform::{distribute_instance, varbatch_instance, SubColorMap};
     pub use crate::{
-        full_algorithm, AlgoMetrics, ClassicLru, DeltaLru, DeltaLruEdf, Distribute, Edf,
-        FullAlgorithm, Instrumented, VarBatch,
+        full_algorithm, AlgoMetrics, ClassicLru, DeltaLru, DeltaLruEdf, Distribute, Edf, Footprint,
+        FullAlgorithm, Instrumented, StateFootprint, VarBatch,
     };
 }

@@ -21,19 +21,25 @@
 
 use rrs_engine::checkpoint::{get_color_table, get_slots, put_color_table, put_slots};
 use rrs_engine::{Observation, PendingStore, Policy, Slot, Snapshot};
-use rrs_model::{ColorId, ColorMap, ColorTable, SnapError, SnapReader, SnapWriter};
+use rrs_model::{ColorId, ColorMap, ColorSet, ColorTable, SnapError, SnapReader, SnapWriter};
 
 /// The VarBatch wrapper around an inner policy for the batched problem.
 #[derive(Debug)]
 pub struct VarBatch<P> {
     inner: P,
     /// Virtual color table: same ids as the physical table, with bound
-    /// `q_ℓ` (half of the rounded-down physical bound).
+    /// `q_ℓ` (half of the rounded-down physical bound). Doubles as the
+    /// per-color virtual-bound lookup.
     vcolors: ColorTable,
-    /// Per color: the virtual (half-block) bound `q_ℓ`, cached.
-    q: ColorMap<u64>,
-    /// Per color: jobs buffered in the current half-block.
+    /// Per color: jobs buffered in the current half-block (paged; only
+    /// colors that ever buffered occupy memory).
     buffered: ColorMap<u64>,
+    /// Colors with a nonzero buffer — the release phase walks this set
+    /// (ascending, the consistent order) instead of the whole universe.
+    buffered_nonzero: ColorSet,
+    /// Scratch for the release walk: `(color, virtual bound)` pairs due
+    /// this round.
+    release_buf: Vec<(ColorId, u64)>,
     vpending: PendingStore,
     vslots: Vec<Slot>,
     vnext: Vec<Slot>,
@@ -73,8 +79,9 @@ impl<P: Policy> VarBatch<P> {
         Self {
             inner,
             vcolors: ColorTable::new(),
-            q: ColorMap::new(),
             buffered: ColorMap::new(),
+            buffered_nonzero: ColorSet::new(),
+            release_buf: Vec::new(),
             vpending: PendingStore::new(),
             vslots: Vec::new(),
             vnext: Vec::new(),
@@ -94,10 +101,7 @@ impl<P: Policy> VarBatch<P> {
         while self.vcolors.len() < colors.len() {
             let id = ColorId(self.vcolors.len() as u32);
             let p = colors.delay_bound(id);
-            let q = virtual_bound(p);
-            self.vcolors.push(q);
-            *self.q.entry(id) = q;
-            self.buffered.entry(id);
+            self.vcolors.push(virtual_bound(p));
         }
     }
 
@@ -122,6 +126,17 @@ impl<P: Policy> VarBatch<P> {
     }
 }
 
+impl<P: crate::Footprint> crate::Footprint for VarBatch<P> {
+    fn footprint(&self) -> crate::StateFootprint {
+        self.inner.footprint().plus(crate::StateFootprint {
+            colorset_leaf_words: self.buffered_nonzero.leaf_words() as u64,
+            colormap_live_pages: (self.buffered.live_pages()
+                + self.exec_counts.live_pages()
+                + self.vpending.live_pages()) as u64,
+        })
+    }
+}
+
 impl<P: Policy> Policy for VarBatch<P> {
     fn name(&self) -> &str {
         "var-batch"
@@ -129,8 +144,8 @@ impl<P: Policy> Policy for VarBatch<P> {
 
     fn init(&mut self, delta: u64, n_locations: usize) {
         self.vcolors = ColorTable::new();
-        self.q = ColorMap::new();
         self.buffered = ColorMap::new();
+        self.buffered_nonzero.clear();
         self.vpending = PendingStore::new();
         self.vslots = vec![None; n_locations];
         self.inner.init(delta, n_locations);
@@ -147,13 +162,22 @@ impl<P: Policy> Policy for VarBatch<P> {
 
             // Release phase: at each half-block boundary, the jobs buffered
             // during the previous half-block arrive virtually with bound q.
+            // Only colors with a nonzero buffer can release, so the walk is
+            // over `buffered_nonzero` (ascending, like every color walk).
             self.varrivals.clear();
-            for (c, &q) in self.q.iter() {
-                if k.is_multiple_of(q) && self.buffered.value(c) > 0 {
-                    let n = std::mem::take(&mut self.buffered[c]);
-                    self.varrivals.push((c, n));
-                    self.vpending.arrive(c, k + q, n);
+            self.release_buf.clear();
+            for c in self.buffered_nonzero.iter() {
+                let q = self.vcolors.delay_bound(c);
+                if k.is_multiple_of(q) {
+                    self.release_buf.push((c, q));
                 }
+            }
+            for i in 0..self.release_buf.len() {
+                let (c, q) = self.release_buf[i];
+                self.buffered_nonzero.remove(c);
+                let n = std::mem::take(&mut self.buffered[c]);
+                self.varrivals.push((c, n));
+                self.vpending.arrive(c, k + q, n);
             }
 
             // Buffer this round's physical arrivals for the *next*
@@ -164,8 +188,9 @@ impl<P: Policy> Policy for VarBatch<P> {
                     // True bound 1: no delay is needed or allowed.
                     self.varrivals.push((c, n));
                     self.vpending.arrive(c, k + 1, n);
-                } else {
-                    self.buffered[c] += n;
+                } else if n > 0 {
+                    *self.buffered.entry(c) += n;
+                    self.buffered_nonzero.insert(c);
                 }
             }
             self.varrivals.sort_unstable_by_key(|&(c, _)| c);
@@ -199,14 +224,18 @@ impl<P: Policy> Policy for VarBatch<P> {
 }
 
 impl<P: Snapshot> Snapshot for VarBatch<P> {
-    // Mutable state: the virtual color table (the q map is its mirror and is
-    // rebuilt on load), the half-block buffers, the virtual pending store
-    // and assignment, then the inner policy.
+    // Mutable state: the virtual color table (also the per-color virtual
+    // bound), the half-block buffers, the virtual pending store and
+    // assignment, then the inner policy.
+    //
+    // v2 writes only the nonzero buffers as `(id, count)` pairs in
+    // ascending id order; v1 wrote one `u64` per virtual color.
     fn save_state(&self, w: &mut SnapWriter) {
         put_color_table(w, &self.vcolors);
-        w.put_u64(self.buffered.len() as u64);
-        for (_, &n) in self.buffered.iter() {
-            w.put_u64(n);
+        w.put_u64(self.buffered_nonzero.len() as u64);
+        for c in self.buffered_nonzero.iter() {
+            w.put_u32(c.0);
+            w.put_u64(self.buffered.value(c));
         }
         self.vpending.save_state(w);
         put_slots(w, &self.vslots);
@@ -216,17 +245,55 @@ impl<P: Snapshot> Snapshot for VarBatch<P> {
 
     fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
         let vcolors = get_color_table(r, "virtual color table")?;
-        let n_buf = r.get_u64("buffer map size")?;
-        if n_buf != vcolors.len() as u64 {
-            return Err(SnapError::Invalid(format!(
-                "buffer map covers {n_buf} colors but the virtual table has {}",
-                vcolors.len()
-            )));
-        }
         let mut buffered: ColorMap<u64> = ColorMap::new();
+        let mut buffered_nonzero = ColorSet::new();
         buffered.grow_to(vcolors.len());
-        for i in 0..vcolors.len() {
-            buffered[ColorId(i as u32)] = r.get_u64("buffered job count")?;
+        if r.version() < 2 {
+            let n_buf = r.get_u64("buffer map size")?;
+            if n_buf != vcolors.len() as u64 {
+                return Err(SnapError::Invalid(format!(
+                    "buffer map covers {n_buf} colors but the virtual table has {}",
+                    vcolors.len()
+                )));
+            }
+            for i in 0..vcolors.len() {
+                let n = r.get_u64("buffered job count")?;
+                if n > 0 {
+                    *buffered.entry(ColorId(i as u32)) = n;
+                    buffered_nonzero.insert(ColorId(i as u32));
+                }
+            }
+        } else {
+            let nonzero = usize::try_from(r.get_u64("buffered color count")?)
+                .ok()
+                .filter(|&n| n <= vcolors.len())
+                .ok_or_else(|| SnapError::Invalid("buffered color count too large".into()))?;
+            let mut prev: Option<u32> = None;
+            for _ in 0..nonzero {
+                let id = r.get_u32("buffered color id")?;
+                if (id as usize) >= vcolors.len() {
+                    return Err(SnapError::Invalid(format!(
+                        "buffered color id {id} beyond virtual table size {}",
+                        vcolors.len()
+                    )));
+                }
+                if let Some(p) = prev {
+                    if id <= p {
+                        return Err(SnapError::Invalid(format!(
+                            "buffered color ids not strictly ascending ({p} then {id})"
+                        )));
+                    }
+                }
+                prev = Some(id);
+                let n = r.get_u64("buffered job count")?;
+                if n == 0 {
+                    return Err(SnapError::Invalid(format!(
+                        "buffered color {id} recorded with a zero count"
+                    )));
+                }
+                *buffered.entry(ColorId(id)) = n;
+                buffered_nonzero.insert(ColorId(id));
+            }
         }
         let vpending = PendingStore::load_state(r)?;
         let vslots = get_slots(r, "virtual slots")?;
@@ -250,14 +317,9 @@ impl<P: Snapshot> Snapshot for VarBatch<P> {
             )));
         }
         self.inner.load_state(r)?;
-        let mut q: ColorMap<u64> = ColorMap::new();
-        q.grow_to(vcolors.len());
-        for (c, bound) in vcolors.iter() {
-            q[c] = bound;
-        }
         self.vcolors = vcolors;
-        self.q = q;
         self.buffered = buffered;
+        self.buffered_nonzero = buffered_nonzero;
         self.vpending = vpending;
         self.vslots = vslots;
         Ok(())

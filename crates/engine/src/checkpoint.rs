@@ -369,6 +369,9 @@ pub struct SnapshotFile<'a> {
     pub state: EngineState,
     /// Name of the policy that took the snapshot.
     pub policy_name: String,
+    /// Format version of the snapshot file (v1 payloads use the old dense
+    /// per-color encodings; decoders branch on this).
+    pub version: u32,
     policy_body: &'a [u8],
 }
 
@@ -376,6 +379,7 @@ impl<'a> SnapshotFile<'a> {
     /// Parse and integrity-check a snapshot byte string.
     pub fn parse(bytes: &'a [u8]) -> Result<Self, SnapError> {
         let mut r = SnapReader::new(bytes)?;
+        let version = r.version();
         let mut eng = r.section("engine")?;
         let state = EngineState::load(&mut eng)?;
         eng.expect_end("engine section")?;
@@ -383,7 +387,7 @@ impl<'a> SnapshotFile<'a> {
         let policy_name = pol.get_str("policy name")?.to_string();
         let policy_body = pol.rest();
         r.expect_end("snapshot")?;
-        Ok(SnapshotFile { state, policy_name, policy_body })
+        Ok(SnapshotFile { state, policy_name, version, policy_body })
     }
 
     /// Restore `policy` (already constructed and [`Policy::init`]-ed as
@@ -397,7 +401,7 @@ impl<'a> SnapshotFile<'a> {
                 policy.name()
             )));
         }
-        let mut r = SnapReader::over(self.policy_body);
+        let mut r = SnapReader::over_versioned(self.policy_body, self.version);
         policy.load_state(&mut r)?;
         r.expect_end("policy state")
     }

@@ -50,6 +50,12 @@ pub mod names {
     pub const ALLOC_CALLS: &str = "alloc_calls";
     /// Items claimed across parallel sweeps (summed over workers).
     pub const SWEEP_ITEMS: &str = "sweep_items";
+    /// High-water mark of hierarchical `ColorSet` leaf words held by a
+    /// policy's per-color state (64 colors per word; see DESIGN.md §14).
+    pub const COLORSET_LEAF_WORDS: &str = "colorset_leaf_words";
+    /// High-water mark of paged `ColorMap` pages held by a policy's
+    /// per-color state (`COLOR_PAGE` slots per page; see DESIGN.md §14).
+    pub const COLORMAP_LIVE_PAGES: &str = "colormap_live_pages";
 }
 
 /// A fixed-bucket histogram over `u64` samples.

@@ -52,6 +52,12 @@ impl PendingStore {
         self.queues.len()
     }
 
+    /// Live pages across the store's paged per-color containers —
+    /// sparse-state telemetry (DESIGN.md §14).
+    pub fn live_pages(&self) -> usize {
+        self.queues.live_pages() + self.counts.live_pages()
+    }
+
     /// Add `count` pending jobs of `color` with the given deadline.
     ///
     /// # Panics
@@ -173,12 +179,22 @@ impl PendingStore {
 
     /// Serialize the store into a snapshot writer (DESIGN.md §10).
     ///
-    /// Layout: color count, then per color the queue length followed by its
-    /// `(deadline, count)` pairs, then the `min_due` bound. `counts` and
-    /// `total` are derived on load, so they cannot drift from the queues.
+    /// v2 layout: coverage (color-universe size), the number of colors
+    /// with a nonempty queue, then per such color in ascending id order
+    /// its id, queue length, and `(deadline, count)` pairs, then the
+    /// `min_due` bound. Idle colors cost nothing on the wire — a sparse
+    /// store over a huge universe snapshots in O(pending colors). `counts`
+    /// and `total` are derived on load, so they cannot drift from the
+    /// queues. (v1 wrote one queue per covered color; see `load_state`.)
     pub fn save_state(&self, w: &mut SnapWriter) {
         w.put_u64(self.queues.len() as u64);
-        for (_, q) in self.queues.iter() {
+        let nonempty = self.queues.iter().filter(|(_, q)| !q.is_empty()).count();
+        w.put_u64(nonempty as u64);
+        for (c, q) in self.queues.iter() {
+            if q.is_empty() {
+                continue;
+            }
+            w.put_u32(c.0);
             w.put_u64(q.len() as u64);
             for &(deadline, count) in q {
                 w.put_u64(deadline);
@@ -188,7 +204,9 @@ impl PendingStore {
         w.put_u64(self.min_due);
     }
 
-    /// Decode a store previously written by [`PendingStore::save_state`].
+    /// Decode a store previously written by [`PendingStore::save_state`]
+    /// (v2 sparse layout, or the dense v1 layout when the reader comes
+    /// from a v1 snapshot).
     ///
     /// Validates structural invariants (strictly ascending deadlines per
     /// color, nonzero counts, a `min_due` that really bounds every pending
@@ -202,9 +220,43 @@ impl PendingStore {
         store.ensure_colors(n_colors);
         let mut total = 0u64;
         let mut true_min = u64::MAX;
-        for i in 0..n_colors {
-            let color = ColorId(i as u32);
+        let v1 = r.version() < 2;
+        let n_entries = if v1 {
+            n_colors
+        } else {
+            let n = r.get_u64("pending nonempty count")?;
+            usize::try_from(n).ok().filter(|&n| n <= n_colors).ok_or_else(|| {
+                SnapError::Invalid(format!("pending nonempty count {n} too large"))
+            })?
+        };
+        let mut prev_color: Option<u32> = None;
+        for i in 0..n_entries {
+            let color = if v1 {
+                ColorId(i as u32)
+            } else {
+                let id = r.get_u32("pending color id")?;
+                if (id as usize) >= n_colors {
+                    return Err(SnapError::Invalid(format!(
+                        "pending color id {id} beyond coverage {n_colors}"
+                    )));
+                }
+                if let Some(p) = prev_color {
+                    if id <= p {
+                        return Err(SnapError::Invalid(format!(
+                            "pending color ids not strictly ascending ({p} then {id})"
+                        )));
+                    }
+                }
+                prev_color = Some(id);
+                ColorId(id)
+            };
             let q_len = r.get_u64("pending queue length")?;
+            if !v1 && q_len == 0 {
+                return Err(SnapError::Invalid(format!(
+                    "pending color {} listed with an empty queue",
+                    color.0
+                )));
+            }
             let mut count_for_color = 0u64;
             let mut last_deadline: Option<u64> = None;
             for _ in 0..q_len {
@@ -212,26 +264,28 @@ impl PendingStore {
                 let count = r.get_u64("pending count")?;
                 if count == 0 {
                     return Err(SnapError::Invalid(format!(
-                        "pending queue for color {i} has a zero-count entry"
+                        "pending queue for color {} has a zero-count entry",
+                        color.0
                     )));
                 }
                 if let Some(prev) = last_deadline {
                     if deadline <= prev {
                         return Err(SnapError::Invalid(format!(
-                            "pending queue for color {i} has non-ascending deadlines \
-                             ({prev} then {deadline})"
+                            "pending queue for color {} has non-ascending deadlines \
+                             ({prev} then {deadline})",
+                            color.0
                         )));
                     }
                 }
                 last_deadline = Some(deadline);
-                store.queues[color].push_back((deadline, count));
+                store.queues.entry(color).push_back((deadline, count));
                 count_for_color += count;
             }
-            if let Some(&(front, _)) = store.queues[color].front() {
-                true_min = true_min.min(front);
+            if count_for_color > 0 {
+                true_min = true_min.min(store.queues[color].front().map(|&(d, _)| d).unwrap());
+                *store.counts.entry(color) = count_for_color;
+                total += count_for_color;
             }
-            store.counts[color] = count_for_color;
-            total += count_for_color;
         }
         store.total = total;
         store.min_due = r.get_u64("pending min_due")?;
@@ -387,7 +441,9 @@ mod tests {
     #[test]
     fn snapshot_rejects_non_ascending_deadlines() {
         let mut w = SnapWriter::new();
-        w.put_u64(1); // one color
+        w.put_u64(1); // coverage: one color
+        w.put_u64(1); // one nonempty queue
+        w.put_u32(0); // ... for color 0
         w.put_u64(2); // two queue entries
         w.put_u64(9);
         w.put_u64(1);
@@ -404,6 +460,8 @@ mod tests {
         let mut w = SnapWriter::new();
         w.put_u64(1);
         w.put_u64(1);
+        w.put_u32(0);
+        w.put_u64(1);
         w.put_u64(5);
         w.put_u64(0); // zero jobs in a bucket is impossible
         w.put_u64(5);
@@ -417,11 +475,82 @@ mod tests {
         let mut w = SnapWriter::new();
         w.put_u64(1);
         w.put_u64(1);
+        w.put_u32(0);
+        w.put_u64(1);
         w.put_u64(5);
         w.put_u64(2);
         w.put_u64(9); // claims nothing is due before round 9, but a job dies at 5
         let bytes = w.finish();
         let mut r = SnapReader::new(&bytes).unwrap();
         assert!(matches!(PendingStore::load_state(&mut r), Err(SnapError::Invalid(_))));
+    }
+
+    #[test]
+    fn snapshot_rejects_out_of_range_or_unsorted_color_ids() {
+        // Color id beyond the declared coverage.
+        let mut w = SnapWriter::new();
+        w.put_u64(1); // coverage 1
+        w.put_u64(1);
+        w.put_u32(5); // but color 5 listed
+        w.put_u64(1);
+        w.put_u64(4);
+        w.put_u64(1);
+        w.put_u64(4);
+        let bytes = w.finish();
+        let mut r = SnapReader::new(&bytes).unwrap();
+        assert!(matches!(PendingStore::load_state(&mut r), Err(SnapError::Invalid(_))));
+
+        // Descending color ids.
+        let mut w = SnapWriter::new();
+        w.put_u64(4);
+        w.put_u64(2);
+        for c in [3u32, 1] {
+            w.put_u32(c);
+            w.put_u64(1);
+            w.put_u64(4);
+            w.put_u64(1);
+        }
+        w.put_u64(4);
+        let bytes = w.finish();
+        let mut r = SnapReader::new(&bytes).unwrap();
+        assert!(matches!(PendingStore::load_state(&mut r), Err(SnapError::Invalid(_))));
+    }
+
+    #[test]
+    fn v1_dense_layout_still_loads() {
+        // A v1 snapshot wrote one queue per covered color, empty queues
+        // included, with no color ids on the wire. Re-seal the writer's
+        // header at version 1 and check the dense decode path.
+        let mut w = SnapWriter::new();
+        w.put_u64(3); // three covered colors ...
+        w.put_u64(0); // color 0: idle
+        w.put_u64(2); // color 1: two buckets
+        w.put_u64(4);
+        w.put_u64(2);
+        w.put_u64(9);
+        w.put_u64(1);
+        w.put_u64(0); // color 2: idle
+        w.put_u64(4); // min_due
+        let mut bytes = w.finish();
+        bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
+        let len = bytes.len();
+        let crc = rrs_model::crc32(&bytes[..len - 4]);
+        bytes[len - 4..].copy_from_slice(&crc.to_le_bytes());
+
+        let mut r = SnapReader::new(&bytes).unwrap();
+        let p = PendingStore::load_state(&mut r).unwrap();
+        r.expect_end("pending v1").unwrap();
+        assert_eq!(p.num_colors(), 3);
+        assert_eq!(p.total(), 3);
+        assert_eq!(p.profile(B).collect::<Vec<_>>(), vec![(4, 2), (9, 1)]);
+        assert!(p.is_idle(A));
+
+        // And the sparse re-encode round-trips to the same logical store.
+        let mut w = SnapWriter::new();
+        p.save_state(&mut w);
+        let bytes2 = w.finish();
+        let mut r2 = SnapReader::new(&bytes2).unwrap();
+        let q = PendingStore::load_state(&mut r2).unwrap();
+        assert_eq!(q, p);
     }
 }

@@ -1,157 +1,287 @@
-//! Dense, `ColorId`-indexed containers for hot-path color state.
+//! Sparse-friendly, `ColorId`-indexed containers for hot-path color state.
 //!
 //! Colors are small dense integers by construction: [`crate::ColorTable`]
 //! mints them with `push`, and the reduction wrappers (*Distribute*,
-//! *VarBatch*) mint sub-colors the same way. Every per-color map in the
-//! simulator's round loop can therefore be a flat vector indexed by
-//! [`ColorId`] instead of a tree or a hash table — O(1) access, no
-//! per-entry allocation, and iteration in the paper's *consistent order of
-//! colors* (ascending id) for free.
+//! *VarBatch*) mint sub-colors the same way. Per-color state in the
+//! simulator's round loop is therefore keyed by [`ColorId`] directly — no
+//! trees, no hashing — but the color *universe* can be far larger than the
+//! live working set (DESIGN.md §14: millions of minted colors, thousands
+//! hot). Both containers here keep O(1) access and iteration in the
+//! paper's *consistent order of colors* (ascending id) while letting
+//! memory track what was actually touched:
 //!
-//! * [`ColorMap<T>`] — a default-growing `Vec<T>` keyed by `ColorId`.
-//!   Absent colors read as `T::default()`; writes grow the backing store.
-//! * [`ColorSet`] — a dense membership set with O(1) insert/remove/contains
-//!   and ascending-id iteration, the flat replacement for
-//!   `BTreeSet<ColorId>` in policy cache state.
+//! * [`ColorMap<T>`] — a paged map. Fixed-size pages ([`COLOR_PAGE`]
+//!   entries) are allocated on first write to any color in the page;
+//!   absent pages read as `T::default()`. Iteration visits only live
+//!   pages, still in ascending-id order.
+//! * [`ColorSet`] — a two-level hierarchical bitset: a u64 summary word
+//!   per 64 leaf words, each leaf word holding 64 membership bits.
+//!   O(1) insert/remove/contains, and iteration/`clear` skip empty leaves
+//!   via the summary, so both cost O(live members), not O(universe).
 //!
-//! Both containers only ever allocate when the color universe grows, so a
-//! steady-state round (no new colors) performs no allocations at all —
-//! the discipline `tests/alloc_discipline.rs` enforces.
+//! Containers only allocate when a new page or leaf region is first
+//! touched, so a steady-state round (no new colors) performs no
+//! allocations at all — the discipline `tests/alloc_discipline.rs`
+//! enforces, now including the sparse regime (huge universe, small
+//! working set).
 
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
 use crate::color::ColorId;
 
-/// A dense map from [`ColorId`] to `T`, backed by a flat vector.
+/// Entries per [`ColorMap`] page. 64 matches the bitset leaf granularity:
+/// a workload whose live colors fit `k` bitset leaves touches at most `k`
+/// map pages per structure. Small enough that a scattered working set of
+/// 10³ colors in a 10⁶ universe costs at most 10³ pages (~64·10³ slots),
+/// large enough that the page directory at full density is 1/64 of a flat
+/// vector.
+pub const COLOR_PAGE: usize = 64;
+
+const WORD_BITS: usize = 64;
+
+/// A paged map from [`ColorId`] to `T`.
 ///
-/// Reads of colors beyond the backing store see [`Default::default`];
-/// [`ColorMap::entry`] grows the store on demand. Iteration visits colors
-/// in consistent (ascending id) order.
-#[derive(Clone, PartialEq, Eq)]
+/// The map tracks a *coverage* bound (ids `0..len()`, grown by
+/// [`ColorMap::grow_to`] and [`ColorMap::entry`]) exactly like the former
+/// flat vector, but raising coverage allocates nothing: pages materialize
+/// only when a color in them is first written. Reads of colors within
+/// coverage whose page is absent see `T::default()`; reads beyond
+/// coverage return `None` from [`ColorMap::get`] and panic on indexing,
+/// matching the flat container's contract. Iteration visits live pages
+/// only, in consistent (ascending id) order.
+#[derive(Clone)]
 pub struct ColorMap<T> {
-    items: Vec<T>,
+    /// Page directory; `None` entries read as a page of defaults. The
+    /// directory itself grows only when a page past its end materializes.
+    pages: Vec<Option<Box<[T]>>>,
+    /// Ids `0..coverage` are "covered" (in-bounds), whether or not their
+    /// page exists.
+    coverage: usize,
+    /// Referent for shared reads of covered-but-absent slots.
+    default_slot: T,
 }
 
-impl<T> Default for ColorMap<T> {
+impl<T: Default> Default for ColorMap<T> {
     fn default() -> Self {
-        Self { items: Vec::new() }
+        Self { pages: Vec::new(), coverage: 0, default_slot: T::default() }
     }
 }
 
 impl<T: fmt::Debug> fmt::Debug for ColorMap<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_map()
-            .entries(self.items.iter().enumerate().map(|(i, v)| (ColorId(i as u32), v)))
-            .finish()
+        f.debug_map().entries(self.iter()).finish()
     }
 }
 
-impl<T> ColorMap<T> {
+impl<T: Default> ColorMap<T> {
     /// An empty map.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Number of colors the backing store covers (ids `0..len`).
+    /// Raise the coverage bound to colors `0..n`. Never shrinks, never
+    /// allocates: new covered colors read as `T::default()` until their
+    /// page is first written.
     #[inline]
-    pub fn len(&self) -> usize {
-        self.items.len()
-    }
-
-    /// Whether the backing store is empty.
-    #[inline]
-    pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
-    }
-
-    /// The value for `c`, if the backing store covers it.
-    #[inline]
-    pub fn get(&self, c: ColorId) -> Option<&T> {
-        self.items.get(c.index())
-    }
-
-    /// Mutable access to the value for `c`, if the backing store covers it.
-    #[inline]
-    pub fn get_mut(&mut self, c: ColorId) -> Option<&mut T> {
-        self.items.get_mut(c.index())
-    }
-
-    /// Iterate over `(color, value)` pairs in consistent order.
-    pub fn iter(&self) -> impl Iterator<Item = (ColorId, &T)> + '_ {
-        self.items.iter().enumerate().map(|(i, v)| (ColorId(i as u32), v))
-    }
-
-    /// Iterate mutably over `(color, value)` pairs in consistent order.
-    pub fn iter_mut(&mut self) -> impl Iterator<Item = (ColorId, &mut T)> + '_ {
-        self.items.iter_mut().enumerate().map(|(i, v)| (ColorId(i as u32), v))
-    }
-
-    /// The raw backing slice (index = color id).
-    #[inline]
-    pub fn as_slice(&self) -> &[T] {
-        &self.items
-    }
-}
-
-impl<T: Default> ColorMap<T> {
-    /// Grow the backing store to cover colors `0..n`, filling new entries
-    /// with `T::default()`. Never shrinks.
     pub fn grow_to(&mut self, n: usize) {
-        if self.items.len() < n {
-            self.items.resize_with(n, T::default);
+        if self.coverage < n {
+            self.coverage = n;
         }
     }
 
-    /// Mutable access to the value for `c`, growing the backing store with
-    /// defaults as needed.
+    /// Mutable access to the value for `c`, raising coverage and
+    /// materializing the page as needed.
     #[inline]
     pub fn entry(&mut self, c: ColorId) -> &mut T {
         self.grow_to(c.index() + 1);
-        &mut self.items[c.index()]
+        let (pi, off) = (c.index() / COLOR_PAGE, c.index() % COLOR_PAGE);
+        if self.pages.len() <= pi {
+            self.pages.resize_with(pi + 1, || None);
+        }
+        let page =
+            self.pages[pi].get_or_insert_with(|| (0..COLOR_PAGE).map(|_| T::default()).collect());
+        &mut page[off]
     }
 
-    /// Reset every covered entry to `T::default()`, keeping the backing
-    /// store (and its allocation).
+    /// Reset every slot of every live page to `T::default()`, keeping the
+    /// pages (and their allocations) and the coverage bound.
     pub fn reset(&mut self) {
-        for v in &mut self.items {
-            *v = T::default();
+        for page in self.pages.iter_mut().flatten() {
+            for v in page.iter_mut() {
+                *v = T::default();
+            }
         }
+    }
+}
+
+impl<T> ColorMap<T> {
+    /// Coverage bound: ids `0..len()` are in-bounds (ids, not live
+    /// entries — the flat container's `len` semantics).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.coverage
+    }
+
+    /// Whether no colors are covered.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.coverage == 0
+    }
+
+    /// Number of materialized pages — the map's real footprint in units
+    /// of [`COLOR_PAGE`] slots (telemetry: `colormap_live_pages`).
+    pub fn live_pages(&self) -> usize {
+        self.pages.iter().filter(|p| p.is_some()).count()
+    }
+
+    #[inline]
+    fn slot(&self, i: usize) -> Option<&T> {
+        self.pages.get(i / COLOR_PAGE)?.as_ref().map(|p| &p[i % COLOR_PAGE])
+    }
+
+    /// The value for `c`, if covered. Covered colors whose page is absent
+    /// read as the default value.
+    #[inline]
+    pub fn get(&self, c: ColorId) -> Option<&T> {
+        if c.index() >= self.coverage {
+            return None;
+        }
+        Some(self.slot(c.index()).unwrap_or(&self.default_slot))
+    }
+
+    /// Mutable access to the value for `c`, if covered. Materializes the
+    /// page on first touch.
+    #[inline]
+    pub fn get_mut(&mut self, c: ColorId) -> Option<&mut T>
+    where
+        T: Default,
+    {
+        if c.index() >= self.coverage {
+            return None;
+        }
+        Some(self.entry(c))
+    }
+
+    /// Iterate over `(color, value)` pairs of live pages in consistent
+    /// (ascending id) order. Covered colors whose page was never written
+    /// are skipped — they hold no state beyond the default.
+    pub fn iter(&self) -> impl Iterator<Item = (ColorId, &T)> + '_ {
+        let coverage = self.coverage;
+        self.pages
+            .iter()
+            .enumerate()
+            .filter_map(|(pi, p)| p.as_deref().map(|p| (pi, p)))
+            .flat_map(move |(pi, page)| {
+                page.iter().enumerate().map(move |(off, v)| (pi * COLOR_PAGE + off, v))
+            })
+            .take_while(move |&(i, _)| i < coverage)
+            .map(|(i, v)| (ColorId(i as u32), v))
+    }
+
+    /// Iterate mutably over `(color, value)` pairs of live pages in
+    /// consistent order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (ColorId, &mut T)> + '_ {
+        let coverage = self.coverage;
+        self.pages
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(pi, p)| p.as_deref_mut().map(|p| (pi, p)))
+            .flat_map(move |(pi, page)| {
+                page.iter_mut().enumerate().map(move |(off, v)| (pi * COLOR_PAGE + off, v))
+            })
+            .take_while(move |&(i, _)| i < coverage)
+            .map(|(i, v)| (ColorId(i as u32), v))
     }
 }
 
 impl<T: Copy + Default> ColorMap<T> {
-    /// The value for `c` by copy; colors beyond the store read as default.
+    /// The value for `c` by copy; colors beyond coverage (or on absent
+    /// pages) read as default.
     #[inline]
     pub fn value(&self, c: ColorId) -> T {
-        self.items.get(c.index()).copied().unwrap_or_default()
+        if c.index() >= self.coverage {
+            return T::default();
+        }
+        self.slot(c.index()).copied().unwrap_or_default()
     }
 }
+
+/// Logical equality: same coverage and the same value at every covered
+/// id, with absent pages reading as default. Two maps that took different
+/// write paths to the same logical contents compare equal.
+impl<T: PartialEq + Default> PartialEq for ColorMap<T> {
+    fn eq(&self, other: &Self) -> bool {
+        if self.coverage != other.coverage {
+            return false;
+        }
+        let pages = self.pages.len().max(other.pages.len());
+        let default = T::default();
+        for pi in 0..pages {
+            let a = self.pages.get(pi).and_then(|p| p.as_deref());
+            let b = other.pages.get(pi).and_then(|p| p.as_deref());
+            let same = match (a, b) {
+                (None, None) => true,
+                (Some(a), Some(b)) => a == b,
+                // A lone live page still counts as equal if it only ever
+                // held defaults (e.g. one side was reset, the other
+                // rebuilt from scratch).
+                (Some(p), None) | (None, Some(p)) => p.iter().all(|v| *v == default),
+            };
+            if !same {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl<T: Eq + Default> Eq for ColorMap<T> {}
 
 impl<T> Index<ColorId> for ColorMap<T> {
     type Output = T;
     #[inline]
     fn index(&self, c: ColorId) -> &T {
-        &self.items[c.index()]
+        assert!(
+            c.index() < self.coverage,
+            "color {} out of bounds (coverage {})",
+            c.index(),
+            self.coverage
+        );
+        self.slot(c.index()).unwrap_or(&self.default_slot)
     }
 }
 
-impl<T> IndexMut<ColorId> for ColorMap<T> {
+impl<T: Default> IndexMut<ColorId> for ColorMap<T> {
     #[inline]
     fn index_mut(&mut self, c: ColorId) -> &mut T {
-        &mut self.items[c.index()]
+        assert!(
+            c.index() < self.coverage,
+            "color {} out of bounds (coverage {})",
+            c.index(),
+            self.coverage
+        );
+        self.entry(c)
     }
 }
 
-/// A dense set of colors: O(1) membership, ascending-id iteration, and no
-/// allocation except when the color universe grows.
+/// A set of colors as a two-level hierarchical bitset: O(1) membership,
+/// ascending-id iteration that skips empty leaves, and no allocation
+/// except when the id range grows.
 ///
-/// The flat replacement for `BTreeSet<ColorId>` in policy cache state —
-/// iteration order (ascending id) matches the tree set's, so tie-breaking
-/// by the consistent order of colors is preserved.
-#[derive(Clone, Default, PartialEq, Eq)]
+/// Level 0 is a vector of u64 *leaf* words (64 colors each); level 1 is a
+/// *summary* word per 64 leaves whose bit `j` is set iff leaf `64·s + j`
+/// is nonzero. Iteration and [`ColorSet::clear`] walk the summary and
+/// visit only nonzero leaves, so a sparse set over a huge universe pays
+/// for its members, not the universe. Iteration order (ascending id)
+/// matches `BTreeSet<ColorId>`, so tie-breaking by the consistent order
+/// of colors is preserved.
+#[derive(Clone, Default)]
 pub struct ColorSet {
-    member: Vec<bool>,
+    /// Level-1: bit `j` of `summary[s]` set iff `leaves[64s + j] != 0`.
+    summary: Vec<u64>,
+    /// Level-0 membership bits; index `i`'s bit is `ColorId` `64·w + i`.
+    leaves: Vec<u64>,
     len: usize,
 }
 
@@ -161,13 +291,29 @@ impl fmt::Debug for ColorSet {
     }
 }
 
+/// Ascending positions of set bits in one word.
+struct BitIter(u64);
+
+impl Iterator for BitIter {
+    type Item = usize;
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            return None;
+        }
+        let b = self.0.trailing_zeros() as usize;
+        self.0 &= self.0 - 1;
+        Some(b)
+    }
+}
+
 impl ColorSet {
     /// An empty set.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Number of members.
+    /// Number of members (maintained as a counter).
     #[inline]
     pub fn len(&self) -> usize {
         self.len
@@ -179,30 +325,48 @@ impl ColorSet {
         self.len == 0
     }
 
+    /// Number of allocated leaf words — the set's real footprint
+    /// (telemetry: `colorset_leaf_words`).
+    pub fn leaf_words(&self) -> usize {
+        self.leaves.len()
+    }
+
     /// Whether `c` is a member.
     #[inline]
     pub fn contains(&self, c: ColorId) -> bool {
-        self.member.get(c.index()).copied().unwrap_or(false)
+        match self.leaves.get(c.index() / WORD_BITS) {
+            Some(w) => w & (1u64 << (c.index() % WORD_BITS)) != 0,
+            None => false,
+        }
     }
 
-    /// Insert `c`; returns whether it was newly inserted. Grows the backing
-    /// store as needed (the only allocating operation).
+    /// Insert `c`; returns whether it was newly inserted. Grows the
+    /// backing words as needed (the only allocating operation).
     pub fn insert(&mut self, c: ColorId) -> bool {
-        if self.member.len() <= c.index() {
-            self.member.resize(c.index() + 1, false);
+        let (wi, bit) = (c.index() / WORD_BITS, 1u64 << (c.index() % WORD_BITS));
+        if self.leaves.len() <= wi {
+            self.leaves.resize(wi + 1, 0);
+            self.summary.resize(wi / WORD_BITS + 1, 0);
         }
-        let slot = &mut self.member[c.index()];
-        let fresh = !*slot;
-        *slot = true;
-        self.len += fresh as usize;
+        let leaf = &mut self.leaves[wi];
+        let fresh = *leaf & bit == 0;
+        if fresh {
+            *leaf |= bit;
+            self.summary[wi / WORD_BITS] |= 1u64 << (wi % WORD_BITS);
+            self.len += 1;
+        }
         fresh
     }
 
     /// Remove `c`; returns whether it was a member.
     pub fn remove(&mut self, c: ColorId) -> bool {
-        match self.member.get_mut(c.index()) {
-            Some(slot) if *slot => {
-                *slot = false;
+        let (wi, bit) = (c.index() / WORD_BITS, 1u64 << (c.index() % WORD_BITS));
+        match self.leaves.get_mut(wi) {
+            Some(leaf) if *leaf & bit != 0 => {
+                *leaf &= !bit;
+                if *leaf == 0 {
+                    self.summary[wi / WORD_BITS] &= !(1u64 << (wi % WORD_BITS));
+                }
                 self.len -= 1;
                 true
             }
@@ -210,17 +374,45 @@ impl ColorSet {
         }
     }
 
-    /// Remove all members, keeping the backing store.
+    /// Remove all members, keeping the backing words. Walks the summary
+    /// and zeroes only nonzero leaves: O(summary words + live leaves),
+    /// cheap for the sparse sets cleared every round (e.g. the watcher's
+    /// per-mini execution ledger).
     pub fn clear(&mut self) {
-        self.member.fill(false);
+        for si in 0..self.summary.len() {
+            let sw = self.summary[si];
+            if sw == 0 {
+                continue;
+            }
+            for j in BitIter(sw) {
+                self.leaves[si * WORD_BITS + j] = 0;
+            }
+            self.summary[si] = 0;
+        }
         self.len = 0;
     }
 
-    /// Iterate over members in consistent (ascending id) order.
+    /// Iterate over members in consistent (ascending id) order, skipping
+    /// empty leaves via the summary.
     pub fn iter(&self) -> impl Iterator<Item = ColorId> + '_ {
-        self.member.iter().enumerate().filter(|&(_, &m)| m).map(|(i, _)| ColorId(i as u32))
+        self.summary
+            .iter()
+            .enumerate()
+            .flat_map(|(si, &sw)| BitIter(sw).map(move |j| si * WORD_BITS + j))
+            .flat_map(move |wi| {
+                BitIter(self.leaves[wi]).map(move |b| ColorId((wi * WORD_BITS + b) as u32))
+            })
     }
 }
+
+/// Logical equality: same members, regardless of backing-word capacity.
+impl PartialEq for ColorSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for ColorSet {}
 
 impl<'a> IntoIterator for &'a ColorSet {
     type Item = ColorId;
@@ -290,6 +482,63 @@ mod tests {
         m.reset();
         assert_eq!(m.len(), 10, "reset keeps coverage");
         assert_eq!(m.value(Z), 0);
+        assert_eq!(m.live_pages(), 1, "reset keeps the page allocation");
+    }
+
+    #[test]
+    fn map_grow_to_covers_without_allocating_pages() {
+        let mut m: ColorMap<u64> = ColorMap::new();
+        m.grow_to(1_000_000);
+        assert_eq!(m.len(), 1_000_000);
+        assert_eq!(m.live_pages(), 0, "coverage growth is free");
+        assert_eq!(m.value(ColorId(999_999)), 0);
+        assert_eq!(m[ColorId(999_999)], 0, "covered absent slot reads default");
+        assert_eq!(m.iter().count(), 0, "no live pages, nothing to visit");
+        *m.entry(ColorId(777_777)) = 9;
+        assert_eq!(m.live_pages(), 1, "first touch materializes exactly one page");
+        // Iteration visits the one live page (all its slots), nothing else.
+        assert_eq!(m.iter().count(), COLOR_PAGE);
+        let live: Vec<_> = m.iter().filter(|&(_, &v)| v != 0).map(|(c, &v)| (c, v)).collect();
+        assert_eq!(live, vec![(ColorId(777_777), 9)]);
+    }
+
+    #[test]
+    fn map_iter_skips_absent_pages_and_respects_coverage() {
+        let mut m: ColorMap<u64> = ColorMap::new();
+        *m.entry(ColorId(130)) = 5; // page 2
+        *m.entry(ColorId(3)) = 1; // page 0
+                                  // Coverage ends mid-page: the never-written tail of page 2 must
+                                  // not be visited.
+        let pairs: Vec<_> = m.iter().map(|(c, &v)| (c, v)).collect();
+        let live: Vec<_> = pairs.iter().filter(|&&(_, v)| v != 0).collect();
+        assert_eq!(live, vec![&(ColorId(3), 1), &(ColorId(130), 5)]);
+        assert!(pairs.iter().all(|&(c, _)| c.index() < m.len()));
+        assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0), "ascending order");
+    }
+
+    #[test]
+    fn map_logical_equality_ignores_page_layout() {
+        let mut a: ColorMap<u64> = ColorMap::new();
+        let mut b: ColorMap<u64> = ColorMap::new();
+        a.grow_to(200);
+        b.grow_to(200);
+        *a.entry(ColorId(70)) = 4;
+        *b.entry(ColorId(70)) = 4;
+        *b.entry(ColorId(5)) = 1; // touch page 0 ...
+        *b.entry(ColorId(5)) = 0; // ... then return it to defaults
+        assert_eq!(a, b, "a default-only page equals an absent page");
+        *b.entry(ColorId(5)) = 1;
+        assert_ne!(a, b);
+        let mut c: ColorMap<u64> = ColorMap::new();
+        *c.entry(ColorId(70)) = 4;
+        assert_ne!(a, c, "coverage is part of the logical value");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn map_index_beyond_coverage_panics() {
+        let m: ColorMap<u64> = ColorMap::new();
+        let _ = m[Z];
     }
 
     #[test]
@@ -326,6 +575,38 @@ mod tests {
         assert!(!s.contains(Z));
         s.insert(A); // no growth needed for low ids after clear
         assert_eq!(s.iter().collect::<Vec<_>>(), vec![A]);
+    }
+
+    #[test]
+    fn set_handles_wide_sparse_ids() {
+        let mut s = ColorSet::new();
+        let wide = [ColorId(999_983), ColorId(64), ColorId(63), ColorId(4096), ColorId(0)];
+        for &c in &wide {
+            assert!(s.insert(c));
+        }
+        assert_eq!(s.len(), 5);
+        let v: Vec<_> = s.iter().collect();
+        assert_eq!(v, vec![ColorId(0), ColorId(63), ColorId(64), ColorId(4096), ColorId(999_983)]);
+        assert!(s.remove(ColorId(64)));
+        assert!(!s.contains(ColorId(64)));
+        assert_eq!(s.iter().count(), 4);
+        s.clear();
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.iter().count(), 0);
+        assert!(s.leaf_words() >= 999_983 / 64, "clear keeps the backing words");
+    }
+
+    #[test]
+    fn set_equality_is_logical() {
+        let mut a = ColorSet::new();
+        let mut b = ColorSet::new();
+        a.insert(B);
+        b.insert(Z); // grows backing further than a's ...
+        b.remove(Z);
+        b.insert(B);
+        assert_eq!(a, b, "capacity differences are not observable");
+        b.insert(A);
+        assert_ne!(a, b);
     }
 
     #[test]

@@ -7,11 +7,18 @@
 //!
 //! ```text
 //! magic    8 bytes   b"RRSSNAP1"
-//! version  u32 LE    SNAP_VERSION (currently 1)
+//! version  u32 LE    SNAP_VERSION (currently 2; readers accept 1..=2)
 //! payload  ...       writer-defined: integers, length-prefixed byte
 //!                    strings, and named length-prefixed sections
 //! crc      u32 LE    CRC-32/IEEE of every byte above
 //! ```
+//!
+//! The magic is a file-type tag, not a version marker — the version is
+//! the u32 that follows it. Writers always emit the current version;
+//! readers accept every version back to [`SNAP_MIN_VERSION`] and expose
+//! the file's version via [`SnapReader::version`] so higher layers can
+//! branch their decoding (v1 encoded per-color state densely over the
+//! whole universe; v2 encodes only touched colors — DESIGN.md §14).
 //!
 //! The writer/reader pair here is deliberately dumb: it frames bytes and
 //! checks integrity, and leaves meaning to the caller. Higher layers
@@ -27,7 +34,11 @@ pub const SNAP_MAGIC: &[u8; 8] = b"RRSSNAP1";
 
 /// Current snapshot format version. Bump on any layout change; readers
 /// reject versions they do not know.
-pub const SNAP_VERSION: u32 = 1;
+pub const SNAP_VERSION: u32 = 2;
+
+/// Oldest version this build still reads (v1's dense per-color payloads
+/// remain decodable for committed fixtures and long-lived checkpoints).
+pub const SNAP_MIN_VERSION: u32 = 1;
 
 /// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) lookup table, built at
 /// compile time so the implementation carries no runtime initialization.
@@ -85,7 +96,11 @@ impl fmt::Display for SnapError {
         match self {
             SnapError::BadMagic => write!(f, "not a snapshot file (bad magic)"),
             SnapError::BadVersion(v) => {
-                write!(f, "unsupported snapshot version {v} (this build reads v{SNAP_VERSION})")
+                write!(
+                    f,
+                    "unsupported snapshot version {v} (this build reads \
+                     v{SNAP_MIN_VERSION}..=v{SNAP_VERSION})"
+                )
             }
             SnapError::BadChecksum { stored, computed } => write!(
                 f,
@@ -179,12 +194,15 @@ impl Default for SnapWriter {
 pub struct SnapReader<'a> {
     buf: &'a [u8],
     pos: usize,
+    version: u32,
 }
 
 impl<'a> SnapReader<'a> {
     /// Open a complete snapshot byte string: checks magic, version, and
     /// the trailing CRC, then positions the cursor at the first payload
-    /// byte.
+    /// byte. Accepts every version in
+    /// `SNAP_MIN_VERSION..=SNAP_VERSION`; the accepted version is
+    /// reported by [`SnapReader::version`].
     pub fn new(bytes: &'a [u8]) -> Result<Self, SnapError> {
         if bytes.len() < SNAP_MAGIC.len() + 4 + 4 {
             // Too short even for an empty payload — but distinguish a bad
@@ -200,7 +218,7 @@ impl<'a> SnapReader<'a> {
         let mut ver = [0u8; 4];
         ver.copy_from_slice(&bytes[SNAP_MAGIC.len()..SNAP_MAGIC.len() + 4]);
         let version = u32::from_le_bytes(ver);
-        if version != SNAP_VERSION {
+        if !(SNAP_MIN_VERSION..=SNAP_VERSION).contains(&version) {
             return Err(SnapError::BadVersion(version));
         }
         let body = &bytes[..bytes.len() - 4];
@@ -211,13 +229,28 @@ impl<'a> SnapReader<'a> {
         if stored != computed {
             return Err(SnapError::BadChecksum { stored, computed });
         }
-        Ok(Self { buf: body, pos: SNAP_MAGIC.len() + 4 })
+        Ok(Self { buf: body, pos: SNAP_MAGIC.len() + 4, version })
     }
 
     /// Open a reader over raw payload bytes (a section body already
-    /// extracted from a checked snapshot) with no header or CRC.
+    /// extracted from a checked snapshot) with no header or CRC, assuming
+    /// the current format version.
     pub fn over(buf: &'a [u8]) -> Self {
-        Self { buf, pos: 0 }
+        Self::over_versioned(buf, SNAP_VERSION)
+    }
+
+    /// Open a raw-payload reader that reports `version` — used when a
+    /// section body extracted from an old snapshot is handed to another
+    /// decoder that must branch on the file's version.
+    pub fn over_versioned(buf: &'a [u8], version: u32) -> Self {
+        Self { buf, pos: 0, version }
+    }
+
+    /// The format version of the snapshot this reader (or the snapshot
+    /// its bytes were extracted from) was opened with.
+    #[inline]
+    pub fn version(&self) -> u32 {
+        self.version
     }
 
     fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], SnapError> {
@@ -266,14 +299,15 @@ impl<'a> SnapReader<'a> {
     }
 
     /// Read a named section: verifies the stored name matches `name` and
-    /// returns a reader scoped to the section body.
+    /// returns a reader scoped to the section body, inheriting this
+    /// reader's format version.
     pub fn section(&mut self, name: &'static str) -> Result<SnapReader<'a>, SnapError> {
         let stored = self.get_str("section name")?;
         if stored != name {
             return Err(SnapError::Invalid(format!("expected section '{name}', found '{stored}'")));
         }
         let body = self.get_bytes("section body")?;
-        Ok(SnapReader::over(body))
+        Ok(SnapReader::over_versioned(body, self.version))
     }
 
     /// True when every byte has been consumed. Decoders should check this
@@ -373,6 +407,27 @@ mod tests {
         let crc = crc32(&bytes[..len - 4]);
         bytes[len - 4..].copy_from_slice(&crc.to_le_bytes());
         assert_eq!(SnapReader::new(&bytes).unwrap_err(), SnapError::BadVersion(99));
+    }
+
+    #[test]
+    fn old_versions_accepted_and_reported() {
+        let mut w = SnapWriter::new();
+        w.put_u64(1);
+        let mut bytes = w.finish();
+        let r = SnapReader::new(&bytes).unwrap();
+        assert_eq!(r.version(), SNAP_VERSION);
+        // Patch down to v1 and re-seal: still readable, version exposed.
+        bytes[8..12].copy_from_slice(&SNAP_MIN_VERSION.to_le_bytes());
+        let len = bytes.len();
+        let crc = crc32(&bytes[..len - 4]);
+        bytes[len - 4..].copy_from_slice(&crc.to_le_bytes());
+        let r = SnapReader::new(&bytes).unwrap();
+        assert_eq!(r.version(), SNAP_MIN_VERSION);
+        // Versions below the floor are rejected like unknown futures.
+        bytes[8..12].copy_from_slice(&0u32.to_le_bytes());
+        let crc = crc32(&bytes[..len - 4]);
+        bytes[len - 4..].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(SnapReader::new(&bytes).unwrap_err(), SnapError::BadVersion(0));
     }
 
     #[test]

@@ -42,8 +42,8 @@ pub use random::{
     RateLimitedConfig,
 };
 pub use scenarios::{
-    background_vs_short_term, multiservice_router, shared_datacenter, BackgroundConfig,
-    DatacenterConfig, RouterConfig,
+    background_vs_short_term, multiservice_router, shared_datacenter, zipf_popularity,
+    BackgroundConfig, DatacenterConfig, RouterConfig, ZipfConfig,
 };
 
 /// Convenient re-exports.
@@ -60,7 +60,7 @@ pub mod prelude {
         RateLimitedConfig,
     };
     pub use crate::scenarios::{
-        background_vs_short_term, multiservice_router, shared_datacenter, BackgroundConfig,
-        DatacenterConfig, RouterConfig,
+        background_vs_short_term, multiservice_router, shared_datacenter, zipf_popularity,
+        BackgroundConfig, DatacenterConfig, RouterConfig, ZipfConfig,
     };
 }

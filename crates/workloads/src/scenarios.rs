@@ -192,6 +192,85 @@ pub fn shared_datacenter(cfg: &DatacenterConfig, seed: u64) -> Instance {
     b.build()
 }
 
+/// Configuration for a heavy-tailed color-popularity workload: a huge
+/// color universe whose request frequency follows a Zipf law, so a small
+/// hot set carries most of the traffic while the long tail stays nearly
+/// silent. This is the regime the sparse per-color state (DESIGN.md §14)
+/// exists for — per-round work and memory must track the *live* colors,
+/// not the universe.
+#[derive(Clone, Debug)]
+pub struct ZipfConfig {
+    /// Reconfiguration cost Δ.
+    pub delta: u64,
+    /// Size of the color universe (the paper's motivating scale is
+    /// 10⁵–10⁶ distinct colors).
+    pub num_colors: usize,
+    /// Zipf exponent `s`: the weight of popularity rank `i` is
+    /// `1/(i+1)^s`. Larger values concentrate traffic harder.
+    pub exponent: f64,
+    /// Rounds of traffic.
+    pub rounds: u64,
+    /// Color draws per round; duplicate draws merge into one batch.
+    pub draws_per_round: u64,
+    /// Delay bounds cycled over the universe by color id.
+    pub bounds: Vec<u64>,
+}
+
+impl Default for ZipfConfig {
+    fn default() -> Self {
+        Self {
+            delta: 4,
+            num_colors: 100_000,
+            exponent: 1.1,
+            rounds: 256,
+            draws_per_round: 32,
+            bounds: vec![4, 8, 16, 32],
+        }
+    }
+}
+
+/// A Zipf-popularity trace over a large color universe. Popularity rank is
+/// color id (color 0 hottest); each round draws `draws_per_round` colors by
+/// inverse-CDF sampling and merges duplicates into one arrival batch, so
+/// the number of distinct colors that *ever* arrive is far below
+/// `num_colors` for any meaningful exponent.
+pub fn zipf_popularity(cfg: &ZipfConfig, seed: u64) -> Instance {
+    assert!(cfg.num_colors > 0, "zipf universe must be non-empty");
+    assert!(!cfg.bounds.is_empty(), "zipf workload needs at least one delay bound");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = InstanceBuilder::new(cfg.delta);
+    let colors: Vec<ColorId> =
+        (0..cfg.num_colors).map(|i| b.color(cfg.bounds[i % cfg.bounds.len()].max(1))).collect();
+
+    // Cumulative Zipf weights, sampled by binary search. The weights are a
+    // pure function of the config, so the instance is a pure function of
+    // (config, seed).
+    let mut cdf = Vec::with_capacity(cfg.num_colors);
+    let mut acc = 0.0f64;
+    for i in 0..cfg.num_colors {
+        acc += 1.0 / ((i + 1) as f64).powf(cfg.exponent);
+        cdf.push(acc);
+    }
+    let total = acc;
+
+    let mut batch: std::collections::BTreeMap<usize, u64> = std::collections::BTreeMap::new();
+    for r in 0..cfg.rounds {
+        batch.clear();
+        for _ in 0..cfg.draws_per_round {
+            // Standard 53-bit [0,1) construction (the shim exposes no
+            // float sampler), scaled onto the cumulative weight range.
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            let u = unit * total;
+            let i = cdf.partition_point(|&x| x <= u).min(cfg.num_colors - 1);
+            *batch.entry(i).or_insert(0) += 1;
+        }
+        for (&i, &n) in &batch {
+            b.arrive(r, colors[i], n);
+        }
+    }
+    b.build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,5 +321,27 @@ mod tests {
     fn scenarios_are_deterministic() {
         let cfg = DatacenterConfig::default();
         assert_eq!(shared_datacenter(&cfg, 9), shared_datacenter(&cfg, 9));
+        let zcfg = ZipfConfig { num_colors: 5_000, rounds: 64, ..ZipfConfig::default() };
+        assert_eq!(zipf_popularity(&zcfg, 9), zipf_popularity(&zcfg, 9));
+    }
+
+    #[test]
+    fn zipf_traffic_is_heavy_tailed() {
+        let cfg = ZipfConfig { num_colors: 50_000, rounds: 128, ..ZipfConfig::default() };
+        let inst = zipf_popularity(&cfg, 7);
+        assert_eq!(inst.colors.len(), cfg.num_colors, "the whole universe is declared");
+        assert_eq!(inst.total_jobs(), cfg.rounds * cfg.draws_per_round);
+        // Only a sliver of the universe ever arrives...
+        let live: Vec<u64> =
+            inst.colors.ids().map(|c| inst.requests.total_jobs_of(c)).filter(|&n| n > 0).collect();
+        assert!(
+            live.len() < cfg.num_colors / 10,
+            "{} of {} colors live — not sparse",
+            live.len(),
+            cfg.num_colors
+        );
+        // ...and the hottest color dominates any single tail color.
+        let hottest = inst.requests.total_jobs_of(rrs_model::ColorId(0));
+        assert!(hottest >= 100, "rank-0 color saw only {hottest} jobs");
     }
 }

@@ -102,9 +102,9 @@ fn usage() -> ExitCode {
          rrs-cli bench [<suite>|all] [--quick] [--out-dir D]\n  \
          rrs-cli bench compare <BASE.json> <CAND.json> [--warn-pct P]\n\
          global flags: --jobs N (parallel sweep workers; default: all cores)\n\
-         kinds: rate-limited batched general router datacenter background bursty lru-killer edf-killer\n\
+         kinds: rate-limited batched general router datacenter background bursty zipf lru-killer edf-killer\n\
          policies: dlru edf classic-lru dlru-edf distribute full\n\
-         bench suites: core sweep"
+         bench suites: core sweep zipf"
     );
     ExitCode::from(2)
 }
@@ -156,6 +156,7 @@ fn cmd_generate(mut args: Vec<String>) -> Result<(), String> {
         "datacenter" => shared_datacenter(&DatacenterConfig::default(), seed),
         "background" => background_vs_short_term(&BackgroundConfig::default(), seed).0,
         "bursty" => bursty_instance(&BurstyConfig::default(), seed),
+        "zipf" => rrs_workloads::zipf_popularity(&rrs_workloads::ZipfConfig::default(), seed),
         "lru-killer" => lru_killer(LruKillerParams { n: 8, delta: 2, j: 7, k: 9 }).instance,
         "edf-killer" => edf_killer(EdfKillerParams { n: 8, delta: 10, j: 4, k: 8 }).instance,
         other => return Err(format!("unknown kind '{other}'")),
@@ -205,37 +206,60 @@ fn make_snapshot_policy(name: &str) -> Result<Box<dyn Snapshot>, String> {
 }
 
 /// Run a policy by name with a recorder attached, returning the policy's
-/// reported name, the outcome, and its lemma counters (zeroed for the
-/// policies that don't expose [`AlgoMetrics`]).
+/// reported name, the outcome, its lemma counters (zeroed for the
+/// policies that don't expose [`AlgoMetrics`]), and its post-run
+/// per-color-state footprint. Every policy is matched concretely:
+/// [`rrs::core::Footprint`] is not object-safe through `Box<dyn Policy>`.
 fn run_traced_with_metrics(
     policy_name: &str,
     inst: &Instance,
     n: usize,
     rec: &mut dyn Recorder,
-) -> Result<(String, Outcome, AlgoMetrics), String> {
+) -> Result<(String, Outcome, AlgoMetrics, rrs::core::StateFootprint), String> {
+    use rrs::core::Footprint;
     let sim = Simulator::new(inst, n);
     Ok(match policy_name {
         "dlru" => {
             let mut p = DeltaLru::new();
             let out = simulate(&sim, &mut p, rec);
-            (p.name().to_string(), out, p.metrics())
+            (p.name().to_string(), out, p.metrics(), p.footprint())
         }
         "edf" => {
             let mut p = Edf::new();
             let out = simulate(&sim, &mut p, rec);
-            (p.name().to_string(), out, p.metrics())
+            (p.name().to_string(), out, p.metrics(), p.footprint())
         }
         "dlru-edf" => {
             let mut p = DeltaLruEdf::new();
             let out = simulate(&sim, &mut p, rec);
-            (p.name().to_string(), out, p.metrics())
+            (p.name().to_string(), out, p.metrics(), p.footprint())
         }
-        other => {
-            let mut p = make_policy(other)?;
-            let out = simulate(&sim, &mut p.as_mut(), rec);
-            (p.name().to_string(), out, AlgoMetrics::default())
+        "classic-lru" => {
+            let mut p = ClassicLru::new();
+            let out = simulate(&sim, &mut p, rec);
+            (p.name().to_string(), out, AlgoMetrics::default(), p.footprint())
         }
+        "distribute" => {
+            let mut p = Distribute::new(DeltaLruEdf::new());
+            let out = simulate(&sim, &mut p, rec);
+            (p.name().to_string(), out, AlgoMetrics::default(), p.footprint())
+        }
+        "full" => {
+            let mut p = full_algorithm();
+            let out = simulate(&sim, &mut p, rec);
+            (p.name().to_string(), out, AlgoMetrics::default(), p.footprint())
+        }
+        other => return Err(format!("unknown policy '{other}'")),
     })
+}
+
+/// Fold a run's post-run state footprint into the counter registry, so
+/// `--counters` output (and the trace's embedded counter record) carries
+/// the sparse-state telemetry alongside the event counters.
+fn record_footprint(reg: &mut CounterRegistry, fp: &rrs::core::StateFootprint) {
+    use rrs::engine::obs::names;
+    reg.add(names::COLORSET_LEAF_WORDS, fp.colorset_leaf_words);
+    reg.add(names::COLORMAP_LIVE_PAGES, fp.colormap_live_pages);
 }
 
 fn print_run(name: &str, n: usize, inst: &Instance, out: &Outcome) {
@@ -287,8 +311,14 @@ fn cmd_run(mut args: Vec<String>) -> Result<(), String> {
         let sim = Simulator::new(&inst, n);
         if counters {
             let mut reg = CounterRegistry::new();
-            let out = simulate(&sim, &mut policy.as_mut(), &mut CounterRecorder::new(&mut reg));
-            print_run(policy.name(), n, &inst, &out);
+            let (name, out, _, fp) = run_traced_with_metrics(
+                &policy_name,
+                &inst,
+                n,
+                &mut CounterRecorder::new(&mut reg),
+            )?;
+            record_footprint(&mut reg, &fp);
+            print_run(&name, n, &inst, &out);
             print!("{}", reg.render());
             return Ok(());
         }
@@ -301,7 +331,7 @@ fn cmd_run(mut args: Vec<String>) -> Result<(), String> {
     let display_name = make_policy(&policy_name)?.name().to_string();
     let mut trace = TraceRecorder::new();
     let mut reg = CounterRegistry::new();
-    let (name, out, metrics) = match &trace_out {
+    let (name, out, metrics, fp) = match &trace_out {
         Some(tpath) => {
             let file = std::fs::File::create(tpath).map_err(|e| format!("create {tpath}: {e}"))?;
             let meta =
@@ -317,6 +347,7 @@ fn cmd_run(mut args: Vec<String>) -> Result<(), String> {
                 run_traced_with_metrics(&policy_name, &inst, n, &mut tee)?
             };
             if counters {
+                record_footprint(&mut reg, &result.3);
                 sink.write_counters(&reg);
             }
             sink.finish().map_err(|e| format!("write {tpath}: {e}"))?;
@@ -329,6 +360,9 @@ fn cmd_run(mut args: Vec<String>) -> Result<(), String> {
         }
         None => run_traced_with_metrics(&policy_name, &inst, n, &mut trace)?,
     };
+    if counters && trace_out.is_none() {
+        record_footprint(&mut reg, &fp);
+    }
     if let Some(mpath) = metrics_out {
         let report = rrs::analysis::RunReport {
             label: format!("run {path}"),
@@ -873,7 +907,7 @@ fn report_live(policy_name: &str, mut args: Vec<String>) -> Result<(), String> {
     let inst = load(path)?;
     let mut trace = TraceRecorder::new();
     let mut timer = PhaseTimer::new();
-    let (name, out, metrics) = {
+    let (name, out, metrics, _fp) = {
         let mut tee = (&mut timer, &mut trace);
         run_traced_with_metrics(policy_name, &inst, n, &mut tee)?
     };

@@ -127,4 +127,65 @@ fn steady_state_rounds_do_not_allocate() {
         "full stack allocated {max_after} times in a steady-state round; \
          expected a small bounded number"
     );
+
+    // Part 3: 10⁵ *live* colors. The opening round materializes every
+    // page and book state; after that warm-up, steady rounds on the hot
+    // slice must stay allocation-free — page lookups and the hierarchical
+    // set walks never allocate once touched.
+    let live = 100_000usize;
+    let mut b = rrs_model::InstanceBuilder::new(2);
+    let colors: Vec<_> = (0..live).map(|i| b.color(if i % 2 == 0 { 2 } else { 4 })).collect();
+    for &c in &colors {
+        b.arrive(0, c, 1);
+    }
+    for r in 1..192u64 {
+        if r.is_multiple_of(2) {
+            b.arrive(r, colors[0], 2);
+            b.arrive(r, colors[62], 1); // same leaf word as colors[0]
+            b.arrive(r, colors[live - 2], 1); // far page, still pre-touched
+        }
+        if r.is_multiple_of(4) {
+            b.arrive(r, colors[1], 3); // bound-4 color, on-boundary rounds only
+        }
+    }
+    let inst = b.build();
+    let warmup = 96;
+    let probe = run_with_probe(&inst, 8, &mut rrs_core::DeltaLruEdf::new());
+    for &(round, allocs) in &probe.per_round {
+        if round >= warmup {
+            assert_eq!(
+                allocs, 0,
+                "dlru-edf round {round} allocated {allocs} times with 10^5 live colors; \
+                 pre-touched pages must keep the steady state allocation-free"
+            );
+        }
+    }
+
+    // Part 4: a 10⁶-color universe of which only ~10³ colors are ever
+    // live. Peak policy + engine heap must be a live-color budget plus
+    // the thin per-universe residue (bitset leaf words and page-spine
+    // pointers, ≤ a few bytes per declared color) — far below the
+    // hundreds of bytes per color the dense per-color state used to pin.
+    let universe = 1_000_000usize;
+    let live = 1_000usize;
+    let mut b = rrs_model::InstanceBuilder::new(2);
+    let colors: Vec<_> = (0..universe).map(|i| b.color(if i % 2 == 0 { 2 } else { 4 })).collect();
+    for k in 0..live {
+        // Scattered ids: worst case for paging (every live color on its
+        // own page), exercising the O(touched pages) bound.
+        let c = colors[k * (universe / live)];
+        b.arrive(0, c, 1);
+        b.arrive(64, c, 1);
+    }
+    let inst = b.build();
+    let baseline = alloc_probe::reset_peak();
+    run_with_probe(&inst, 8, &mut rrs_core::DeltaLruEdf::new());
+    let peak = alloc_probe::peak_bytes().saturating_sub(baseline);
+    eprintln!("10^6-universe/{live}-live run: live-heap peak {peak} bytes");
+    let cap = 24 * 1024 * 1024;
+    assert!(
+        peak < cap,
+        "10^6-color universe with {live} live colors grew live heap by {peak} bytes \
+         (cap {cap}); per-color state is no longer proportional to the live colors"
+    );
 }

@@ -233,3 +233,103 @@ proptest! {
         prop_assert_eq!(a, b);
     }
 }
+
+// --- sparse container models (DESIGN.md §14) -------------------------------
+//
+// The hierarchical `ColorSet` and paged `ColorMap` replaced flat
+// containers under every policy; golden-trace byte-identity rests on them
+// reproducing the flat semantics exactly, including ascending iteration.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The two-level bitset agrees with a `BTreeSet` on every operation's
+    /// result and iterates in exactly its ascending order.
+    #[test]
+    fn color_set_matches_btree_set(
+        ops in prop::collection::vec((0u8..=7, 0u32..200_000), 1..=200)
+    ) {
+        let mut set = rrs_model::ColorSet::new();
+        let mut model = std::collections::BTreeSet::new();
+        for (op, id) in ops {
+            match op {
+                0 => { set.clear(); model.clear(); }
+                1 | 2 => prop_assert_eq!(set.remove(ColorId(id)), model.remove(&id)),
+                _ => prop_assert_eq!(set.insert(ColorId(id)), model.insert(id)),
+            }
+            prop_assert_eq!(set.len(), model.len());
+            prop_assert_eq!(set.contains(ColorId(id)), model.contains(&id));
+            prop_assert_eq!(set.is_empty(), model.is_empty());
+        }
+        let got: Vec<u32> = set.iter().map(|c| c.0).collect();
+        let want: Vec<u32> = model.iter().copied().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// The paged map agrees with a flat-vector model under random
+    /// grow/write/read sequences: flat coverage semantics, absent pages
+    /// reading as default, and iteration visiting exactly the slots of
+    /// materialized pages in ascending order, clipped to coverage.
+    #[test]
+    fn color_map_matches_flat_model(
+        ops in prop::collection::vec((0u8..=7, 0u32..4_096, 1u64..1_000), 1..=200)
+    ) {
+        use rrs_model::dense::COLOR_PAGE;
+        let mut map: rrs_model::ColorMap<u64> = rrs_model::ColorMap::new();
+        let mut flat: Vec<u64> = Vec::new();
+        let mut touched = std::collections::BTreeSet::new();
+        for (op, id, val) in ops {
+            let c = ColorId(id);
+            let i = id as usize;
+            match op {
+                0 => {
+                    map.grow_to(i);
+                    if flat.len() < i {
+                        flat.resize(i, 0);
+                    }
+                }
+                1 | 2 => {
+                    *map.entry(c) = val;
+                    if flat.len() <= i {
+                        flat.resize(i + 1, 0);
+                    }
+                    flat[i] = val;
+                    touched.insert(i / COLOR_PAGE);
+                }
+                3 => {
+                    // Indexing requires coverage; the model mirrors that.
+                    if i < flat.len() {
+                        map[c] = val;
+                        flat[i] = val;
+                        touched.insert(i / COLOR_PAGE);
+                    }
+                }
+                4 => match map.get_mut(c) {
+                    Some(v) => {
+                        *v = v.wrapping_add(val);
+                        flat[i] = flat[i].wrapping_add(val);
+                        touched.insert(i / COLOR_PAGE);
+                    }
+                    None => prop_assert!(i >= flat.len()),
+                },
+                _ => {
+                    prop_assert_eq!(map.value(c), flat.get(i).copied().unwrap_or(0));
+                    prop_assert_eq!(
+                        map.get(c).copied(),
+                        if i < flat.len() { Some(flat[i]) } else { None }
+                    );
+                }
+            }
+            prop_assert_eq!(map.len(), flat.len());
+        }
+        let got: Vec<(u32, u64)> = map.iter().map(|(c, &v)| (c.0, v)).collect();
+        let want: Vec<(u32, u64)> = touched
+            .iter()
+            .flat_map(|&pi| pi * COLOR_PAGE..(pi + 1) * COLOR_PAGE)
+            .filter(|&i| i < flat.len())
+            .map(|i| (i as u32, flat[i]))
+            .collect();
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(map.live_pages(), touched.len());
+    }
+}

@@ -131,13 +131,86 @@ fn soak(rounds: u64, every: u64, max_live_bytes: u64) {
     );
 }
 
+// The smoke and soak tiers each live in ONE test function (long-horizon
+// then Zipf-universe, sequentially): the peak-tracking allocator is
+// process-global, so concurrently running soaks would reset each other's
+// high-water marks mid-measurement.
+
 #[test]
 fn streamed_smoke_is_bounded() {
     soak(10_000, 2_500, 8 * 1024 * 1024);
+    zipf_soak(100_000, 256, 24 * 1024 * 1024);
 }
 
 #[test]
-#[ignore = "soak-scale (≥10⁶ rounds); nightly CI runs this with --ignored"]
-fn streamed_million_round_soak_is_bounded() {
+#[ignore = "soak-scale (≥10⁶ rounds / 10⁶ colors); nightly CI runs this with --ignored"]
+fn million_scale_streamed_soaks_are_bounded() {
     soak(1_000_000, 250_000, 16 * 1024 * 1024);
+    // ~65k draws touch ~30k distinct colors; the heavy tail scatters most
+    // of them onto their own 64-slot page (a few KB each across the
+    // stack's maps), so the cap is a live-color budget, not a universe
+    // one: the same run over 10⁵ colors peaks well under 24 MiB.
+    zipf_soak(1_000_000, 2_048, 128 * 1024 * 1024);
+}
+
+/// Streams a Zipf-popular universe of `num_colors` colors through the full
+/// stack under the invariant watcher, asserting the live-heap growth bound
+/// (called after [`soak`] from the single test function of each tier).
+///
+/// Unlike [`soak`], the universe — not the horizon — is the hostile axis:
+/// only a heavy-tailed sliver of the colors ever arrives, so the paged
+/// per-color state must keep policy + watcher memory proportional to the
+/// live colors plus the unavoidable dense-but-thin per-universe tables
+/// (delay bounds, bitset leaf words, page indices — all ≤ a few bytes per
+/// declared color, vs hundreds for the old dense per-color state).
+fn zipf_soak(num_colors: usize, rounds: u64, max_live_bytes: u64) {
+    assert!(alloc_probe::probe_active(), "probe must be installed as the global allocator");
+    let cfg =
+        rrs_workloads::ZipfConfig { num_colors, rounds, ..rrs_workloads::ZipfConfig::default() };
+    let inst = rrs_workloads::zipf_popularity(&cfg, 11);
+    let text = rrs_model::textio::to_text(&inst);
+    let mut source =
+        TextStream::new(BufReader::new(text.as_bytes())).expect("generated text parses");
+    let mut policy = full_algorithm();
+    let mut scratch = Scratch::new();
+    // Under `--features validate` the soak is supervised by the invariant
+    // watcher (its paged shadow is part of the measured heap); otherwise
+    // the run is bare, like the long-horizon soak.
+    #[cfg(feature = "validate")]
+    let mut watcher = rrs::check::InvariantWatcher::new(&inst);
+    #[cfg(not(feature = "validate"))]
+    let mut watcher = NoWatcher;
+
+    let mut snapshots = 0u64;
+    let mut sink = |_round: u64, _bytes: &[u8]| snapshots += 1;
+
+    let baseline = alloc_probe::reset_peak();
+    let out = run_stream_session(
+        &mut source,
+        &mut policy,
+        &mut NullRecorder,
+        &mut scratch,
+        &mut watcher,
+        StreamOptions {
+            n_locations: 8,
+            speed: 1,
+            resume_from: None,
+            plan: CheckpointPolicy::EveryN(rounds / 4),
+            stop_before: None,
+        },
+        Some(&mut sink),
+    )
+    .expect("zipf soak completes watcher-clean")
+    .into_outcome();
+    let peak = alloc_probe::peak_bytes().saturating_sub(baseline);
+
+    assert_eq!(out.arrived, inst.total_jobs());
+    assert_eq!(out.arrived, out.executed + out.dropped, "conservation across the zipf soak");
+    assert!(snapshots >= 3, "only {snapshots} checkpoints emitted");
+    eprintln!("zipf soak: {num_colors} colors, {rounds} rounds, live-heap peak {peak} bytes");
+    assert!(
+        peak < max_live_bytes,
+        "zipf soak over {num_colors} colors grew live heap by {peak} bytes \
+         (cap {max_live_bytes}); per-color state is no longer sparse"
+    );
 }
