@@ -414,24 +414,28 @@ pub fn e12_split_ablation() -> Table {
         "E12 (ablation): LRU share of the cache vs both adversaries",
         &["lru_share", "ratio_appendix_a", "ratio_appendix_b", "worst"],
     );
-    for row in par_map_sweep(&[0.0, 0.25, 0.5, 0.75, 1.0], |&share| {
+    // Shares are exact rationals (quarters of the cache); the label renders
+    // `num/den` with two decimals, matching the former float formatting.
+    for row in par_map_sweep(&[(0u64, 4u64), (1, 4), (2, 4), (3, 4), (4, 4)], |&(num, den)| {
+        let pct = num * 100 / den;
+        let label = format!("{}.{:02}", pct / 100, pct % 100);
         let ca = observed_run(
-            &format!("e12 share={share:.2} appendix_a"),
+            &format!("e12 share={label} appendix_a"),
             &a.instance,
             n,
-            &mut DeltaLruEdf::with_lru_share(share),
+            &mut DeltaLruEdf::with_lru_share(num, den),
         )
         .total_cost();
         let cb = observed_run(
-            &format!("e12 share={share:.2} appendix_b"),
+            &format!("e12 share={label} appendix_b"),
             &b.instance,
             n,
-            &mut DeltaLruEdf::with_lru_share(share),
+            &mut DeltaLruEdf::with_lru_share(num, den),
         )
         .total_cost();
         let ra = ratio(ca, off_a);
         let rb = ratio(cb, off_b);
-        vec![format!("{share:.2}"), fmt_ratio(ra), fmt_ratio(rb), fmt_ratio(ra.max(rb))]
+        vec![label, fmt_ratio(ra), fmt_ratio(rb), fmt_ratio(ra.max(rb))]
     }) {
         t.row(row);
     }

@@ -384,7 +384,8 @@ impl Parser<'_> {
         {
             self.pos += 1;
         }
-        let raw = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number token is ASCII by construction");
         // Validate now so downstream extraction errors are about types,
         // not syntax.
         raw.parse::<f64>().map_err(|e| format!("bad number '{raw}': {e}"))?;

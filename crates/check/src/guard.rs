@@ -145,6 +145,26 @@ impl<P: Policy + Instrumented> CheckedPolicy<P> {
     }
 }
 
+impl<P: Instrumented> Instrumented for CheckedPolicy<P> {
+    fn book(&self) -> Option<&rrs_core::ColorBook> {
+        // The supervisor keeps no bookkeeping of its own; the wrapped
+        // policy's book is the §3 state under scrutiny.
+        self.inner.book()
+    }
+
+    fn metrics(&self) -> rrs_core::AlgoMetrics {
+        self.inner.metrics()
+    }
+}
+
+impl<P: rrs_core::Footprint> rrs_core::Footprint for CheckedPolicy<P> {
+    fn footprint(&self) -> rrs_core::StateFootprint {
+        // `last_ts` is a dense Vec, not a sparse container, so the wrapper
+        // contributes nothing beyond the wrapped policy's report.
+        self.inner.footprint()
+    }
+}
+
 impl<P: Policy + Instrumented> Policy for CheckedPolicy<P> {
     fn name(&self) -> &str {
         self.inner.name()

@@ -118,6 +118,18 @@ impl<P: crate::Footprint> crate::Footprint for Distribute<P> {
     }
 }
 
+impl<P: crate::Instrumented> crate::Instrumented for Distribute<P> {
+    fn book(&self) -> Option<&crate::ColorBook> {
+        // The wrapper keeps no timestamps of its own; the inner policy's
+        // book is the §3 bookkeeping (over virtual sub-colors).
+        self.inner.book()
+    }
+
+    fn metrics(&self) -> crate::AlgoMetrics {
+        self.inner.metrics()
+    }
+}
+
 impl<P: Policy> Policy for Distribute<P> {
     fn name(&self) -> &str {
         "distribute"

@@ -32,9 +32,13 @@ pub struct DeltaLruEdf {
     book: Option<ColorBook>,
     cached: ColorSet,
     lru_set: ColorSet,
-    /// Fraction of the distinct capacity governed by the LRU scheme
-    /// (the paper uses 1/2: an LRU quarter and an EDF quarter of `n`).
-    lru_share: f64,
+    /// Fraction of the distinct capacity governed by the LRU scheme, as an
+    /// exact rational `lru_num / lru_den` (the paper uses 1/2: an LRU
+    /// quarter and an EDF quarter of `n`). Kept rational rather than `f64`
+    /// so the capacity split — and with it every certified cost — stays a
+    /// pure integer function of the configuration (DESIGN.md §15).
+    lru_num: u64,
+    lru_den: u64,
     /// Locations per cached color (the paper replicates each cached color
     /// at two locations; 1 trades replication for distinct capacity).
     replication: u64,
@@ -66,7 +70,8 @@ impl DeltaLruEdf {
             book: None,
             cached: ColorSet::new(),
             lru_set: ColorSet::new(),
-            lru_share: 0.5,
+            lru_num: 1,
+            lru_den: 2,
             replication: 2,
             lru_slots: 0,
             edf_window: 0,
@@ -79,14 +84,16 @@ impl DeltaLruEdf {
         }
     }
 
-    /// Ablation constructor: give the LRU scheme `share` of the distinct
-    /// capacity and the EDF scheme the rest. `share = 0.0` degenerates to
-    /// (almost) pure EDF, `share = 1.0` to pure ΔLRU; the paper's algorithm
-    /// is `share = 0.5`. The E12 ablation experiment shows both extremes
-    /// fail on one of the appendix adversaries while 0.5 survives both.
-    pub fn with_lru_share(share: f64) -> Self {
-        assert!((0.0..=1.0).contains(&share), "share must be in [0, 1]");
-        Self { lru_share: share, ..Self::new() }
+    /// Ablation constructor: give the LRU scheme `num/den` of the distinct
+    /// capacity and the EDF scheme the rest. `0/1` degenerates to (almost)
+    /// pure EDF, `1/1` to pure ΔLRU; the paper's algorithm is `1/2`. The
+    /// E12 ablation experiment shows both extremes fail on one of the
+    /// appendix adversaries while `1/2` survives both. The share is an
+    /// exact rational: no float ever touches the capacity split.
+    pub fn with_lru_share(num: u64, den: u64) -> Self {
+        assert!(den > 0, "share denominator must be positive");
+        assert!(num <= den, "share must be in [0, 1]");
+        Self { lru_num: num, lru_den: den, ..Self::new() }
     }
 
     /// Ablation constructor: cache each color at `replication` locations
@@ -159,7 +166,10 @@ impl Policy for DeltaLruEdf {
         // configuration (replication 2) gives n/2, split half/half between
         // the LRU and EDF schemes (n/4 each).
         self.capacity = n_locations / self.replication as usize;
-        self.lru_slots = ((self.capacity as f64) * self.lru_share).round() as usize;
+        // Round-half-up of `capacity * num / den` in pure integer math
+        // (equal to the former `f64::round` on every nonnegative input).
+        let cap = self.capacity as u64;
+        self.lru_slots = ((2 * cap * self.lru_num + self.lru_den) / (2 * self.lru_den)) as usize;
         self.lru_slots = self.lru_slots.min(self.capacity);
         self.edf_window = self.capacity - self.lru_slots;
         // §3.4 defines super-epochs over 2m timestamp updates; with the

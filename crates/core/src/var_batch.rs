@@ -137,6 +137,18 @@ impl<P: crate::Footprint> crate::Footprint for VarBatch<P> {
     }
 }
 
+impl<P: crate::Instrumented> crate::Instrumented for VarBatch<P> {
+    fn book(&self) -> Option<&crate::ColorBook> {
+        // The wrapper keeps no timestamps of its own; the inner policy's
+        // book is the §3 bookkeeping (over virtual unit-speed colors).
+        self.inner.book()
+    }
+
+    fn metrics(&self) -> crate::AlgoMetrics {
+        self.inner.metrics()
+    }
+}
+
 impl<P: Policy> Policy for VarBatch<P> {
     fn name(&self) -> &str {
         "var-batch"

@@ -282,7 +282,12 @@ impl PendingStore {
                 count_for_color += count;
             }
             if count_for_color > 0 {
-                true_min = true_min.min(store.queues[color].front().map(|&(d, _)| d).unwrap());
+                true_min = true_min.min(
+                    store.queues[color]
+                        .front()
+                        .map(|&(d, _)| d)
+                        .expect("color with a positive count has a queued deadline"),
+                );
                 *store.counts.entry(color) = count_for_color;
                 total += count_for_color;
             }

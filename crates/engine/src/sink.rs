@@ -498,7 +498,8 @@ impl<'a> Scanner<'a> {
                 while self.peek().is_some_and(|b| b.is_ascii_digit()) {
                     self.pos += 1;
                 }
-                let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+                let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .expect("digit run is ASCII by construction");
                 text.parse::<u64>().map(Scalar::Num).map_err(|e| format!("bad number: {e}"))
             }
             _ => Err(format!("unexpected value at byte {}", self.pos)),

@@ -1,0 +1,215 @@
+//! The waiver ledger: `LINT_LEDGER.toml`, the single committed source of
+//! truth for every carve-out from the lint wall.
+//!
+//! The parser is a strict, hand-rolled subset of TOML — exactly what the
+//! ledger needs and nothing more: comments, blank lines, `[[waiver]]`
+//! array-of-table headers, and `key = "basic string"` pairs. Anything else
+//! is a hard parse error, reported as a finding against the ledger file
+//! itself; a ledger that cannot be read in full cannot vouch for anything.
+//!
+//! Entry shape:
+//!
+//! ```toml
+//! [[waiver]]
+//! file = "crates/engine/src/par.rs"        # repo-relative, `/` separators
+//! lint = "clippy::disallowed_methods"      # clippy lint or rrs-lint rule
+//! item = "Stopwatch"                       # optional discriminator
+//! reason = "why this site is exempt"       # required, non-empty
+//! ```
+//!
+//! `lint` names either a clippy lint that an `#[allow]` attribute in
+//! `file` must match (rule `waiver-ledger`), or one of this crate's rule
+//! names, suppressing that rule's findings in `file` (optionally only for
+//! the named `item`). Every entry must justify at least one live site:
+//! unused entries are *stale* and are themselves findings.
+
+use std::cell::Cell;
+
+/// One ledger entry.
+#[derive(Debug)]
+pub struct Waiver {
+    pub file: String,
+    pub lint: String,
+    pub item: Option<String>,
+    pub reason: String,
+    /// Line of the `[[waiver]]` header in the ledger file.
+    pub line: u32,
+    /// Set when the entry matched a live allow-site or suppressed a
+    /// finding; clear means stale.
+    used: Cell<bool>,
+}
+
+/// The parsed ledger.
+#[derive(Debug, Default)]
+pub struct Ledger {
+    pub waivers: Vec<Waiver>,
+}
+
+impl Ledger {
+    /// Find (and mark used) a waiver covering `(file, lint, item)`. An
+    /// entry without an `item` covers every item in the file for that lint.
+    pub fn claim(&self, file: &str, lint: &str, item: Option<&str>) -> bool {
+        for w in &self.waivers {
+            if w.file == file && w.lint == lint {
+                let item_matches = match (&w.item, item) {
+                    (None, _) => true,
+                    (Some(want), Some(have)) => want == have,
+                    (Some(_), None) => false,
+                };
+                if item_matches {
+                    w.used.set(true);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Entries that never matched a live site.
+    pub fn stale(&self) -> impl Iterator<Item = &Waiver> {
+        self.waivers.iter().filter(|w| !w.used.get())
+    }
+}
+
+/// Parse the ledger text. Errors name the offending 1-based line.
+pub fn parse(text: &str) -> Result<Ledger, String> {
+    let mut ledger = Ledger::default();
+    let mut current: Option<(Waiver, bool)> = None; // (entry, saw_reason)
+
+    let finish =
+        |current: &mut Option<(Waiver, bool)>, ledger: &mut Ledger| -> Result<(), String> {
+            if let Some((w, saw_reason)) = current.take() {
+                if w.file.is_empty() {
+                    return Err(format!("line {}: waiver missing `file`", w.line));
+                }
+                if w.lint.is_empty() {
+                    return Err(format!("line {}: waiver missing `lint`", w.line));
+                }
+                if !saw_reason || w.reason.is_empty() {
+                    return Err(format!("line {}: waiver missing non-empty `reason`", w.line));
+                }
+                ledger.waivers.push(w);
+            }
+            Ok(())
+        };
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = (idx + 1) as u32;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[waiver]]" {
+            finish(&mut current, &mut ledger)?;
+            current = Some((
+                Waiver {
+                    file: String::new(),
+                    lint: String::new(),
+                    item: None,
+                    reason: String::new(),
+                    line: lineno,
+                    used: Cell::new(false),
+                },
+                false,
+            ));
+            continue;
+        }
+        let Some((key, value)) = parse_kv(line) else {
+            return Err(format!("line {lineno}: expected `[[waiver]]` or `key = \"value\"`"));
+        };
+        let Some((w, saw_reason)) = current.as_mut() else {
+            return Err(format!("line {lineno}: `{key}` outside a [[waiver]] entry"));
+        };
+        match key {
+            "file" => w.file = value,
+            "lint" => w.lint = value,
+            "item" => w.item = Some(value),
+            "reason" => {
+                w.reason = value;
+                *saw_reason = true;
+            }
+            other => return Err(format!("line {lineno}: unknown key `{other}`")),
+        }
+    }
+    finish(&mut current, &mut ledger)?;
+    Ok(ledger)
+}
+
+/// Drop a trailing `#` comment, respecting basic-string quoting.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_string && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+/// Parse `key = "value"`, decoding the two escapes basic strings need here.
+fn parse_kv(line: &str) -> Option<(&str, String)> {
+    let (key, rest) = line.split_once('=')?;
+    let rest = rest.trim();
+    let inner = rest.strip_prefix('"')?.strip_suffix('"')?;
+    let mut value = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next()? {
+                '"' => value.push('"'),
+                '\\' => value.push('\\'),
+                _ => return None,
+            }
+        } else if c == '"' {
+            // An unescaped interior quote means `strip_suffix` cut the
+            // wrong quote; reject rather than guess.
+            return None;
+        } else {
+            value.push(c);
+        }
+    }
+    Some((key.trim(), value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_claims() {
+        let text = "# header comment\n\n[[waiver]]\nfile = \"a/b.rs\"  # trailing\nlint = \"clippy::disallowed_methods\"\nreason = \"because\"\n\n[[waiver]]\nfile = \"c.rs\"\nlint = \"trait-matrix\"\nitem = \"Foo\"\nreason = \"engine-internal\"\n";
+        let ledger = parse(text).expect("ledger parses");
+        assert_eq!(ledger.waivers.len(), 2);
+        assert!(ledger.claim("a/b.rs", "clippy::disallowed_methods", None));
+        assert!(!ledger.claim("a/b.rs", "clippy::disallowed_types", None));
+        assert!(ledger.claim("c.rs", "trait-matrix", Some("Foo")));
+        assert!(!ledger.claim("c.rs", "trait-matrix", Some("Bar")));
+        assert_eq!(ledger.stale().count(), 0);
+    }
+
+    #[test]
+    fn itemless_entry_covers_any_item_and_stale_tracks_usage() {
+        let text = "[[waiver]]\nfile = \"x.rs\"\nlint = \"unwrap-discipline\"\nreason = \"r\"\n";
+        let ledger = parse(text).expect("ledger parses");
+        assert_eq!(ledger.stale().count(), 1);
+        assert!(ledger.claim("x.rs", "unwrap-discipline", Some("anything")));
+        assert_eq!(ledger.stale().count(), 0);
+    }
+
+    #[test]
+    fn rejects_malformed_entries() {
+        assert!(parse("[[waiver]]\nfile = \"a\"\nlint = \"b\"\n").is_err(), "missing reason");
+        assert!(parse("file = \"a\"\n").is_err(), "key outside entry");
+        assert!(parse("[[waiver]]\nnope = \"a\"\n").is_err(), "unknown key");
+        assert!(parse("[[waiver]]\nfile = bare\n").is_err(), "unquoted value");
+        assert!(parse("[[waiver]]\nfile = \"a\" trailing\n").is_err(), "trailing junk");
+    }
+}

@@ -1,0 +1,458 @@
+//! A hand-rolled Rust lexer: just enough token structure for the rules in
+//! this crate, and nothing more.
+//!
+//! The lexer's one job is to make the rule code immune to the classic
+//! text-grep failure modes: banned tokens inside comments, strings, doc
+//! examples, or raw literals must be invisible, while the same tokens in
+//! live code must be visible with a line number attached. It recognizes
+//! line and (nested) block comments, string / raw-string / byte-string /
+//! char literals, lifetimes, numeric literals, identifiers, and
+//! single-character punctuation. Multi-character operators arrive as their
+//! component punctuation tokens (`=>` is `=` then `>`), which is all the
+//! rule layer needs.
+//!
+//! No `syn`, no proc-macro machinery: the workspace's no-registry
+//! constraint applies to its referee too, and the subset of Rust this
+//! workspace uses lexes cleanly under these rules (the `lint_wall` test
+//! run over the whole repo is the standing proof).
+
+/// What a token is, with just enough payload for the rules.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (`fn`, `impl`, `f64`, `unwrap`, ...).
+    Ident(String),
+    /// A string or byte-string literal, with quotes/escapes decoded to the
+    /// literal's value (raw strings decode to their body verbatim).
+    Str(String),
+    /// A char literal (payload not decoded; rules never need it).
+    Char,
+    /// A lifetime such as `'a` or `'_`.
+    Lifetime,
+    /// A numeric literal, verbatim (`0.5`, `1e9`, `0x1F`, `42u64`).
+    Num(String),
+    /// A single punctuation character.
+    Punct(char),
+}
+
+/// One lexed token and the 1-based line it starts on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+impl Token {
+    /// The identifier text, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The decoded string-literal value, if this is a string literal.
+    pub fn str_value(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.tok == Tok::Punct(c)
+    }
+
+    /// Whether this token is the given identifier/keyword.
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(&self.tok, Tok::Ident(t) if t == s)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex a source file. Unterminated constructs (string, block comment) are
+/// reported as errors naming the line where they start, so a truncated or
+/// non-Rust input fails loudly instead of silently dropping its tail.
+pub fn lex(src: &str) -> Result<Vec<Token>, String> {
+    Lexer { chars: src.chars().collect(), pos: 0, line: 1, out: Vec::new() }.run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, tok: Tok, line: u32) {
+        self.out.push(Token { tok, line });
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, String> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line)?,
+                '"' => self.string(line)?,
+                'r' | 'b' if self.raw_or_byte_prefix() => self.prefixed_literal(line)?,
+                '\'' => self.quote(line)?,
+                c if is_ident_start(c) => self.ident(line),
+                c if c.is_ascii_digit() => self.number(line),
+                _ => {
+                    self.bump();
+                    self.push(Tok::Punct(c), line);
+                }
+            }
+        }
+        Ok(self.out)
+    }
+
+    fn line_comment(&mut self) {
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    fn block_comment(&mut self, start: u32) -> Result<(), String> {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => return Err(format!("unterminated block comment at line {start}")),
+            }
+        }
+        Ok(())
+    }
+
+    /// Is the `r`/`b` at the cursor the prefix of a raw/byte literal (as
+    /// opposed to the start of an identifier)?
+    fn raw_or_byte_prefix(&self) -> bool {
+        match (self.peek(0), self.peek(1), self.peek(2)) {
+            (Some('r'), Some('"' | '#'), _) => {
+                // `r"..."` or `r#"..."#`; `r#ident` (raw identifier) also
+                // lands here and is handled by `prefixed_literal`.
+                true
+            }
+            (Some('b'), Some('"' | '\''), _) => true,
+            (Some('b'), Some('r'), Some('"' | '#')) => true,
+            _ => false,
+        }
+    }
+
+    fn prefixed_literal(&mut self, line: u32) -> Result<(), String> {
+        let first = self.bump().expect("prefixed_literal called at end of input");
+        match (first, self.peek(0)) {
+            ('r', Some('"')) => self.raw_string(line, 0),
+            ('r', Some('#')) => {
+                let mut hashes = 0usize;
+                while self.peek(hashes) == Some('#') {
+                    hashes += 1;
+                }
+                if self.peek(hashes) == Some('"') {
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    self.raw_string(line, hashes)
+                } else {
+                    // A raw identifier such as `r#type`.
+                    self.bump();
+                    self.ident(line);
+                    Ok(())
+                }
+            }
+            ('b', Some('"')) => self.string(line),
+            ('b', Some('\'')) => self.quote(line),
+            ('b', Some('r')) => {
+                self.bump();
+                let mut hashes = 0usize;
+                while self.peek(hashes) == Some('#') {
+                    hashes += 1;
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                self.raw_string(line, hashes)
+            }
+            _ => unreachable!("raw_or_byte_prefix guarded this call"),
+        }
+    }
+
+    /// A regular (escaped) string literal; cursor on the opening quote.
+    fn string(&mut self, start: u32) -> Result<(), String> {
+        self.bump();
+        let mut value = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => break,
+                Some('\\') => {
+                    let esc = self
+                        .bump()
+                        .ok_or_else(|| format!("unterminated string escape at line {start}"))?;
+                    match esc {
+                        'n' => value.push('\n'),
+                        't' => value.push('\t'),
+                        'r' => value.push('\r'),
+                        '0' => value.push('\0'),
+                        '\\' => value.push('\\'),
+                        '"' => value.push('"'),
+                        '\'' => value.push('\''),
+                        // `\u{...}`, `\x..`, and line-continuation escapes:
+                        // the rules only ever look for ASCII substrings, so
+                        // a placeholder keeps the value usable without a
+                        // full Unicode decoder.
+                        'u' | 'x' => value.push('\u{FFFD}'),
+                        '\n' => {}
+                        other => value.push(other),
+                    }
+                }
+                Some(c) => value.push(c),
+                None => return Err(format!("unterminated string literal at line {start}")),
+            }
+        }
+        self.push(Tok::Str(value), start);
+        Ok(())
+    }
+
+    /// A raw string body; cursor on the opening quote, `hashes` already
+    /// consumed.
+    fn raw_string(&mut self, start: u32, hashes: usize) -> Result<(), String> {
+        self.bump();
+        let mut value = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => {
+                    let mut n = 0usize;
+                    while n < hashes && self.peek(n) == Some('#') {
+                        n += 1;
+                    }
+                    if n == hashes {
+                        for _ in 0..hashes {
+                            self.bump();
+                        }
+                        break;
+                    }
+                    value.push('"');
+                }
+                Some(c) => value.push(c),
+                None => return Err(format!("unterminated raw string at line {start}")),
+            }
+        }
+        self.push(Tok::Str(value), start);
+        Ok(())
+    }
+
+    /// A `'` token: lifetime or char literal. A lifetime is `'` followed by
+    /// an identifier with no closing quote; everything else is a char.
+    fn quote(&mut self, start: u32) -> Result<(), String> {
+        self.bump();
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: consume through the closing quote.
+                self.bump();
+                self.bump(); // the escaped character (enough for \n, \', \\)
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(Tok::Char, start);
+                Ok(())
+            }
+            Some(c) if is_ident_start(c) => {
+                let mut len = 1usize;
+                while self.peek(len).is_some_and(is_ident_continue) {
+                    len += 1;
+                }
+                if self.peek(len) == Some('\'') {
+                    for _ in 0..=len {
+                        self.bump();
+                    }
+                    self.push(Tok::Char, start);
+                } else {
+                    for _ in 0..len {
+                        self.bump();
+                    }
+                    self.push(Tok::Lifetime, start);
+                }
+                Ok(())
+            }
+            Some(_) => {
+                // `'('`, `' '`, etc.
+                self.bump();
+                match self.bump() {
+                    Some('\'') => {
+                        self.push(Tok::Char, start);
+                        Ok(())
+                    }
+                    _ => Err(format!("unterminated char literal at line {start}")),
+                }
+            }
+            None => Err(format!("dangling quote at line {start}")),
+        }
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut s = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(Tok::Ident(s), line);
+    }
+
+    /// A numeric literal: digits, `_`, letters (hex digits, `e` exponents,
+    /// type suffixes), plus a `.` when followed by a digit — so `0.5` is one
+    /// token while `1..4` and `x.0` are not.
+    fn number(&mut self, line: u32) {
+        let mut s = String::new();
+        while let Some(c) = self.peek(0) {
+            let dot = c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit());
+            if is_ident_continue(c) || dot {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(Tok::Num(s), line);
+    }
+}
+
+/// Whether a numeric-literal token spells a floating-point number: it
+/// contains a decimal point, carries an `f32`/`f64` suffix, or has a decimal
+/// exponent (`1e9` is an `f64` in Rust). Hex literals are never floats.
+pub fn is_float_literal(num: &str) -> bool {
+    if num.starts_with("0x") || num.starts_with("0X") {
+        return false;
+    }
+    if num.contains('.') || num.ends_with("f32") || num.ends_with("f64") {
+        return true;
+    }
+    num.bytes()
+        .zip(num.bytes().skip(1))
+        .any(|(a, b)| (a == b'e' || a == b'E') && (b.is_ascii_digit() || b == b'+' || b == b'-'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .expect("test source must lex")
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_invisible() {
+        let src = r##"
+            // f64 in a line comment
+            /* f64 in /* a nested */ block */
+            let x = "f64 in a string";
+            let y = r#"f64 in a raw string"#;
+            let z = b"f64 bytes";
+            real_f64_token
+        "##;
+        assert_eq!(idents(src), ["let", "x", "let", "y", "let", "z", "real_f64_token"]);
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }").expect("lexes");
+        let lifetimes = toks.iter().filter(|t| t.tok == Tok::Lifetime).count();
+        let chars = toks.iter().filter(|t| t.tok == Tok::Char).count();
+        assert_eq!((lifetimes, chars), (2, 1));
+    }
+
+    #[test]
+    fn escaped_strings_decode() {
+        let toks = lex(r#"let s = "{\"ev\":\"drop\"}";"#).expect("lexes");
+        let lit = toks.iter().find_map(|t| t.str_value()).expect("has a string literal");
+        assert_eq!(lit, "{\"ev\":\"drop\"}");
+    }
+
+    #[test]
+    fn numbers_and_floats() {
+        assert!(is_float_literal("0.5"));
+        assert!(is_float_literal("1e9"));
+        assert!(is_float_literal("2f64"));
+        assert!(!is_float_literal("42"));
+        assert!(!is_float_literal("0x1F"));
+        assert!(!is_float_literal("1u64"));
+        let toks = lex("a.0 + 1..4 + 0.5").expect("lexes");
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Num(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, ["0", "1", "4", "0.5"]);
+    }
+
+    #[test]
+    fn line_numbers_attach_to_tokens() {
+        let toks = lex("a\nb\n  c").expect("lexes");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 3]);
+    }
+
+    #[test]
+    fn truncated_input_fails_loudly() {
+        assert!(lex("let s = \"unterminated").is_err());
+        assert!(lex("/* unterminated").is_err());
+    }
+}

@@ -1,0 +1,75 @@
+//! `rrs-lint`: the determinism wall as a program (DESIGN.md §15).
+//!
+//! Every result this workspace publishes must be a pure function of
+//! (instance, policy, locations, speed, seed). `clippy.toml` can ban two
+//! types and two methods; everything else the wall promises — that every
+//! carve-out is audited, that no deterministic crate computes with floats,
+//! that a policy cannot silently lose its checkpoint or telemetry surface,
+//! that the trace schema's writer and parser agree — used to live in
+//! comments. This crate turns those promises into a dependency-free
+//! static-analysis pass over the workspace's own source tree: a hand-rolled
+//! lexer ([`lex`]), a structural outline ([`outline`]), a committed waiver
+//! ledger ([`ledger`], `LINT_LEDGER.toml`), and six rules ([`rules`]).
+//!
+//! Run it as a binary (`cargo run -p rrs-lint -- [--json] [--rule NAME]`,
+//! nonzero exit on any finding), or as a library (`tests/lint_wall.rs`
+//! runs [`analyze`] over the repo tree in the normal test suite).
+
+#![forbid(unsafe_code)]
+
+pub mod json;
+pub mod ledger;
+pub mod lex;
+pub mod outline;
+pub mod report;
+pub mod rules;
+pub mod walk;
+
+use std::path::Path;
+
+pub use report::Finding;
+pub use rules::RULE_NAMES;
+
+/// What to run.
+#[derive(Debug, Default)]
+pub struct Config {
+    /// Restrict to these rules; `None` runs all six plus the stale-waiver
+    /// pass (which needs a full run to know what is unused).
+    pub rules: Option<Vec<String>>,
+}
+
+/// Analyze the workspace rooted at `root`. Returns the sorted findings
+/// (empty means the wall holds); `Err` means the analyzer itself could not
+/// run (I/O, lex failure, unknown rule name).
+pub fn analyze(root: &Path, config: &Config) -> Result<Vec<Finding>, String> {
+    if let Some(filter) = &config.rules {
+        for name in filter {
+            if !RULE_NAMES.contains(&name.as_str()) {
+                return Err(format!(
+                    "unknown rule `{name}` (expected one of: {})",
+                    RULE_NAMES.join(", ")
+                ));
+            }
+        }
+    }
+    let ws = walk::load(root)?;
+    let (ledger, mut findings) = match &ws.ledger_text {
+        Some(text) => match ledger::parse(text) {
+            Ok(l) => (l, Vec::new()),
+            Err(e) => (
+                ledger::Ledger::default(),
+                vec![Finding::new(
+                    "waiver-ledger",
+                    "LINT_LEDGER.toml",
+                    0,
+                    None,
+                    format!("ledger does not parse: {e}"),
+                )],
+            ),
+        },
+        None => (ledger::Ledger::default(), Vec::new()),
+    };
+    findings.extend(rules::run(&ws, &ledger, config.rules.as_deref()));
+    findings.sort();
+    Ok(findings)
+}

@@ -1,0 +1,79 @@
+//! The `rrs-lint` binary: run the lint wall over the workspace.
+//!
+//! ```text
+//! cargo run -p rrs-lint --                 # full pass, text report
+//! cargo run -p rrs-lint -- --json          # machine-readable report
+//! cargo run -p rrs-lint -- --rule float-ban --rule trait-matrix
+//! cargo run -p rrs-lint -- --root /path/to/tree
+//! ```
+//!
+//! Exit codes: 0 = wall holds, 1 = findings, 2 = the analyzer could not run.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut rules: Vec<String> = Vec::new();
+    let mut root: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--rule" => match args.next() {
+                Some(name) => rules.push(name),
+                None => return usage("--rule needs a rule name"),
+            },
+            "--root" => match args.next() {
+                Some(path) => root = Some(PathBuf::from(path)),
+                None => return usage("--root needs a path"),
+            },
+            "--list-rules" => {
+                for name in rrs_lint::RULE_NAMES {
+                    println!("{name}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "-h" | "--help" => {
+                eprintln!("usage: rrs-lint [--json] [--rule NAME]... [--root PATH] [--list-rules]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    // Default root: the workspace this binary was built from.
+    let root =
+        root.unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join(".."));
+    let config = rrs_lint::Config { rules: if rules.is_empty() { None } else { Some(rules) } };
+
+    match rrs_lint::analyze(&root, &config) {
+        Ok(findings) => {
+            if json {
+                print!("{}", rrs_lint::json::encode(&findings));
+            } else {
+                print!("{}", rrs_lint::report::render_text(&findings));
+            }
+            if findings.is_empty() {
+                eprintln!("rrs-lint: wall holds (0 findings)");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("rrs-lint: {} finding(s)", findings.len());
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("rrs-lint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("rrs-lint: {msg}");
+    eprintln!("usage: rrs-lint [--json] [--rule NAME]... [--root PATH] [--list-rules]");
+    ExitCode::from(2)
+}

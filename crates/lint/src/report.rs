@@ -1,0 +1,51 @@
+//! Findings: what a rule reports, and the text rendering.
+
+use std::fmt;
+
+/// One rule violation.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Repo-relative file the finding is anchored to.
+    pub file: String,
+    /// 1-based line (0 when the finding is about the file as a whole).
+    pub line: u32,
+    /// Rule name (one of [`crate::rules::RULE_NAMES`]).
+    pub rule: String,
+    /// The discriminator a ledger waiver would need to match (type name,
+    /// lint path, counter name, ...), when one exists.
+    pub item: Option<String>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    pub fn new(rule: &str, file: &str, line: u32, item: Option<&str>, message: String) -> Self {
+        Self {
+            rule: rule.to_string(),
+            file: file.to_string(),
+            line,
+            item: item.map(str::to_string),
+            message,
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+        } else {
+            write!(f, "{}: [{}] {}", self.file, self.rule, self.message)
+        }
+    }
+}
+
+/// Render findings as the CLI's text report.
+pub fn render_text(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&f.to_string());
+        out.push('\n');
+    }
+    out
+}

@@ -1,0 +1,172 @@
+//! Workspace discovery: find every `.rs` file under the repo root, classify
+//! it (crate, target kind), and lex + outline it into a [`FileModel`].
+//!
+//! The walk is path-convention based, mirroring how cargo lays the
+//! workspace out: `crates/<name>/src/**` is library code of `<name>`,
+//! `src/**` is the root crate, `src/bin/**` are binary frontends, and
+//! anything under a `tests/`, `benches/` or `examples/` directory is
+//! non-library code. Directories named `target`, `.git`, `.github` or
+//! `fixtures` are skipped — the last one keeps this crate's deliberately
+//! bad fixture sources out of the real workspace run.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::lex;
+use crate::outline::{self, FileModel};
+
+/// Which kind of cargo target a source file belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library source (`src/**` minus `src/bin/`).
+    Lib,
+    /// A binary frontend (`src/bin/**`, `src/main.rs`).
+    Bin,
+    /// Integration tests or benches (`tests/**`, `benches/**`).
+    TestOrBench,
+    /// Examples (`examples/**`).
+    Example,
+}
+
+/// One analyzed source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Repo-relative path with `/` separators (the ledger's key format).
+    pub rel: String,
+    /// Crate directory name: `core` for `crates/core`, `compat/rand` for
+    /// the vendored shims, `rrs` for the workspace-root package.
+    pub crate_name: String,
+    pub kind: FileKind,
+    pub model: FileModel,
+}
+
+impl SourceFile {
+    /// Whether this file belongs to a vendored compat shim. The shims
+    /// mirror upstream APIs (including their panicking methods), so the
+    /// style rules don't apply; only waiver accounting does.
+    pub fn is_compat(&self) -> bool {
+        self.crate_name.starts_with("compat/")
+    }
+
+    /// Whether this is a crate-root file (`src/lib.rs` of some member).
+    pub fn is_crate_root(&self) -> bool {
+        self.rel == "src/lib.rs" || self.rel.ends_with("/src/lib.rs")
+    }
+}
+
+/// The analyzed workspace: sources plus the sibling documents some rules
+/// cross-check.
+#[derive(Debug)]
+pub struct Workspace {
+    pub root: PathBuf,
+    pub files: Vec<SourceFile>,
+    /// `DESIGN.md`, if present.
+    pub design_md: Option<String>,
+    /// `LINT_LEDGER.toml` raw text, if present.
+    pub ledger_text: Option<String>,
+}
+
+impl Workspace {
+    /// Look a source file up by repo-relative path.
+    pub fn file(&self, rel: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.rel == rel)
+    }
+}
+
+const SKIP_DIRS: [&str; 5] = ["target", ".git", ".github", "fixtures", "related"];
+
+/// Walk `root` and build the workspace model. Fails loudly on I/O or lex
+/// errors: the analyzer must never silently skip a file it was meant to
+/// check.
+pub fn load(root: &Path) -> Result<Workspace, String> {
+    let mut rs_files = Vec::new();
+    collect(root, root, &mut rs_files)?;
+    rs_files.sort();
+
+    let mut files = Vec::with_capacity(rs_files.len());
+    for rel in rs_files {
+        let path = root.join(&rel);
+        let src = fs::read_to_string(&path).map_err(|e| format!("read {rel}: {e}"))?;
+        let tokens = lex::lex(&src).map_err(|e| format!("{rel}: {e}"))?;
+        let model = outline::outline(tokens);
+        let (crate_name, kind) = classify(&rel);
+        files.push(SourceFile { rel, crate_name, kind, model });
+    }
+
+    let design_md = fs::read_to_string(root.join("DESIGN.md")).ok();
+    let ledger_text = fs::read_to_string(root.join("LINT_LEDGER.toml")).ok();
+    Ok(Workspace { root: root.to_path_buf(), files, design_md, ledger_text })
+}
+
+fn collect(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("read dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read dir {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            collect(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .map_err(|e| format!("strip prefix: {e}"))?
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Classify a repo-relative path into (crate name, target kind).
+fn classify(rel: &str) -> (String, FileKind) {
+    let segs: Vec<&str> = rel.split('/').collect();
+    let crate_name = if segs.first() == Some(&"crates") {
+        if segs.get(1) == Some(&"compat") {
+            format!("compat/{}", segs.get(2).copied().unwrap_or_default())
+        } else {
+            segs.get(1).copied().unwrap_or_default().to_string()
+        }
+    } else {
+        "rrs".to_string()
+    };
+    let kind = if segs.contains(&"tests") || segs.contains(&"benches") {
+        FileKind::TestOrBench
+    } else if segs.contains(&"examples") {
+        FileKind::Example
+    } else if segs.contains(&"bin") || rel.ends_with("src/main.rs") {
+        FileKind::Bin
+    } else {
+        FileKind::Lib
+    };
+    (crate_name, kind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_follows_path_conventions() {
+        assert_eq!(classify("crates/core/src/dlru.rs"), ("core".into(), FileKind::Lib));
+        assert_eq!(classify("crates/core/tests/lemmas.rs"), ("core".into(), FileKind::TestOrBench));
+        assert_eq!(
+            classify("crates/bench/benches/ablations.rs"),
+            ("bench".into(), FileKind::TestOrBench)
+        );
+        assert_eq!(
+            classify("crates/compat/rand/src/lib.rs"),
+            ("compat/rand".into(), FileKind::Lib)
+        );
+        assert_eq!(classify("src/bin/rrs-cli.rs"), ("rrs".into(), FileKind::Bin));
+        assert_eq!(classify("src/lib.rs"), ("rrs".into(), FileKind::Lib));
+        assert_eq!(classify("tests/golden.rs"), ("rrs".into(), FileKind::TestOrBench));
+        assert_eq!(classify("examples/showdown.rs"), ("rrs".into(), FileKind::Example));
+    }
+}

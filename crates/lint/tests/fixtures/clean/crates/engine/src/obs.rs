@@ -1,0 +1,3 @@
+pub mod names {
+    pub const ROUNDS: &str = "rounds";
+}

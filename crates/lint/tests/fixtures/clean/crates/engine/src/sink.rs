@@ -1,0 +1,10 @@
+pub fn write_run(out: &mut String) {
+    out.push_str("{\"ev\":\"run\"}");
+}
+
+pub fn parse_trace_line(line: &str) -> Option<()> {
+    match kind(line) {
+        "run" => Some(()),
+        _ => None,
+    }
+}

@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+
+#[allow(clippy::disallowed_types)]
+pub fn ledgered() -> u64 {
+    7
+}

@@ -1,0 +1,11 @@
+pub fn half_of(x: u64) -> f64 {
+    (x as f64) * 0.5
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn floats_are_fine_in_tests() {
+        assert!(0.25_f64 < 1.0);
+    }
+}

@@ -1,0 +1,5 @@
+#![deny(unsafe_code)]
+
+pub fn id(x: u64) -> u64 {
+    x
+}

@@ -1,0 +1,4 @@
+pub mod names {
+    pub const ROUNDS: &str = "rounds";
+    pub const GHOST: &str = "undocumented_counter";
+}

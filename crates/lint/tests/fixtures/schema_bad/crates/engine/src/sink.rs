@@ -1,0 +1,12 @@
+pub fn write_header(out: &mut String) {
+    out.push_str("{\"ev\":\"run\",\"v\":1}");
+    out.push_str("{\"ev\":\"orphan\"}");
+}
+
+pub fn parse_trace_line(line: &str) -> Option<()> {
+    match kind(line) {
+        "run" => Some(()),
+        "ghost" => Some(()),
+        _ => None,
+    }
+}

@@ -1,0 +1,12 @@
+#![forbid(unsafe_code)]
+
+pub struct Good;
+pub struct Bad;
+
+impl Policy for Good {}
+impl Snapshot for Good {}
+impl Footprint for Good {}
+impl Instrumented for Good {}
+
+impl Policy for Bad {}
+impl Snapshot for Bad {}

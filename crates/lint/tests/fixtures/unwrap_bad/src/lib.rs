@@ -1,0 +1,14 @@
+#![forbid(unsafe_code)]
+
+pub fn first(v: &[u64]) -> u64 {
+    *v.first().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_here() {
+        let v = [1u64];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

@@ -214,7 +214,7 @@ impl<R: BufRead> TextStream<R> {
             return Ok(Some(Line::Blank));
         }
         let mut parts = line.split_whitespace();
-        let keyword = parts.next().unwrap();
+        let keyword = parts.next().expect("non-blank line has a first token");
         let line_no = self.line_no;
         let mut arg = |name: &str| -> Result<u64, StreamError> {
             parts

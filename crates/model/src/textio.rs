@@ -62,7 +62,7 @@ pub fn from_text(text: &str) -> Result<Instance, ParseError> {
             continue;
         }
         let mut parts = line.split_whitespace();
-        let keyword = parts.next().unwrap();
+        let keyword = parts.next().expect("non-blank line has a first token");
         let mut arg = |name: &str| -> Result<u64, ParseError> {
             parts
                 .next()

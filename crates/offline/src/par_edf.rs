@@ -120,7 +120,12 @@ pub fn par_edf_drop_cost_naive(inst: &Instance, m: usize) -> ParEdfOutcome {
         for _ in 0..m {
             let best = pending
                 .nonidle_colors()
-                .map(|c| (pending.earliest_deadline(c).unwrap(), inst.colors.delay_bound(c), c))
+                .map(|c| {
+                    let due = pending
+                        .earliest_deadline(c)
+                        .expect("nonidle color has an earliest deadline");
+                    (due, inst.colors.delay_bound(c), c)
+                })
                 .min();
             match best {
                 Some((_, _, c)) => {

@@ -134,11 +134,6 @@ impl Fitness {
         let rhs = u128::from(bc) * u128::from(ab);
         lhs.cmp(&rhs)
     }
-
-    /// The display ratio (∞-aware, via `rrs_analysis::ratio`).
-    pub fn ratio(&self) -> f64 {
-        rrs_analysis::ratio(self.cost, self.base)
-    }
 }
 
 /// How fitness evaluation runs: online locations, referee resources, and

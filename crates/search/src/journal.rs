@@ -45,7 +45,7 @@ fn push_eval(out: &mut String, genome: &str, eval: &Evaluation) {
         ",\"cost\":{},\"base\":{},\"ratio\":{},\"referee\":\"{}\"",
         eval.fitness.cost,
         eval.fitness.base,
-        eval.fitness.ratio(),
+        rrs_analysis::ratio(eval.fitness.cost, eval.fitness.base),
         eval.referee.name()
     );
 }

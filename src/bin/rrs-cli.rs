@@ -1116,7 +1116,10 @@ fn cmd_adversary_search(mut args: Vec<String>) -> Result<(), String> {
             "gen {:>3}  best {}  ratio {}",
             summary.gen,
             summary.best.genome.encode(),
-            rrs::analysis::table::fmt_ratio(summary.best.eval.fitness.ratio())
+            rrs::analysis::table::fmt_ratio(rrs::analysis::ratio(
+                summary.best.eval.fitness.cost,
+                summary.best.eval.fitness.base,
+            ))
         );
     });
     let mut evals = report.evals;
@@ -1153,7 +1156,10 @@ fn cmd_adversary_search(mut args: Vec<String>) -> Result<(), String> {
             cand.genome.encode(),
             cand.eval.fitness.cost.to_string(),
             cand.eval.fitness.base.to_string(),
-            rrs::analysis::table::fmt_ratio(cand.eval.fitness.ratio()),
+            rrs::analysis::table::fmt_ratio(rrs::analysis::ratio(
+                cand.eval.fitness.cost,
+                cand.eval.fitness.base,
+            )),
             cand.eval.referee.name().into(),
         ]);
     }

@@ -1,0 +1,24 @@
+//! The lint wall as a test: `rrs-lint`'s full six-rule pass over this
+//! repository must report zero findings (DESIGN.md §15).
+//!
+//! This is the same analysis `cargo run -p rrs-lint` and the CI
+//! `lint-wall` job perform, wired into the ordinary test suite so a
+//! violation fails `cargo test` locally before CI ever sees it. Every
+//! carve-out must be ledgered in `LINT_LEDGER.toml`; the failure message
+//! below prints the findings verbatim.
+
+use std::path::Path;
+
+#[test]
+fn the_determinism_wall_holds() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let findings = rrs_lint::analyze(root, &rrs_lint::Config::default())
+        .expect("rrs-lint analyzes the workspace");
+    assert!(
+        findings.is_empty(),
+        "rrs-lint found {} violation(s) of the determinism wall \
+         (see DESIGN.md §15; audited carve-outs go in LINT_LEDGER.toml):\n{}",
+        findings.len(),
+        rrs_lint::report::render_text(&findings)
+    );
+}
