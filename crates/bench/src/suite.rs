@@ -22,6 +22,11 @@
 //!   `colormap_live_pages`) recorded as *deterministic* metrics — so
 //!   `bench compare` flags any footprint growth as a regression — plus a
 //!   worker-ladder checksum proving the sweep stays byte-identical.
+//! * **opt** — the memoized OPT solver (DESIGN.md §16): a cold pricing
+//!   pass over the pinned genome set, a warm re-pricing pass hard-gated
+//!   at ≥ 90% cache hits plus the persisted codec's round-trip identity,
+//!   and the ≥ 10× scale-certification block on the interchangeable-color
+//!   family the plain DP cannot touch.
 //!
 //! No wall-clock API is touched directly here — all timing goes through
 //! [`Stopwatch`], the engine's audited advisory timer.
@@ -36,16 +41,19 @@ use rrs_engine::{
     SessionResult, Simulator, SnapshotFile, Stopwatch, StreamOptions,
 };
 use rrs_model::{Instance, InstanceBuilder, TextStream};
-use rrs_offline::{solve_opt_guarded, OptConfig};
+use rrs_offline::{solve_opt_guarded, solve_opt_memoized, OptCache, OptConfig};
 use rrs_workloads::bursty::{bursty_instance, BurstyConfig};
 use rrs_workloads::genome::parse_genome;
+use rrs_workloads::pinned::{
+    opt_scale_cost, opt_scale_instance, opt_scale_jobs, OPT_BENCH_GENOMES,
+};
 use rrs_workloads::{zipf_popularity, ZipfConfig};
 
 use crate::alloc_probe;
 use crate::artifact::{BenchArtifact, BenchRecord};
 
 /// Suite names accepted by `rrs bench`.
-pub const SUITES: &[&str] = &["core", "sweep", "zipf"];
+pub const SUITES: &[&str] = &["core", "sweep", "zipf", "opt"];
 
 /// The pinned OPT fixture: the seed adversary from
 /// `tests/fixtures/adversaries/dlru-seed42.adv` (Δ=16, one color; the
@@ -93,6 +101,7 @@ pub fn run_suite(suite: &str, cfg: SuiteConfig) -> Result<BenchArtifact, String>
         "core" => core_suite(cfg),
         "sweep" => sweep_suite(cfg),
         "zipf" => zipf_suite(cfg),
+        "opt" => opt_suite(cfg),
         other => Err(format!("unknown suite '{other}' (available: {})", SUITES.join(", "))),
     }
 }
@@ -615,6 +624,188 @@ fn zipf_sweep_determinism(zcfg: &ZipfConfig, cfg: SuiteConfig) -> Result<BenchRe
 }
 
 // ---------------------------------------------------------------------------
+// opt suite
+// ---------------------------------------------------------------------------
+
+/// The pinned referee for the opt suite — the same guard the adversary
+/// corpus replays under (`rrs_search::CORPUS_OPT`), restated because the
+/// bench crate does not depend on the search crate. Never retune without
+/// re-recording `BENCH_opt.json`.
+pub const OPT_BENCH_CONFIG: OptConfig =
+    OptConfig { max_states: 20_000, reconstruct: false, state_budget: Some(200_000) };
+
+/// Scale-family size for the ≥ 10× certification block: under
+/// [`OPT_BENCH_CONFIG`] the plain DP handles `opt_scale_instance(12)`
+/// (384 jobs) and overflows `max_states` before k = 20, while the
+/// memoized solver certifies k = 120 (3840 jobs, 10× the jobs) in a
+/// constant-size canonical state space.
+pub const OPT_SCALE_K: usize = 120;
+
+fn opt_suite(cfg: SuiteConfig) -> Result<BenchArtifact, String> {
+    let mut instances = Vec::with_capacity(OPT_BENCH_GENOMES.len());
+    for text in OPT_BENCH_GENOMES {
+        instances.push(parse_genome(text).map_err(|e| format!("pinned genome: {e}"))?.decode());
+    }
+    let mut artifact = BenchArtifact::new("opt", cfg.tier(), cfg.repetitions);
+    let (cold, cache) = opt_memo_cold(cfg, &instances)?;
+    let cold_checksum = cold.det_value("cost_checksum");
+    artifact.benches.push(cold);
+    artifact.benches.push(opt_memo_warm(cfg, &instances, cache, cold_checksum)?);
+    artifact.benches.push(opt_scale_10x(cfg)?);
+    Ok(artifact)
+}
+
+/// Price every pinned genome from an empty cache. The deterministic side
+/// is the summed optimum and the solver's obs counters; the advisory side
+/// is cold solves/sec. Returns the warm cache for [`opt_memo_warm`].
+fn opt_memo_cold(
+    cfg: SuiteConfig,
+    instances: &[Instance],
+) -> Result<(BenchRecord, OptCache), String> {
+    let mut record = BenchRecord::new("opt_memo_cold");
+    let mut samples = Vec::new();
+    let mut warm = OptCache::new();
+    for rep in 0..cfg.repetitions {
+        let mut cache = OptCache::new();
+        let mut reg = CounterRegistry::new();
+        let mut cost_sum = 0u64;
+        let sw = Stopwatch::start();
+        for inst in instances {
+            let r = solve_opt_memoized(inst, 1, OPT_BENCH_CONFIG, None, Some(&mut cache))
+                .map_err(|e| format!("cold memoized solve failed: {e:?}"))?;
+            reg.add(names::OPT_SOLVED_STATES, r.stats.solved_states);
+            reg.add(names::OPT_PRUNED_STATES, r.stats.pruned_states);
+            reg.add(names::OPT_CACHE_HITS, r.stats.cache_hits);
+            reg.add(names::OPT_CACHE_LOOKUPS, r.stats.cache_lookups);
+            cost_sum += r.cost;
+        }
+        samples.push(per_sec(instances.len() as u64, sw.elapsed()));
+        if rep == 0 {
+            record
+                .det("cost_checksum", cost_sum)
+                .det(names::OPT_SOLVED_STATES, reg.get(names::OPT_SOLVED_STATES))
+                .det(names::OPT_PRUNED_STATES, reg.get(names::OPT_PRUNED_STATES))
+                .det(names::OPT_CACHE_HITS, reg.get(names::OPT_CACHE_HITS))
+                .det(names::OPT_CACHE_LOOKUPS, reg.get(names::OPT_CACHE_LOOKUPS));
+        } else if record.det_value("cost_checksum") != Some(cost_sum)
+            || record.det_value(names::OPT_SOLVED_STATES) != Some(reg.get(names::OPT_SOLVED_STATES))
+            || record.det_value(names::OPT_PRUNED_STATES) != Some(reg.get(names::OPT_PRUNED_STATES))
+        {
+            return Err("opt_memo_cold deterministic metrics differ across repetitions".into());
+        }
+        warm = cache;
+    }
+    push_rate_percentiles(&mut record, "solves_per_sec", &mut samples);
+    Ok((record, warm))
+}
+
+/// Re-price every pinned genome from the warm cache: the acceptance gate
+/// requires ≥ 90% cache hits, and the persisted codec must round-trip the
+/// cache byte-identically.
+fn opt_memo_warm(
+    cfg: SuiteConfig,
+    instances: &[Instance],
+    mut cache: OptCache,
+    cold_checksum: Option<u64>,
+) -> Result<BenchRecord, String> {
+    let mut record = BenchRecord::new("opt_memo_warm");
+    let mut samples = Vec::new();
+    for rep in 0..cfg.repetitions {
+        let mut reg = CounterRegistry::new();
+        let mut cost_sum = 0u64;
+        let sw = Stopwatch::start();
+        for inst in instances {
+            let r = solve_opt_memoized(inst, 1, OPT_BENCH_CONFIG, None, Some(&mut cache))
+                .map_err(|e| format!("warm memoized solve failed: {e:?}"))?;
+            reg.add(names::OPT_CACHE_HITS, r.stats.cache_hits);
+            reg.add(names::OPT_CACHE_LOOKUPS, r.stats.cache_lookups);
+            cost_sum += r.cost;
+        }
+        samples.push(per_sec(instances.len() as u64, sw.elapsed()));
+        let hits = reg.get(names::OPT_CACHE_HITS);
+        let lookups = reg.get(names::OPT_CACHE_LOOKUPS);
+        let hit_pct = (hits * 100).checked_div(lookups).unwrap_or(0);
+        if hit_pct < 90 {
+            return Err(format!(
+                "warm-cache re-solve hit only {hits}/{lookups} lookups ({hit_pct}%); the \
+                 acceptance gate requires ≥ 90%"
+            ));
+        }
+        if cold_checksum != Some(cost_sum) {
+            return Err(format!(
+                "warm re-solve cost checksum {cost_sum} differs from cold {cold_checksum:?}"
+            ));
+        }
+        if rep == 0 {
+            record
+                .det("cost_checksum", cost_sum)
+                .det(names::OPT_CACHE_HITS, hits)
+                .det(names::OPT_CACHE_LOOKUPS, lookups)
+                .det("cache_hit_pct", hit_pct);
+        } else if record.det_value(names::OPT_CACHE_HITS) != Some(hits) {
+            return Err("opt_memo_warm deterministic metrics differ across repetitions".into());
+        }
+    }
+    // Persisted-codec identity: encode → parse → re-encode must be
+    // byte-identical (the wire format's committed contract).
+    let bytes = cache.encode();
+    let reparsed = OptCache::parse(&bytes).map_err(|e| format!("warm cache re-parse: {e}"))?;
+    if reparsed.encode() != bytes {
+        return Err("opt cache re-encode is not byte-identical".into());
+    }
+    record.det("opt_cache_bytes", bytes.len() as u64).det("reencode_identical", 1);
+    push_rate_percentiles(&mut record, "solves_per_sec", &mut samples);
+    Ok(record)
+}
+
+/// The ≥ 10× certification block: the memoized solver certifies the
+/// `k = `[`OPT_SCALE_K`] scale instance — 10× the jobs of the largest
+/// family member the plain DP handles under the *same* budget — and the
+/// plain DP's refusal on it is re-checked every run.
+fn opt_scale_10x(cfg: SuiteConfig) -> Result<BenchRecord, String> {
+    let inst = opt_scale_instance(OPT_SCALE_K);
+    let plain_refuses = match solve_opt_guarded(&inst, 1, OPT_BENCH_CONFIG, None) {
+        Ok(_) => 0u64,
+        Err(_) => 1u64,
+    };
+    if plain_refuses == 0 {
+        return Err(format!(
+            "the plain DP unexpectedly certified opt_scale_instance({OPT_SCALE_K}); the 10× \
+             headroom pin needs re-calibration"
+        ));
+    }
+
+    let mut record = BenchRecord::new("opt_scale_10x");
+    let mut samples = Vec::new();
+    for rep in 0..cfg.repetitions {
+        let sw = Stopwatch::start();
+        let r = solve_opt_memoized(&inst, 1, OPT_BENCH_CONFIG, None, None)
+            .map_err(|e| format!("scale-family memoized solve failed: {e:?}"))?;
+        samples.push(per_sec(1, sw.elapsed()));
+        if r.cost != opt_scale_cost(OPT_SCALE_K) {
+            return Err(format!(
+                "scale-family optimum {} disagrees with the pinned closed form {}",
+                r.cost,
+                opt_scale_cost(OPT_SCALE_K)
+            ));
+        }
+        if rep == 0 {
+            record
+                .det("scale_k", OPT_SCALE_K as u64)
+                .det("scale_jobs", opt_scale_jobs(OPT_SCALE_K))
+                .det("opt_cost", r.cost)
+                .det(names::OPT_SOLVED_STATES, r.stats.solved_states)
+                .det(names::OPT_PRUNED_STATES, r.stats.pruned_states)
+                .det("plain_dp_refuses", plain_refuses);
+        } else if record.det_value(names::OPT_SOLVED_STATES) != Some(r.stats.solved_states) {
+            return Err("opt_scale_10x deterministic metrics differ across repetitions".into());
+        }
+    }
+    push_rate_percentiles(&mut record, "solves_per_sec", &mut samples);
+    Ok(record)
+}
+
+// ---------------------------------------------------------------------------
 // shared helpers
 // ---------------------------------------------------------------------------
 
@@ -711,6 +902,22 @@ mod tests {
                 "{name}: footprint ({words} words, {pages} pages) not sparse vs {arrived} jobs"
             );
         }
+    }
+
+    #[test]
+    fn opt_suite_is_deterministic_and_hits_the_warm_cache() {
+        let a = run_suite("opt", SuiteConfig { quick: true, repetitions: 1 }).expect("runs");
+        let b = run_suite("opt", SuiteConfig { quick: true, repetitions: 1 }).expect("runs");
+        assert_eq!(a.benches.len(), 3);
+        for (x, y) in a.benches.iter().zip(&b.benches) {
+            assert_eq!(x.deterministic, y.deterministic, "{}", x.name);
+        }
+        let warm = a.benches.iter().find(|r| r.name == "opt_memo_warm").expect("warm block");
+        assert_eq!(warm.det_value("cache_hit_pct"), Some(100));
+        assert_eq!(warm.det_value("reencode_identical"), Some(1));
+        let scale = a.benches.iter().find(|r| r.name == "opt_scale_10x").expect("scale block");
+        assert_eq!(scale.det_value("plain_dp_refuses"), Some(1));
+        assert_eq!(scale.det_value("opt_cost"), Some(32 * OPT_SCALE_K as u64 - 28));
     }
 
     #[test]

@@ -56,6 +56,16 @@ pub mod names {
     /// High-water mark of paged `ColorMap` pages held by a policy's
     /// per-color state (`COLOR_PAGE` slots per page; see DESIGN.md §14).
     pub const COLORMAP_LIVE_PAGES: &str = "colormap_live_pages";
+    /// States kept in the memoized OPT solver's memo table (see
+    /// DESIGN.md §16).
+    pub const OPT_SOLVED_STATES: &str = "opt_solved_states";
+    /// States discarded by the memoized OPT solver's Pareto dominance
+    /// pruning (see DESIGN.md §16).
+    pub const OPT_PRUNED_STATES: &str = "opt_pruned_states";
+    /// Whole-solve answers served from a persisted OPT cache.
+    pub const OPT_CACHE_HITS: &str = "opt_cache_hits";
+    /// Persisted OPT cache consultations.
+    pub const OPT_CACHE_LOOKUPS: &str = "opt_cache_lookups";
 }
 
 /// A fixed-bucket histogram over `u64` samples.

@@ -128,9 +128,19 @@ pub struct SnapWriter {
 impl SnapWriter {
     /// Start a snapshot: writes the magic and version header.
     pub fn new() -> Self {
+        Self::with_frame(SNAP_MAGIC, SNAP_VERSION)
+    }
+
+    /// Start a framed file with a caller-chosen magic and version. The
+    /// byte conventions (little-endian integers, length-prefixed byte
+    /// strings and sections, trailing CRC-32) are shared with snapshots;
+    /// only the 8-byte file-type tag and the version number differ. This
+    /// is how sibling formats (the OPT solve cache's `RRSOPTC1`) reuse
+    /// the wire format without masquerading as snapshots.
+    pub fn with_frame(magic: &[u8; 8], version: u32) -> Self {
         let mut buf = Vec::with_capacity(256);
-        buf.extend_from_slice(SNAP_MAGIC);
-        buf.extend_from_slice(&SNAP_VERSION.to_le_bytes());
+        buf.extend_from_slice(magic);
+        buf.extend_from_slice(&version.to_le_bytes());
         Self { buf }
     }
 
@@ -204,21 +214,32 @@ impl<'a> SnapReader<'a> {
     /// `SNAP_MIN_VERSION..=SNAP_VERSION`; the accepted version is
     /// reported by [`SnapReader::version`].
     pub fn new(bytes: &'a [u8]) -> Result<Self, SnapError> {
-        if bytes.len() < SNAP_MAGIC.len() + 4 + 4 {
+        Self::with_frame(bytes, SNAP_MAGIC, SNAP_MIN_VERSION..=SNAP_VERSION)
+    }
+
+    /// Open a framed file written by [`SnapWriter::with_frame`]: checks
+    /// the caller's magic, that the version falls in `versions`, and the
+    /// trailing CRC, then positions the cursor at the first payload byte.
+    pub fn with_frame(
+        bytes: &'a [u8],
+        magic: &[u8; 8],
+        versions: std::ops::RangeInclusive<u32>,
+    ) -> Result<Self, SnapError> {
+        if bytes.len() < magic.len() + 4 + 4 {
             // Too short even for an empty payload — but distinguish a bad
             // prefix from a truncated-but-recognizable one.
-            if !bytes.starts_with(SNAP_MAGIC) && bytes.len() >= SNAP_MAGIC.len() {
+            if !bytes.starts_with(magic) && bytes.len() >= magic.len() {
                 return Err(SnapError::BadMagic);
             }
             return Err(SnapError::Truncated { what: "header" });
         }
-        if &bytes[..SNAP_MAGIC.len()] != SNAP_MAGIC {
+        if &bytes[..magic.len()] != magic {
             return Err(SnapError::BadMagic);
         }
         let mut ver = [0u8; 4];
-        ver.copy_from_slice(&bytes[SNAP_MAGIC.len()..SNAP_MAGIC.len() + 4]);
+        ver.copy_from_slice(&bytes[magic.len()..magic.len() + 4]);
         let version = u32::from_le_bytes(ver);
-        if !(SNAP_MIN_VERSION..=SNAP_VERSION).contains(&version) {
+        if !versions.contains(&version) {
             return Err(SnapError::BadVersion(version));
         }
         let body = &bytes[..bytes.len() - 4];
@@ -229,7 +250,7 @@ impl<'a> SnapReader<'a> {
         if stored != computed {
             return Err(SnapError::BadChecksum { stored, computed });
         }
-        Ok(Self { buf: body, pos: SNAP_MAGIC.len() + 4, version })
+        Ok(Self { buf: body, pos: magic.len() + 4, version })
     }
 
     /// Open a reader over raw payload bytes (a section body already
@@ -384,6 +405,33 @@ mod tests {
         let mut r2 = SnapReader::new(&bytes).unwrap();
         let e = r2.section("policy").unwrap_err();
         assert!(matches!(e, SnapError::Invalid(_)));
+    }
+
+    #[test]
+    fn custom_frames_round_trip_and_stay_distinct() {
+        let mut w = SnapWriter::with_frame(b"RRSTEST1", 7);
+        w.put_u64(99);
+        let bytes = w.finish();
+        // The matching frame reads back and reports its version.
+        let mut r = SnapReader::with_frame(&bytes, b"RRSTEST1", 7..=7).unwrap();
+        assert_eq!(r.version(), 7);
+        assert_eq!(r.get_u64("x").unwrap(), 99);
+        r.expect_end("payload").unwrap();
+        // A snapshot reader must not accept a foreign frame, nor the
+        // reverse — magic is a file-type tag, not decoration.
+        assert_eq!(SnapReader::new(&bytes).unwrap_err(), SnapError::BadMagic);
+        let snap = SnapWriter::new().finish();
+        assert_eq!(
+            SnapReader::with_frame(&snap, b"RRSTEST1", 7..=7).unwrap_err(),
+            SnapError::BadMagic
+        );
+        // Out-of-range versions are rejected by the frame check.
+        let w = SnapWriter::with_frame(b"RRSTEST1", 8);
+        let bytes = w.finish();
+        assert_eq!(
+            SnapReader::with_frame(&bytes, b"RRSTEST1", 7..=7).unwrap_err(),
+            SnapError::BadVersion(8)
+        );
     }
 
     #[test]

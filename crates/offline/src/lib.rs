@@ -38,11 +38,18 @@
 
 pub mod bounds;
 pub mod brute;
+pub mod cache;
+pub mod memo;
 pub mod opt;
 pub mod par_edf;
 
 pub use bounds::{combined_lower_bound, per_color_lower_bound, portfolio_upper_bound};
 pub use brute::solve_brute;
+pub use cache::{
+    instance_digest, CacheError, OptCache, PartialSolve, SolvedEntry, OPT_CACHE_MAGIC,
+    OPT_CACHE_VERSION,
+};
+pub use memo::{solve_opt_memoized, MemoResult, MemoStats};
 pub use opt::{solve_opt, solve_opt_guarded, OptConfig, OptError, OptResult};
 pub use par_edf::{par_edf_drop_cost, ParEdfOutcome};
 
@@ -50,6 +57,8 @@ pub use par_edf::{par_edf_drop_cost, ParEdfOutcome};
 pub mod prelude {
     pub use crate::bounds::{combined_lower_bound, per_color_lower_bound, portfolio_upper_bound};
     pub use crate::brute::solve_brute;
+    pub use crate::cache::{instance_digest, CacheError, OptCache, SolvedEntry};
+    pub use crate::memo::{solve_opt_memoized, MemoResult, MemoStats};
     pub use crate::opt::{solve_opt, solve_opt_guarded, OptConfig, OptError, OptResult};
     pub use crate::par_edf::{par_edf_drop_cost, ParEdfOutcome};
 }

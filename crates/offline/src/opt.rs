@@ -24,7 +24,7 @@ use rrs_engine::{stable_assign, FixedSchedule, Slot};
 use rrs_model::{ColorId, Instance};
 
 /// Sentinel for an unconfigured (black) cache slot.
-const BLACK: u32 = u32::MAX;
+pub(crate) const BLACK: u32 = u32::MAX;
 
 /// Solver configuration.
 #[derive(Clone, Copy, Debug)]
@@ -128,7 +128,7 @@ struct Best {
 }
 
 /// Drop every pending entry with `deadline <= round`; returns jobs dropped.
-fn apply_drops(pending: &mut Vec<(u32, u64, u64)>, round: u64) -> u64 {
+pub(crate) fn apply_drops(pending: &mut Vec<(u32, u64, u64)>, round: u64) -> u64 {
     let mut dropped = 0;
     pending.retain(|&(_, d, n)| {
         if d <= round {
@@ -142,7 +142,7 @@ fn apply_drops(pending: &mut Vec<(u32, u64, u64)>, round: u64) -> u64 {
 }
 
 /// Merge arrivals into a canonical pending profile.
-fn apply_arrivals(pending: &mut Vec<(u32, u64, u64)>, arrivals: &[(u32, u64, u64)]) {
+pub(crate) fn apply_arrivals(pending: &mut Vec<(u32, u64, u64)>, arrivals: &[(u32, u64, u64)]) {
     for &(c, d, n) in arrivals {
         match pending.binary_search_by_key(&(c, d), |&(pc, pd, _)| (pc, pd)) {
             Ok(i) => pending[i].2 += n,
@@ -152,7 +152,7 @@ fn apply_arrivals(pending: &mut Vec<(u32, u64, u64)>, arrivals: &[(u32, u64, u64
 }
 
 /// Execute `q` earliest-deadline jobs of `color`; returns executed count.
-fn apply_execution(pending: &mut Vec<(u32, u64, u64)>, color: u32, q: u64) -> u64 {
+pub(crate) fn apply_execution(pending: &mut Vec<(u32, u64, u64)>, color: u32, q: u64) -> u64 {
     let mut remaining = q;
     let mut i = 0;
     while i < pending.len() && remaining > 0 {
@@ -173,7 +173,7 @@ fn apply_execution(pending: &mut Vec<(u32, u64, u64)>, color: u32, q: u64) -> u6
 /// Reconfiguration count for moving between cache multisets: copies added
 /// of each non-black color. Both multisets are sorted, so a single merge
 /// walk counts the unmatched copies in `new` without allocating.
-fn reconfig_count(old: &[u32], new: &[u32]) -> u64 {
+pub(crate) fn reconfig_count(old: &[u32], new: &[u32]) -> u64 {
     debug_assert!(old.is_sorted() && new.is_sorted(), "cache multisets are kept sorted");
     let mut i = 0;
     let mut added = 0;
@@ -194,7 +194,7 @@ fn reconfig_count(old: &[u32], new: &[u32]) -> u64 {
 }
 
 /// Enumerate all sorted multisets of size `m` over `candidates` (sorted).
-fn multisets(candidates: &[u32], m: usize) -> Vec<Vec<u32>> {
+pub(crate) fn multisets(candidates: &[u32], m: usize) -> Vec<Vec<u32>> {
     let mut out = Vec::new();
     let mut cur = Vec::with_capacity(m);
     fn rec(cands: &[u32], start: usize, left: usize, cur: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
@@ -299,16 +299,33 @@ pub fn solve_opt_guarded(
                 };
                 let key = State { cache: newcache, pending: p };
                 match next.get_mut(&key) {
-                    Some(existing) if existing.cost <= cand.cost => {}
+                    // Lexicographic (cost, reconfigs, drops) Bellman merge:
+                    // ties on cost break toward fewer reconfigurations,
+                    // then fewer drops. Lexicographic comparison is
+                    // invariant under adding a common future triple, so
+                    // the DP computes the lex-minimal optimal breakdown —
+                    // the same rule the memoized solver uses, which is
+                    // what lets the differential battery demand equality
+                    // on the whole triple rather than cost alone.
+                    Some(existing)
+                        if (existing.cost, existing.reconfigs, existing.drops)
+                            <= (cand.cost, cand.reconfigs, cand.drops) => {}
                     Some(existing) => *existing = cand,
                     None => {
+                        // Trip the cap the moment the layer overflows
+                        // instead of materializing the whole blow-up
+                        // first: on refused instances the overfull layer
+                        // can be orders of magnitude larger than the cap.
+                        if next.len() >= config.max_states {
+                            return Err(OptError::StateSpaceExceeded {
+                                round,
+                                states: next.len() + 1,
+                            });
+                        }
                         next.insert(key, cand);
                     }
                 }
             }
-        }
-        if next.len() > config.max_states {
-            return Err(OptError::StateSpaceExceeded { round, states: next.len() });
         }
         states_explored += next.len();
         if config.state_budget.is_some_and(|budget| states_explored > budget) {
@@ -317,7 +334,10 @@ pub fn solve_opt_guarded(
         layer = next;
     }
 
-    let best = layer.into_values().min_by_key(|b| b.cost).expect("at least one terminal state");
+    let best = layer
+        .into_values()
+        .min_by_key(|b| (b.cost, b.reconfigs, b.drops))
+        .expect("at least one terminal state");
     debug_assert_eq!(best.cost, delta * best.reconfigs + best.drops);
 
     let schedule = if config.reconstruct {

@@ -13,9 +13,10 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rrs_engine::par::par_map_sweep;
+use rrs_offline::OptCache;
 use rrs_workloads::genome::{crossover, mutate, random_genome, Genome};
 
-use crate::fitness::{evaluate, EvalConfig, Evaluation, PolicyKind};
+use crate::fitness::{evaluate_cached, EvalConfig, Evaluation, PolicyKind};
 
 /// Search hyper-parameters. Everything that influences the outcome lives
 /// here; two runs with equal configs produce identical journals.
@@ -106,10 +107,26 @@ fn rank(population: &mut [Candidate]) {
     });
 }
 
-/// Evaluate a whole generation in parallel, preserving input order.
-fn evaluate_all(genomes: Vec<Genome>, cfg: &SearchConfig) -> Vec<Candidate> {
-    let evals = par_map_sweep(&genomes, |g| evaluate(g, cfg.policy, &cfg.eval));
-    genomes.into_iter().zip(evals).map(|(genome, eval)| Candidate { genome, eval }).collect()
+/// Evaluate a whole generation in parallel, preserving input order. The
+/// cache is consulted read-only inside the sweep; freshly certified OPT
+/// answers are merged back *after* the barrier, in child order, so the
+/// cache contents — like everything else — are a pure function of the
+/// config and the cache's starting state.
+fn evaluate_all(
+    genomes: Vec<Genome>,
+    cfg: &SearchConfig,
+    cache: &mut Option<&mut OptCache>,
+) -> Vec<Candidate> {
+    let view = cache.as_deref();
+    let evals = par_map_sweep(&genomes, |g| evaluate_cached(g, cfg.policy, &cfg.eval, view));
+    if let Some(c) = cache.as_deref_mut() {
+        for (_, line) in &evals {
+            if let Some(l) = line {
+                c.record(l.digest, l.m, l.entry);
+            }
+        }
+    }
+    genomes.into_iter().zip(evals).map(|(genome, (eval, _))| Candidate { genome, eval }).collect()
 }
 
 /// Breed one child: tournament-pick two parents from the ranked
@@ -136,6 +153,20 @@ fn breed(ranked: &[Candidate], rng: &mut StdRng) -> Genome {
 /// with the ranked best — the CLI turns these into journal lines.
 pub fn run_search(
     cfg: &SearchConfig,
+    on_generation: impl FnMut(&GenerationSummary),
+) -> SearchReport {
+    run_search_cached(cfg, None, on_generation)
+}
+
+/// [`run_search`] with a persisted OPT solve cache. Referee answers
+/// already in the cache re-price generations instantly; fresh exact
+/// solves are recorded back into it, so consecutive search runs (and
+/// sweep re-runs) share certification work. Passing a warm cache can
+/// upgrade evaluations that would otherwise degrade to the lower bound,
+/// so the trajectory is a pure function of `(cfg, starting cache)`.
+pub fn run_search_cached(
+    cfg: &SearchConfig,
+    mut cache: Option<&mut OptCache>,
     mut on_generation: impl FnMut(&GenerationSummary),
 ) -> SearchReport {
     let population = cfg.population.max(2);
@@ -144,7 +175,7 @@ pub fn run_search(
     // Generation 0: independent random genomes.
     let genomes: Vec<Genome> =
         (0..population).map(|i| random_genome(mix(cfg.seed, 0, i as u64))).collect();
-    let mut ranked = evaluate_all(genomes, cfg);
+    let mut ranked = evaluate_all(genomes, cfg, &mut cache);
     rank(&mut ranked);
     let mut evals = population as u64;
     let mut best = ranked[0].clone();
@@ -163,7 +194,7 @@ pub fn run_search(
             })
             .collect();
         evals += offspring.len() as u64;
-        next.extend(evaluate_all(offspring, cfg));
+        next.extend(evaluate_all(offspring, cfg, &mut cache));
         rank(&mut next);
         ranked = next;
         if ranked[0].eval.fitness.cmp_ratio(&best.eval.fitness).is_gt() {
@@ -217,6 +248,26 @@ mod tests {
         assert_eq!(fingerprint(&a), fingerprint(&b));
         assert_eq!(a.best.genome, b.best.genome);
         assert_eq!(a.evals, b.evals);
+    }
+
+    #[test]
+    fn cached_search_is_deterministic_and_reprices_identically() {
+        let cfg = small_cfg(42);
+        let plain = run_search(&cfg, |_| {});
+
+        let mut cache = OptCache::new();
+        set_jobs(1);
+        let cold = run_search_cached(&cfg, Some(&mut cache), |_| {});
+        assert_eq!(fingerprint(&plain), fingerprint(&cold), "an empty cache changes nothing");
+        let cold_bytes = cache.encode();
+
+        // Re-running warm must reproduce the same trajectory (every hit
+        // replays the same exact answer) without growing the cache, at
+        // any worker count.
+        set_jobs(4);
+        let warm = run_search_cached(&cfg, Some(&mut cache), |_| {});
+        assert_eq!(fingerprint(&cold), fingerprint(&warm));
+        assert_eq!(cold_bytes, cache.encode(), "warm re-run must not grow the cache");
     }
 
     #[test]

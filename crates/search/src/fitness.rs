@@ -7,11 +7,15 @@
 //! floating-point rounding. The `f64` ratio is derived only for display
 //! and journal lines.
 //!
-//! The referee is [`solve_opt_guarded`] under a state budget; when the
+//! The referee is [`solve_opt_memoized`] under a state budget; when the
 //! budget trips on an oversized genome the evaluation *degrades* to the
 //! certified [`combined_lower_bound`] instead of hanging (ROADMAP item 2).
 //! Both outcomes are pure functions of the instance, so fitness stays
-//! deterministic either way.
+//! deterministic either way. A persisted [`OptCache`] can be consulted
+//! *read-only* during the parallel sweep — hits re-price instantly, and
+//! fresh exact solves are handed back to the caller as
+//! [`SolvedLine`] records so the sweep driver can merge them into the
+//! cache in deterministic child order after the barrier.
 
 use std::cmp::Ordering;
 
@@ -19,7 +23,9 @@ use rrs_core::{full_algorithm, ClassicLru, DeltaLru, DeltaLruEdf, Distribute, Ed
 use rrs_engine::policy::Policy;
 use rrs_engine::sim::Simulator;
 use rrs_model::Instance;
-use rrs_offline::{combined_lower_bound, solve_opt_guarded, OptConfig};
+use rrs_offline::{
+    combined_lower_bound, instance_digest, solve_opt_memoized, OptCache, OptConfig, SolvedEntry,
+};
 use rrs_workloads::genome::Genome;
 
 /// The online policies the search can target. Names match `rrs-cli`'s
@@ -87,7 +93,8 @@ impl PolicyKind {
 /// Which referee produced the baseline cost.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Referee {
-    /// The exact OPT dynamic program finished within budget.
+    /// The exact memoized OPT solver finished within budget (or its
+    /// answer was served from the persisted cache).
     Exact,
     /// OPT was interrupted or over budget; the certified lower bound stood
     /// in. Ratios against it over-estimate, never under-estimate.
@@ -170,22 +177,84 @@ pub struct Evaluation {
     pub referee: Referee,
 }
 
-/// Evaluate a decoded instance: run the online policy, referee it, return
-/// the exact ratio. Pure function of `(inst, policy, cfg)`.
-pub fn evaluate_instance(inst: &Instance, policy: PolicyKind, cfg: &EvalConfig) -> Evaluation {
+/// A freshly certified exact OPT answer produced during a sweep, keyed by
+/// instance digest, ready to be recorded into an [`OptCache`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SolvedLine {
+    /// Content digest of the instance (see
+    /// [`rrs_offline::instance_digest`]).
+    pub digest: u64,
+    /// Referee resource count the entry was solved for.
+    pub m: u32,
+    /// The certified answer.
+    pub entry: SolvedEntry,
+}
+
+/// Evaluate a decoded instance against a read-only cache view: run the
+/// online policy, referee it, return the exact ratio plus — when the
+/// referee had to solve fresh and succeeded — the [`SolvedLine`] the
+/// caller should merge into its cache. Pure function of
+/// `(inst, policy, cfg, cache contents)`, so sweeping it over
+/// `par_map_sweep` stays byte-identical at any worker count.
+pub fn evaluate_instance_cached(
+    inst: &Instance,
+    policy: PolicyKind,
+    cfg: &EvalConfig,
+    cache: Option<&OptCache>,
+) -> (Evaluation, Option<SolvedLine>) {
     let mut p = policy.make();
     let outcome = Simulator::new(inst, cfg.locations).run(&mut p);
     let cost = outcome.total_cost();
-    let (base, referee) = match solve_opt_guarded(inst, cfg.referee_resources, cfg.opt, None) {
-        Ok(r) => (r.cost, Referee::Exact),
-        Err(_) => (combined_lower_bound(inst, cfg.referee_resources), Referee::LowerBound),
-    };
-    Evaluation { fitness: Fitness { cost, base }, referee }
+    let m = cfg.referee_resources as u32;
+    if let Some(c) = cache {
+        let digest = instance_digest(inst);
+        if let Some(e) = c.lookup(digest, m) {
+            let eval =
+                Evaluation { fitness: Fitness { cost, base: e.cost }, referee: Referee::Exact };
+            return (eval, None);
+        }
+    }
+    match solve_opt_memoized(inst, cfg.referee_resources, cfg.opt, None, None) {
+        Ok(r) => {
+            let line = cache.is_some().then(|| SolvedLine {
+                digest: instance_digest(inst),
+                m,
+                entry: SolvedEntry {
+                    cost: r.cost,
+                    reconfigs: r.reconfigs,
+                    drops: r.drops,
+                    states_explored: r.states_explored as u64,
+                },
+            });
+            (Evaluation { fitness: Fitness { cost, base: r.cost }, referee: Referee::Exact }, line)
+        }
+        Err(_) => {
+            let base = combined_lower_bound(inst, cfg.referee_resources);
+            (Evaluation { fitness: Fitness { cost, base }, referee: Referee::LowerBound }, None)
+        }
+    }
+}
+
+/// Evaluate a decoded instance: run the online policy, referee it, return
+/// the exact ratio. Pure function of `(inst, policy, cfg)`.
+pub fn evaluate_instance(inst: &Instance, policy: PolicyKind, cfg: &EvalConfig) -> Evaluation {
+    evaluate_instance_cached(inst, policy, cfg, None).0
 }
 
 /// Evaluate a genome (decode, then [`evaluate_instance`]).
 pub fn evaluate(genome: &Genome, policy: PolicyKind, cfg: &EvalConfig) -> Evaluation {
     evaluate_instance(&genome.decode(), policy, cfg)
+}
+
+/// Evaluate a genome against a read-only cache view (decode, then
+/// [`evaluate_instance_cached`]).
+pub fn evaluate_cached(
+    genome: &Genome,
+    policy: PolicyKind,
+    cfg: &EvalConfig,
+    cache: Option<&OptCache>,
+) -> (Evaluation, Option<SolvedLine>) {
+    evaluate_instance_cached(&genome.decode(), policy, cfg, cache)
 }
 
 #[cfg(test)]
@@ -230,6 +299,26 @@ mod tests {
         let a = evaluate(&g, PolicyKind::DeltaLru, &cfg);
         let b = evaluate(&g, PolicyKind::DeltaLru, &cfg);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cached_evaluation_matches_and_reprices_from_hits() {
+        let g = random_genome(11);
+        let cfg = EvalConfig::default();
+        let plain = evaluate(&g, PolicyKind::DeltaLru, &cfg);
+
+        let mut cache = OptCache::new();
+        let (cold, line) = evaluate_cached(&g, PolicyKind::DeltaLru, &cfg, Some(&cache));
+        assert_eq!(cold, plain, "cache plumbing must not change the evaluation");
+        if cold.referee == Referee::Exact {
+            let line = line.expect("fresh exact solve must hand back a cache line");
+            cache.record(line.digest, line.m, line.entry);
+            let (warm, warm_line) = evaluate_cached(&g, PolicyKind::DeltaLru, &cfg, Some(&cache));
+            assert_eq!(warm, plain, "a cache hit must re-price to the identical evaluation");
+            assert!(warm_line.is_none(), "hits produce no new cache line");
+        } else {
+            assert!(line.is_none(), "lower-bound degradations are never cached");
+        }
     }
 
     #[test]

@@ -53,9 +53,12 @@ pub mod journal;
 pub mod shrink;
 
 pub use corpus::{parse_corpus_entry, CorpusEntry, CORPUS_OPT, CORPUS_SCHEMA_VERSION};
-pub use evolve::{run_search, Candidate, GenerationSummary, SearchConfig, SearchReport};
+pub use evolve::{
+    run_search, run_search_cached, Candidate, GenerationSummary, SearchConfig, SearchReport,
+};
 pub use fitness::{
-    evaluate, evaluate_instance, EvalConfig, Evaluation, Fitness, PolicyKind, Referee,
+    evaluate, evaluate_cached, evaluate_instance, evaluate_instance_cached, EvalConfig, Evaluation,
+    Fitness, PolicyKind, Referee, SolvedLine,
 };
 pub use journal::{
     gen_line, meta_line, parse_journal, result_line, shrink_line, JournalLine, JournalParseError,
@@ -66,9 +69,12 @@ pub use shrink::{shrink, ShrinkReport, ShrinkStep};
 /// Convenient re-exports.
 pub mod prelude {
     pub use crate::corpus::{parse_corpus_entry, CorpusEntry, CORPUS_OPT, CORPUS_SCHEMA_VERSION};
-    pub use crate::evolve::{run_search, Candidate, GenerationSummary, SearchConfig, SearchReport};
+    pub use crate::evolve::{
+        run_search, run_search_cached, Candidate, GenerationSummary, SearchConfig, SearchReport,
+    };
     pub use crate::fitness::{
-        evaluate, evaluate_instance, EvalConfig, Evaluation, Fitness, PolicyKind, Referee,
+        evaluate, evaluate_cached, evaluate_instance, evaluate_instance_cached, EvalConfig,
+        Evaluation, Fitness, PolicyKind, Referee, SolvedLine,
     };
     pub use crate::journal::{
         gen_line, meta_line, parse_journal, result_line, shrink_line, JournalLine,

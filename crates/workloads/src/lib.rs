@@ -29,6 +29,7 @@
 pub mod adversary;
 pub mod bursty;
 pub mod genome;
+pub mod pinned;
 pub mod random;
 pub mod scenarios;
 
@@ -36,6 +37,10 @@ pub use adversary::{edf_killer, lru_killer, Adversary, EdfKillerParams, LruKille
 pub use bursty::{activity_profile, bursty_instance, BurstyConfig};
 pub use genome::{
     crossover, mutate, parse_genome, random_genome, shrink_candidates, ColorGene, Genome,
+};
+pub use pinned::{
+    opt_scale_cost, opt_scale_instance, opt_scale_jobs, OPT_BENCH_GENOMES, OPT_SCALE_BOUND,
+    OPT_SCALE_BURSTS,
 };
 pub use random::{
     batched_instance, general_instance, rate_limited_instance, BatchedConfig, GeneralConfig,
@@ -54,6 +59,10 @@ pub mod prelude {
     pub use crate::bursty::{activity_profile, bursty_instance, BurstyConfig};
     pub use crate::genome::{
         crossover, mutate, parse_genome, random_genome, shrink_candidates, ColorGene, Genome,
+    };
+    pub use crate::pinned::{
+        opt_scale_cost, opt_scale_instance, opt_scale_jobs, OPT_BENCH_GENOMES, OPT_SCALE_BOUND,
+        OPT_SCALE_BURSTS,
     };
     pub use crate::random::{
         batched_instance, general_instance, rate_limited_instance, BatchedConfig, GeneralConfig,

@@ -12,6 +12,10 @@
 //!         [--trace-out T.jsonl]
 //! rrs-cli attribute <policy> <FILE> [--locations N]   per-color cost table
 //! rrs-cli opt <FILE> [--resources M]                  exact offline optimum
+//!         [--memo [--opt-cache CACHE]]                via the memoized solver
+//! rrs-cli opt-cache save <FILE>... --out CACHE        solve into a persisted cache
+//! rrs-cli opt-cache load <CACHE> <FILE>               answer from the cache alone
+//! rrs-cli opt-cache stat <CACHE>                      print the solved index
 //! rrs-cli lemmas <FILE> [--locations N]               check Lemmas 3.2/3.3/3.4
 //! rrs-cli evaluate [--only NAME] [--metrics-out F]    print experiment tables
 //! rrs-cli report <TRACE.jsonl> [--instance FILE]      cost report from a trace
@@ -19,7 +23,7 @@
 //! rrs-cli adversary-search [--seed N] [--budget GENS] [--policy P]
 //!         [--population N] [--elites N] [--locations N] [--referee-m M]
 //!         [--min-ratio R] [--no-shrink] [--shrink-evals N]
-//!         [--journal-out J.jsonl] [--fixture-out F.adv]
+//!         [--journal-out J.jsonl] [--fixture-out F.adv] [--opt-cache CACHE]
 //!                                                     evolve a worst-case instance
 //! rrs-cli bench [<suite>|all] [--quick] [--out-dir D] run the fixed benchmark
 //!                                                     suites, writing BENCH_<suite>.json
@@ -91,20 +95,23 @@ fn usage() -> ExitCode {
          rrs-cli checkpoint <policy> <FILE> --at-round K [--locations N] [--out SNAP]\n  \
          rrs-cli resume <policy> <FILE> --from SNAP [--locations N] [--stream] [--trace-out T.jsonl]\n  \
          rrs-cli attribute <policy> <FILE> [--locations N]\n  \
-         rrs-cli opt <FILE> [--resources M]\n  \
+         rrs-cli opt <FILE> [--resources M] [--memo [--opt-cache CACHE]]\n  \
+         rrs-cli opt-cache save <FILE>... --out CACHE [--resources M]\n  \
+         rrs-cli opt-cache load <CACHE> <FILE> [--resources M]\n  \
+         rrs-cli opt-cache stat <CACHE>\n  \
          rrs-cli lemmas <FILE> [--locations N]\n  \
          rrs-cli evaluate [--only NAME] [--metrics-out REPORTS.jsonl]\n  \
          rrs-cli report <TRACE.jsonl> [--instance FILE]\n  \
          rrs-cli report --run <policy> <FILE> [--locations N]\n  \
          rrs-cli adversary-search [--seed N] [--budget GENS] [--policy P] [--population N]\n          \
          [--elites N] [--locations N] [--referee-m M] [--min-ratio R] [--no-shrink]\n          \
-         [--shrink-evals N] [--journal-out J.jsonl] [--fixture-out F.adv]\n  \
+         [--shrink-evals N] [--journal-out J.jsonl] [--fixture-out F.adv] [--opt-cache CACHE]\n  \
          rrs-cli bench [<suite>|all] [--quick] [--out-dir D]\n  \
          rrs-cli bench compare <BASE.json> <CAND.json> [--warn-pct P]\n\
          global flags: --jobs N (parallel sweep workers; default: all cores)\n\
          kinds: rate-limited batched general router datacenter background bursty zipf lru-killer edf-killer\n\
          policies: dlru edf classic-lru dlru-edf distribute full\n\
-         bench suites: core sweep zipf"
+         bench suites: core sweep zipf opt"
     );
     ExitCode::from(2)
 }
@@ -952,13 +959,135 @@ fn report_live(policy_name: &str, mut args: Vec<String>) -> Result<(), String> {
 
 fn cmd_opt(mut args: Vec<String>) -> Result<(), String> {
     let m = parse_u64(take_flag(&mut args, "--resources"), 1, "--resources")? as usize;
+    let memo = take_switch(&mut args, "--memo");
+    let cache_path = take_flag(&mut args, "--opt-cache");
+    if cache_path.is_some() && !memo {
+        return Err("--opt-cache requires --memo (the plain DP does not consult the cache)".into());
+    }
     let path = args.first().ok_or("missing <FILE>")?;
     let inst = load(path)?;
-    let r = solve_opt(&inst, m, OptConfig::default()).map_err(|e| e.to_string())?;
     println!("resources:  {m}");
-    println!("opt cost:   {} ({} reconfigs, {} drops)", r.cost, r.reconfigs, r.drops);
-    println!("states:     {}", r.states_explored);
+    if memo {
+        let mut cache = match cache_path.as_deref().filter(|p| std::path::Path::new(p).exists()) {
+            Some(p) => load_opt_cache(p)?,
+            None => OptCache::new(),
+        };
+        let r = solve_opt_memoized(&inst, m, OptConfig::default(), None, Some(&mut cache))
+            .map_err(|e| e.to_string())?;
+        println!("opt cost:   {} ({} reconfigs, {} drops)", r.cost, r.reconfigs, r.drops);
+        println!("states:     {} solved, {} pruned", r.stats.solved_states, r.stats.pruned_states);
+        println!("cache:      {}/{} hits", r.stats.cache_hits, r.stats.cache_lookups);
+        if let Some(p) = cache_path {
+            store_opt_cache(&p, &cache)?;
+        }
+    } else {
+        let r = solve_opt(&inst, m, OptConfig::default()).map_err(|e| e.to_string())?;
+        println!("opt cost:   {} ({} reconfigs, {} drops)", r.cost, r.reconfigs, r.drops);
+        println!("states:     {}", r.states_explored);
+    }
     Ok(())
+}
+
+fn load_opt_cache(path: &str) -> Result<OptCache, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
+    OptCache::parse(&bytes).map_err(|e| format!("{path}: {e}"))
+}
+
+fn store_opt_cache(path: &str, cache: &OptCache) -> Result<(), String> {
+    std::fs::write(path, cache.encode()).map_err(|e| format!("write {path}: {e}"))?;
+    eprintln!(
+        "wrote {path}: {} solved entries, ~{} bytes in memory",
+        cache.len(),
+        cache.approx_bytes()
+    );
+    Ok(())
+}
+
+/// `opt-cache {save,load,stat}`: manage the persisted exact-OPT solve
+/// cache (`RRSOPTC1`, DESIGN.md §16). `save` solves each instance with
+/// the memoized solver — warm-starting from `--out` if it already
+/// exists — and writes the updated cache; `load` answers one instance
+/// from a cache *without* solving (a miss is an error, e.g. the wrong
+/// genome); `stat` prints the index.
+fn cmd_opt_cache(mut args: Vec<String>) -> Result<(), String> {
+    if args.is_empty() {
+        return Err("missing opt-cache action (save|load|stat)".into());
+    }
+    let action = args.remove(0);
+    match action.as_str() {
+        "save" => {
+            let m = parse_u64(take_flag(&mut args, "--resources"), 1, "--resources")? as usize;
+            let out = take_flag(&mut args, "--out").ok_or("missing --out CACHE")?;
+            if args.is_empty() {
+                return Err("missing <FILE> (at least one instance to solve)".into());
+            }
+            let mut cache = if std::path::Path::new(&out).exists() {
+                load_opt_cache(&out)?
+            } else {
+                OptCache::new()
+            };
+            for path in &args {
+                let inst = load(path)?;
+                let r = solve_opt_memoized(&inst, m, OptConfig::default(), None, Some(&mut cache))
+                    .map_err(|e| format!("{path}: {e}"))?;
+                println!(
+                    "{path}: digest {:#018x}  cost {} ({} reconfigs, {} drops)  {}",
+                    instance_digest(&inst),
+                    r.cost,
+                    r.reconfigs,
+                    r.drops,
+                    if r.stats.cache_hits > 0 { "cache hit" } else { "solved" }
+                );
+            }
+            store_opt_cache(&out, &cache)
+        }
+        "load" => {
+            let m = parse_u64(take_flag(&mut args, "--resources"), 1, "--resources")? as usize;
+            let cache_path = args.first().ok_or("missing <CACHE>")?;
+            let inst_path = args.get(1).ok_or("missing <FILE>")?;
+            let cache = load_opt_cache(cache_path)?;
+            let inst = load(inst_path)?;
+            let digest = instance_digest(&inst);
+            let entry = cache
+                .lookup(digest, m as u32)
+                .ok_or_else(|| CacheError::UnknownInstance { digest, m: m as u32 }.to_string())?;
+            println!("digest:     {digest:#018x}");
+            println!("resources:  {m}");
+            println!(
+                "opt cost:   {} ({} reconfigs, {} drops)",
+                entry.cost, entry.reconfigs, entry.drops
+            );
+            println!("states:     {} (at solve time)", entry.states_explored);
+            Ok(())
+        }
+        "stat" => {
+            let cache_path = args.first().ok_or("missing <CACHE>")?;
+            let cache = load_opt_cache(cache_path)?;
+            println!("entries:    {}", cache.len());
+            println!(
+                "partial:    {}",
+                match cache.partial() {
+                    Some(p) => format!(
+                        "round {} (m={}, {} frontier states, digest {:#018x})",
+                        p.round,
+                        p.m,
+                        p.layer.len(),
+                        p.digest
+                    ),
+                    None => "none".into(),
+                }
+            );
+            println!("approx mem: {} bytes", cache.approx_bytes());
+            for (digest, m, entry) in cache.entries() {
+                println!(
+                    "  {digest:#018x} m={m}: cost {} ({} reconfigs, {} drops), {} states",
+                    entry.cost, entry.reconfigs, entry.drops, entry.states_explored
+                );
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown opt-cache action '{other}' (save|load|stat)")),
+    }
 }
 
 fn cmd_lemmas(mut args: Vec<String>) -> Result<(), String> {
@@ -1096,6 +1225,17 @@ fn cmd_adversary_search(mut args: Vec<String>) -> Result<(), String> {
     let no_shrink = take_switch(&mut args, "--no-shrink");
     let journal_out = take_flag(&mut args, "--journal-out");
     let fixture_out = take_flag(&mut args, "--fixture-out");
+    let opt_cache_path = take_flag(&mut args, "--opt-cache");
+
+    // Warm-start the fitness referee from a persisted solve cache when
+    // one is named; the file is (re)written after the search, so repeated
+    // campaigns re-price known genomes from the index instead of
+    // re-running the DP.
+    let mut opt_cache = match opt_cache_path.as_deref().filter(|p| std::path::Path::new(p).exists())
+    {
+        Some(p) => load_opt_cache(p)?,
+        None => OptCache::new(),
+    };
 
     let cfg = search::SearchConfig {
         seed,
@@ -1109,7 +1249,8 @@ fn cmd_adversary_search(mut args: Vec<String>) -> Result<(), String> {
     let mut journal_text = String::new();
     journal_text.push_str(&journal::meta_line(&cfg));
     journal_text.push('\n');
-    let report = search::run_search(&cfg, |summary| {
+    let cache_view = if opt_cache_path.is_some() { Some(&mut opt_cache) } else { None };
+    let report = search::run_search_cached(&cfg, cache_view, |summary| {
         journal_text.push_str(&journal::gen_line(summary));
         journal_text.push('\n');
         eprintln!(
@@ -1194,6 +1335,9 @@ fn cmd_adversary_search(mut args: Vec<String>) -> Result<(), String> {
             entry.to_text(&[&cmdline, "replayed under the pinned corpus referee (CORPUS_OPT)"]);
         std::fs::write(&path, text).map_err(|e| format!("write {path}: {e}"))?;
         eprintln!("wrote corpus fixture to {path}");
+    }
+    if let Some(path) = opt_cache_path {
+        store_opt_cache(&path, &opt_cache)?;
     }
     Ok(())
 }
@@ -1291,6 +1435,7 @@ fn main() -> ExitCode {
         "resume" => cmd_resume(argv),
         "attribute" => cmd_attribute(argv),
         "opt" => cmd_opt(argv),
+        "opt-cache" => cmd_opt_cache(argv),
         "lemmas" => cmd_lemmas(argv),
         "evaluate" => cmd_evaluate(argv),
         "report" => cmd_report(argv),

@@ -151,6 +151,36 @@ fn committed_corpus_replays_at_recorded_ratios() {
 }
 
 #[test]
+fn memoized_referee_reprices_the_corpus_byte_for_byte() {
+    // The memoized Pareto-pruned solver (DESIGN.md §16) must reproduce
+    // every pinned referee baseline exactly — same cost under the exact
+    // `CORPUS_OPT` budget the fixtures were recorded with — and a warm
+    // cache must answer the same question from its index alone.
+    let mut cache = OptCache::new();
+    for (name, entry) in corpus() {
+        let inst = entry.genome.decode();
+        let m = entry.referee_resources;
+        let cold = solve_opt_memoized(&inst, m, CORPUS_OPT, None, Some(&mut cache))
+            .unwrap_or_else(|e| panic!("{name}: memoized referee refused the pinned corpus: {e}"));
+        assert_eq!(cold.cost, entry.base, "{name}: memoized OPT drifted from the pinned base");
+        assert_eq!(cold.stats.cache_hits, 0, "{name}: cold solve must not hit");
+    }
+    // Round-trip the cache through its wire format and re-price: every
+    // answer must now come from the persisted index, byte-for-byte.
+    let warm_cache_bytes = cache.encode();
+    let mut warm = OptCache::parse(&warm_cache_bytes).expect("fresh cache bytes parse");
+    for (name, entry) in corpus() {
+        let inst = entry.genome.decode();
+        let m = entry.referee_resources;
+        let hit = solve_opt_memoized(&inst, m, CORPUS_OPT, None, Some(&mut warm))
+            .unwrap_or_else(|e| panic!("{name}: warm re-solve failed: {e}"));
+        assert_eq!(hit.cost, entry.base, "{name}: warm cache drifted from the pinned base");
+        assert_eq!(hit.stats.cache_hits, 1, "{name}: warm re-solve must be a pure index hit");
+    }
+    assert_eq!(warm.encode(), warm_cache_bytes, "re-pricing must not perturb the cache bytes");
+}
+
+#[test]
 fn committed_corpus_genomes_decode_and_round_trip() {
     // decode∘encode identity plus well-formedness, on the committed corpus
     // (the proptest in rrs-workloads covers random genomes).

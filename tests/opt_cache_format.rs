@@ -1,0 +1,159 @@
+//! Integration: the persisted OPT solve-cache wire format (`RRSOPTC1`,
+//! DESIGN.md §16). Mirrors `tests/snapshot_format.rs` check for check:
+//! a committed golden fixture pins the v1 encoding byte-for-byte,
+//! parse→reencode is the identity, every truncation and every single-bit
+//! flip is rejected as a structured error, a stale version dies on the
+//! version field (not the checksum), and a lookup keyed by the wrong
+//! genome misses with a clear error instead of a wrong answer.
+
+use rrs::offline::{OPT_CACHE_MAGIC, OPT_CACHE_VERSION};
+use rrs::prelude::*;
+
+/// The deterministic cache behind `tests/fixtures/opt_cache_v1.optc`:
+/// the three corpus genomes solved to completion, plus a budget-tripped
+/// partial frontier so the fixture exercises *both* sections of the
+/// format. Changing the solver's state encoding or the pinned workloads
+/// invalidates the fixture — regenerate via the `regenerate` test below
+/// and bump `OPT_CACHE_VERSION` if the wire layout itself changed.
+fn golden_cache() -> OptCache {
+    let mut cache = OptCache::new();
+    for text in &OPT_BENCH_GENOMES[..3] {
+        let inst = parse_genome(text).expect("pinned genome parses").decode();
+        solve_opt_memoized(&inst, 1, OptConfig::default(), None, Some(&mut cache))
+            .expect("corpus genome solves");
+    }
+    let scale = opt_scale_instance(4);
+    let tight = OptConfig { state_budget: Some(40), ..Default::default() };
+    let err = solve_opt_memoized(&scale, 1, tight, None, Some(&mut cache));
+    assert!(
+        matches!(err, Err(OptError::BudgetExhausted { .. })),
+        "the fixture's partial section must come from a real budget trip: {err:?}"
+    );
+    assert!(cache.partial().is_some());
+    cache
+}
+
+fn fixture_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/opt_cache_v1.optc")
+}
+
+#[test]
+fn header_magic_and_version_are_pinned() {
+    let bytes = golden_cache().encode();
+    assert_eq!(&bytes[..8], OPT_CACHE_MAGIC);
+    assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), OPT_CACHE_VERSION);
+    assert_eq!(OPT_CACHE_VERSION, 1, "format bumps must update the golden fixture");
+}
+
+#[test]
+fn golden_cache_fixture_is_stable() {
+    // Byte-for-byte pin of format v1. To regenerate after a *deliberate*
+    // format bump (which must also bump OPT_CACHE_VERSION):
+    //   cargo test --test opt_cache_format -- --ignored regenerate
+    let bytes = golden_cache().encode();
+    let want = std::fs::read(fixture_path())
+        .unwrap_or_else(|e| panic!("missing fixture {}: {e}", fixture_path().display()));
+    assert_eq!(
+        bytes, want,
+        "opt-cache encoding drifted from the committed v1 fixture; if intentional, bump \
+         OPT_CACHE_VERSION and regenerate the fixture"
+    );
+}
+
+#[test]
+#[ignore = "writes the golden fixture; run once after a deliberate format bump"]
+fn regenerate() {
+    std::fs::write(fixture_path(), golden_cache().encode()).unwrap();
+}
+
+#[test]
+fn reencoding_a_parsed_cache_is_identity() {
+    // parse → encode again: byte-identical. Both maps are BTreeMaps, so
+    // the byte stream is a pure function of content — nothing in the file
+    // is redundant or nondeterministically ordered.
+    let bytes = std::fs::read(fixture_path()).unwrap();
+    let cache = OptCache::parse(&bytes).expect("committed fixture must stay loadable");
+    assert_eq!(cache.encode(), bytes);
+    assert_eq!(cache, golden_cache(), "fixture must decode to the golden cache");
+}
+
+#[test]
+fn golden_fixture_answers_a_warm_resolve() {
+    // The committed bytes are not just parseable — they *work*: re-solving
+    // a corpus genome against the parsed cache is a pure index hit that
+    // reproduces the fresh answer, and the partial section resumes the
+    // tripped solve to the same triple as an unconstrained fresh solve.
+    let mut cache = OptCache::parse(&std::fs::read(fixture_path()).unwrap()).unwrap();
+    let inst = parse_genome(OPT_BENCH_GENOMES[0]).unwrap().decode();
+    let fresh = solve_opt_memoized(&inst, 1, OptConfig::default(), None, None).unwrap();
+    let warm = solve_opt_memoized(&inst, 1, OptConfig::default(), None, Some(&mut cache)).unwrap();
+    assert_eq!(warm.stats.cache_hits, 1, "warm re-solve must be a pure index hit");
+    assert_eq!((warm.cost, warm.reconfigs, warm.drops), (fresh.cost, fresh.reconfigs, fresh.drops));
+
+    let scale = opt_scale_instance(4);
+    let fresh = solve_opt_memoized(&scale, 1, OptConfig::default(), None, None).unwrap();
+    let resumed =
+        solve_opt_memoized(&scale, 1, OptConfig::default(), None, Some(&mut cache)).unwrap();
+    assert_eq!(resumed.stats.partial_resumes, 1, "the fixture's partial must resume");
+    assert_eq!(
+        (resumed.cost, resumed.reconfigs, resumed.drops),
+        (fresh.cost, fresh.reconfigs, fresh.drops)
+    );
+    assert_eq!(resumed.states_explored, fresh.states_explored);
+}
+
+#[test]
+fn truncation_at_every_length_is_rejected_cleanly() {
+    let bytes = std::fs::read(fixture_path()).unwrap();
+    for len in 0..bytes.len() {
+        let err = OptCache::parse(&bytes[..len])
+            .err()
+            .unwrap_or_else(|| panic!("truncation to {len} bytes parsed successfully"));
+        // Must be a structured error with a nonempty rendering, not a panic.
+        assert!(!err.to_string().is_empty());
+    }
+}
+
+#[test]
+fn every_single_bit_flip_is_rejected() {
+    // CRC-32 detects all 1-bit errors; header corruptions die on magic or
+    // version before the checksum is even computed.
+    let bytes = std::fs::read(fixture_path()).unwrap();
+    for byte in 0..bytes.len() {
+        for bit in 0..8 {
+            let mut evil = bytes.clone();
+            evil[byte] ^= 1 << bit;
+            assert!(OptCache::parse(&evil).is_err(), "flip of byte {byte} bit {bit} was accepted");
+        }
+    }
+}
+
+#[test]
+fn stale_version_is_rejected_on_the_version_field() {
+    // A future-format file must die with BadVersion — the actionable
+    // "your build is too old" error — not whatever the checksum or body
+    // parse happens to produce downstream.
+    let mut bytes = std::fs::read(fixture_path()).unwrap();
+    bytes[8] = (OPT_CACHE_VERSION + 1) as u8;
+    assert_eq!(OptCache::parse(&bytes), Err(CacheError::BadVersion(OPT_CACHE_VERSION + 1)));
+}
+
+#[test]
+fn wrong_genome_lookup_misses_with_a_clear_error() {
+    // The digest key makes a cache non-transferable between instances: a
+    // lookup keyed by a genome the cache never solved must miss — never
+    // alias onto another instance's answer — and the rendered error names
+    // the digest so the operator can tell *which* identity failed.
+    let cache = OptCache::parse(&std::fs::read(fixture_path()).unwrap()).unwrap();
+    let stranger = parse_genome(OPT_BENCH_GENOMES[3]).unwrap().decode();
+    let digest = instance_digest(&stranger);
+    assert!(cache.lookup(digest, 1).is_none());
+    let err = CacheError::UnknownInstance { digest, m: 1 }.to_string();
+    assert!(err.contains(&format!("{digest:#018x}")), "unhelpful error: {err}");
+    // The solved corpus entries, by contrast, are all present under their
+    // own digests.
+    for text in &OPT_BENCH_GENOMES[..3] {
+        let inst = parse_genome(text).unwrap().decode();
+        assert!(cache.lookup(instance_digest(&inst), 1).is_some(), "{text} missing");
+    }
+}

@@ -129,6 +129,23 @@ fn soak(rounds: u64, every: u64, max_live_bytes: u64) {
         "streamed run grew live heap by {peak} bytes (cap {max_live_bytes}); \
          ingestion is no longer O(1) in the horizon"
     );
+
+    // Certify the soak's cost against the offline referee: the streamed
+    // online cost can never beat OPT at equal resources, and OPT is
+    // bounded below by the certified combined bound. The instance is
+    // materialized only *after* the live-heap peak has been captured, so
+    // this check does not perturb the O(1)-ingestion measurement.
+    let mut text = String::new();
+    SoakText::new(rounds).read_to_string(&mut text).expect("soak text synthesizes");
+    let inst = rrs_model::from_text(&text).expect("soak text parses");
+    let lb = combined_lower_bound(&inst, 8);
+    assert!(lb > 0, "a {rounds}-round soak must have a nonzero certified bound");
+    assert!(
+        out.cost.total() >= lb,
+        "online soak cost {} beat the certified m=8 lower bound {lb}; \
+         either the bound or the cost ledger is broken",
+        out.cost.total()
+    );
 }
 
 // The smoke and soak tiers each live in ONE test function (long-horizon
@@ -212,5 +229,14 @@ fn zipf_soak(num_colors: usize, rounds: u64, max_live_bytes: u64) {
         peak < max_live_bytes,
         "zipf soak over {num_colors} colors grew live heap by {peak} bytes \
          (cap {max_live_bytes}); per-color state is no longer sparse"
+    );
+    // Same certification as [`soak`]: online cost ≥ OPT(8) ≥ certified
+    // bound, computed outside the measured window.
+    let lb = combined_lower_bound(&inst, 8);
+    assert!(lb > 0, "the zipf universe must have a nonzero certified bound");
+    assert!(
+        out.cost.total() >= lb,
+        "zipf soak cost {} beat the certified m=8 lower bound {lb}",
+        out.cost.total()
     );
 }
